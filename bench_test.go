@@ -1,0 +1,303 @@
+// Benchmark harness: one benchmark per paper artifact (figures, tables and
+// quantitative claims), E1–E14 in DESIGN.md. Each benchmark runs a
+// scaled-down version of the corresponding experiment and reports its key
+// quantities as custom benchmark metrics, so `go test -bench=.` regenerates
+// the paper's evaluation end to end. cmd/figures produces the full-size
+// artifacts.
+package sops_test
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"sops"
+	"sops/internal/amoebot"
+	"sops/internal/core"
+	"sops/internal/enumerate"
+	"sops/internal/experiments"
+	"sops/internal/ising"
+	"sops/internal/lattice"
+	"sops/internal/polymer"
+	"sops/internal/psys"
+)
+
+// E1 — Figure 2: time evolution at λ = γ = 4 from a worst-case line.
+// Reports the final compression factor and segregation index; the paper's
+// shape (most progress in the first ~1/60 of the run) is asserted in
+// internal/experiments tests.
+func BenchmarkFigure2Evolution(b *testing.B) {
+	checkpoints := []uint64{0, 50_000, 1_050_000, 3_400_000}
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Figure2(100, 4, 4, checkpoints, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := points[len(points)-1].Snap
+		b.ReportMetric(last.Alpha, "alpha")
+		b.ReportMetric(last.Segregation, "segregation")
+		b.ReportMetric(float64(last.HetEdges), "hetEdges")
+	}
+}
+
+// E2 — Figure 3: the (λ, γ) phase diagram. Reports how many of the four
+// expected phases appear on a 2×2 corner grid.
+func BenchmarkFigure3PhaseDiagram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Figure3(60, []float64{0.25, 4}, []float64{1, 6}, 2_000_000, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		phases := map[sops.Phase]bool{}
+		for _, c := range cells {
+			phases[c.Snap.Phase] = true
+		}
+		b.ReportMetric(float64(len(phases)), "distinctPhases")
+	}
+}
+
+// E3 — §3.2 swap ablation: iterations to a fixed segregation target with
+// and without swap moves.
+func BenchmarkSwapAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.SwapAblation(60, 4, 4, 0.5, 6_000_000, 25_000, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.WithSwaps), "withSwapsIters")
+		b.ReportMetric(float64(res.WithoutSwaps), "withoutSwapsIters")
+		if res.WithSwaps > 0 && res.WithoutSwaps > 0 {
+			b.ReportMetric(float64(res.WithoutSwaps)/float64(res.WithSwaps), "slowdown")
+		}
+	}
+}
+
+// E4 — Lemma 2: p_min(n) ≤ 2√3·√n. Reports the worst observed ratio
+// p_min/bound over a range of n (must stay ≤ 1).
+func BenchmarkLemma2PerimeterBound(b *testing.B) {
+	ns := []int{1, 7, 19, 37, 61, 100, 169, 271, 397, 547, 1000, 2000}
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Lemma2Table(ns)
+		worst := 0.0
+		for _, r := range rows {
+			if r.Bound > 0 {
+				if ratio := float64(r.PMin) / r.Bound; ratio > worst {
+					worst = ratio
+				}
+			}
+		}
+		b.ReportMetric(worst, "worstRatio")
+	}
+}
+
+// E5 — Lemma 9: the chain's empirical distribution versus the exact
+// stationary distribution π ∝ λ^e·γ^a on the full enumerated state space.
+// Reports the total-variation distance (small is correct).
+func BenchmarkLemma9Stationarity(b *testing.B) {
+	counts := []int{2, 1}
+	lambda, gamma := 2.0, 2.0
+	configs, err := enumerate.Configs(counts, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pi := enumerate.Stationary(configs, lambda, gamma)
+	index := make(map[string]int, len(configs))
+	for i, cfg := range configs {
+		index[cfg.CanonicalKey()] = i
+	}
+	for i := 0; i < b.N; i++ {
+		init, err := core.Initial(core.LayoutLine, counts, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ch, err := core.New(init, core.Params{Lambda: lambda, Gamma: gamma, Seed: 17})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ch.Run(20_000)
+		hist := make([]float64, len(configs))
+		const samples = 150_000
+		for s := 0; s < samples; s++ {
+			ch.Run(5)
+			hist[index[ch.Config().CanonicalKey()]]++
+		}
+		for j := range hist {
+			hist[j] /= samples
+		}
+		b.ReportMetric(enumerate.TotalVariation(pi, hist), "tvDistance")
+	}
+}
+
+// E6 — Theorem 13: compression frequency for large γ (γ > 4^{5/4},
+// λγ > 6.83) versus unbiased dynamics.
+func BenchmarkTheorem13Compression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		biased, err := experiments.CompressionFrequency(60, 4, 6, 3, 2_000_000, 10_000, 40, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		unbiased, err := experiments.CompressionFrequency(60, 1, 1, 3, 2_000_000, 10_000, 40, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(biased.Freq, "prCompressedBiased")
+		b.ReportMetric(unbiased.Freq, "prCompressedUnbiased")
+	}
+}
+
+// E7 — Theorem 14: separation frequency under the fixed-boundary measure
+// π_P ∝ γ^{−h} at large γ.
+func BenchmarkTheorem14Separation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.FixedShapeSeparation(3, 6, 4, 0.25, 2_000_000, 10_000, 40, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Freq, "prSeparated")
+	}
+}
+
+// E8 — Theorem 15: compression frequency with γ in the window
+// (79/81, 81/79) and λ(γ+1) > 6.83.
+func BenchmarkTheorem15CompressionNearOne(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.CompressionFrequency(60, 6, 81.0/79.0, 3, 2_000_000, 10_000, 40, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Freq, "prCompressed")
+	}
+}
+
+// E9 — Theorem 16: separation probability ≈ 0 for γ in the integration
+// window, under the same fixed-boundary measure as E7.
+func BenchmarkTheorem16Integration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.FixedShapeSeparation(3, 81.0/79.0, 4, 0.25, 2_000_000, 10_000, 40, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Freq, "prSeparated")
+	}
+}
+
+// E10a — the Kotecký–Preiss/Theorem 11 per-edge condition for the loop
+// polymer model (the Lemma 12 machinery). Reports the condition total
+// (must be ≤ c = 0.05 for satisfaction at γ = 8).
+func BenchmarkKoteckyPreissLoops(b *testing.B) {
+	m := polymer.LoopModel(8, 8)
+	for i := 0; i < b.N; i++ {
+		rep := polymer.CheckKP(m, 0.05)
+		if !rep.Satisfied {
+			b.Fatal("KP condition unexpectedly violated")
+		}
+		b.ReportMetric(rep.Total, "kpTotal")
+		b.ReportMetric(rep.Tail, "kpTailBound")
+	}
+}
+
+// E10b — Theorem 11's volume/surface decomposition: the exact ln Ξ on a
+// hexagonal region versus the bracket ψ|Λ| ± c|∂Λ|. Reports the slack of
+// the bracket (≥ 0 means the theorem's bound holds).
+func BenchmarkClusterExpansionBounds(b *testing.B) {
+	m := polymer.LoopModel(8, 4)
+	const c = 0.05
+	for i := 0; i < b.N; i++ {
+		psi := polymer.PsiPerEdge(m, 3)
+		region := polymer.HexRegion(2)
+		pool := m.Enumerate(region)
+		logXi := polymer.LogXiExact(m, pool)
+		vol := psi * float64(len(region))
+		surf := c * float64(len(region.SurfaceEdges()))
+		slack := math.Min(logXi-(vol-surf), (vol+surf)-logXi)
+		b.ReportMetric(slack, "bracketSlack")
+		b.ReportMetric(psi, "psi")
+	}
+}
+
+// E11 — the high-temperature expansion identity (§4): even-subgraph sum
+// versus brute force over all colorings. Reports the worst relative error
+// across shapes and γ values (must be ~1e-12).
+func BenchmarkHighTemperatureExpansion(b *testing.B) {
+	shape := psys.New()
+	for _, p := range lattice.Hexagon(lattice.Point{}, 1) {
+		if err := shape.Place(p, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	gammas := []float64{79.0 / 81.0, 81.0 / 79.0, 2, 5.66}
+	for i := 0; i < b.N; i++ {
+		worst := 0.0
+		for _, gamma := range gammas {
+			brute, err := ising.PartitionBrute(shape, gamma)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ht, err := ising.PartitionHT(shape, gamma)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if e := math.Abs(brute-ht) / brute; e > worst {
+				worst = e
+			}
+		}
+		b.ReportMetric(worst, "worstRelError")
+	}
+}
+
+// E12 — §5 multi-color extension: k = 4 colors at λ = γ = 4. Reports the
+// mean largest-cluster fraction (→ 1 under separation).
+func BenchmarkMultiColorSeparation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.MultiColor(4, 15, 4, 4, 4_000_000, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean := 0.0
+		for _, f := range res.ClusterFrac {
+			mean += f
+		}
+		mean /= float64(len(res.ClusterFrac))
+		b.ReportMetric(mean, "meanClusterFrac")
+		b.ReportMetric(res.Snap.Segregation, "segregation")
+	}
+}
+
+// E13 — the concurrent amoebot runtime: activation throughput across
+// workers with invariants intact (checked in tests under -race).
+func BenchmarkConcurrentScheduler(b *testing.B) {
+	cfg, err := core.Initial(core.LayoutSpiral, []int{50, 50}, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := amoebot.NewWorld(cfg, core.Params{Lambda: 4, Gamma: 4}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := amoebot.RunConcurrent(w, 1_000_000, workers, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(1_000_000*float64(b.N)/b.Elapsed().Seconds(), "activations/s")
+}
+
+// E14 — the PODC '16 compression baseline (monochromatic, γ = 1): the
+// frequency of 3-compression above and below the provable λ threshold
+// 2(2+√2) ≈ 6.83.
+func BenchmarkCompressionBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		strong, err := experiments.MonochromaticCompressionFrequency(60, 8, 3, 2_000_000, 10_000, 40, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		weak, err := experiments.MonochromaticCompressionFrequency(60, 1, 3, 2_000_000, 10_000, 40, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(strong.Freq, "prCompressedLambda8")
+		b.ReportMetric(weak.Freq, "prCompressedLambda1")
+	}
+}

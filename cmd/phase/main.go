@@ -1,0 +1,111 @@
+// Command phase sweeps the (λ, γ) grid and prints the Figure 3 phase
+// diagram: each cell is the phase the system reaches from a common initial
+// configuration after a fixed number of iterations.
+//
+// Usage:
+//
+//	phase -n 100 -iters 5000000 -lambdas 1.05,1.5,4,6 -gammas 1,1.05,4,6
+//
+// The paper runs 5·10⁷ iterations per cell; the default here is smaller so
+// the sweep finishes in minutes. Pass -iters 50000000 for paper scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sops/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "phase:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n       = flag.Int("n", 100, "total number of particles (two colors)")
+		iters   = flag.Uint64("iters", 5_000_000, "iterations per grid cell")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		lambdas = flag.String("lambdas", "", "comma-separated λ values (default grid)")
+		gammas  = flag.String("gammas", "", "comma-separated γ values (default grid)")
+	)
+	flag.Parse()
+
+	ls, gs := experiments.DefaultPhaseGrid()
+	var err error
+	if *lambdas != "" {
+		if ls, err = parseFloats(*lambdas); err != nil {
+			return fmt.Errorf("-lambdas: %w", err)
+		}
+	}
+	if *gammas != "" {
+		if gs, err = parseFloats(*gammas); err != nil {
+			return fmt.Errorf("-gammas: %w", err)
+		}
+	}
+
+	fmt.Printf("phase diagram: n=%d iters=%d seed=%d\n\n", *n, *iters, *seed)
+	cells, err := experiments.Figure3(*n, ls, gs, *iters, *seed)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%8s %8s %7s %7s %8s  %s\n", "lambda", "gamma", "alpha", "het", "segr", "phase")
+	for _, c := range cells {
+		fmt.Printf("%8.3g %8.3g %7.3f %7d %8.3f  %s\n",
+			c.Lambda, c.Gamma, c.Snap.Alpha, c.Snap.HetEdges, c.Snap.Segregation, c.Snap.Phase)
+	}
+
+	// Compact grid view (rows: γ descending; columns: λ ascending).
+	byKey := make(map[[2]float64]string, len(cells))
+	for _, c := range cells {
+		byKey[[2]float64{c.Lambda, c.Gamma}] = shortPhase(c.Snap.Phase.String())
+	}
+	fmt.Printf("\n%8s", "γ \\ λ")
+	for _, l := range ls {
+		fmt.Printf(" %6.3g", l)
+	}
+	fmt.Println()
+	for i := len(gs) - 1; i >= 0; i-- {
+		fmt.Printf("%8.3g", gs[i])
+		for _, l := range ls {
+			fmt.Printf(" %6s", byKey[[2]float64{l, gs[i]}])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nCS=compressed-separated CI=compressed-integrated ES=expanded-separated EI=expanded-integrated")
+	return nil
+}
+
+func shortPhase(name string) string {
+	switch name {
+	case "compressed-separated":
+		return "CS"
+	case "compressed-integrated":
+		return "CI"
+	case "expanded-separated":
+		return "ES"
+	case "expanded-integrated":
+		return "EI"
+	}
+	return "?"
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,145 @@
+// Command sops runs a single separation/integration simulation and reports
+// its progress and final state.
+//
+// Usage:
+//
+//	sops -n 100 -k 2 -lambda 4 -gamma 4 -iters 5000000 -progress 10 -ascii
+//
+// Flags select the workload (particle count, color classes, initial
+// layout), the bias parameters, and the reporting (progress lines, final
+// ASCII art, optional SVG file).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sops"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sops:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n         = flag.Int("n", 100, "total number of particles")
+		k         = flag.Int("k", 2, "number of color classes (split evenly)")
+		lambda    = flag.Float64("lambda", 4, "neighbor bias λ")
+		gamma     = flag.Float64("gamma", 4, "like-color bias γ")
+		iters     = flag.Uint64("iters", 5_000_000, "chain iterations")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		line      = flag.Bool("line", false, "start from a line instead of a spiral")
+		separated = flag.Bool("separated", false, "start fully separated")
+		noswap    = flag.Bool("noswap", false, "disable swap moves")
+		progress  = flag.Int("progress", 10, "number of progress lines")
+		ascii     = flag.Bool("ascii", true, "print final configuration as ASCII")
+		svgPath   = flag.String("svg", "", "write final configuration as SVG to this path")
+		workers   = flag.Int("workers", 0, "run on the distributed amoebot runtime with this many concurrent workers (0 = centralized chain)")
+	)
+	flag.Parse()
+
+	counts := make([]int, *k)
+	for i := range counts {
+		counts[i] = *n / *k
+		if i < *n%*k {
+			counts[i]++
+		}
+	}
+	layout := sops.LayoutSpiral
+	if *line {
+		layout = sops.LayoutLine
+	}
+	if *workers > 0 {
+		return runDistributed(counts, layout, *separated, *lambda, *gamma, *noswap, *seed, *iters, *workers, *ascii)
+	}
+	sys, err := sops.New(sops.Options{
+		Counts:       counts,
+		Layout:       layout,
+		Separated:    *separated,
+		Lambda:       *lambda,
+		Gamma:        *gamma,
+		DisableSwaps: *noswap,
+		Seed:         *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("n=%d colors=%d λ=%g γ=%g iters=%d seed=%d\n", *n, *k, *lambda, *gamma, *iters, *seed)
+	fmt.Printf("%12s %6s %6s %7s %5s %5s %8s %8s  %s\n",
+		"steps", "perim", "p_min", "alpha", "edges", "het", "segr", "cluster", "phase")
+	printRow := func(m sops.Snapshot) {
+		fmt.Printf("%12d %6d %6d %7.3f %5d %5d %8.3f %8.3f  %s\n",
+			m.Steps, m.Perimeter, m.MinPerimeter, m.Alpha, m.Edges, m.HetEdges,
+			m.Segregation, m.LargestFrac, m.Phase)
+	}
+	printRow(sys.Metrics())
+	if *progress > 0 && *iters > 0 {
+		interval := *iters / uint64(*progress)
+		if interval == 0 {
+			interval = 1
+		}
+		sys.RunWith(*iters, interval, func(m sops.Snapshot) bool {
+			printRow(m)
+			return true
+		})
+	} else {
+		sys.Run(*iters)
+		printRow(sys.Metrics())
+	}
+
+	st := sys.Stats()
+	fmt.Printf("accepted: %d moves, %d swaps, %d rejected (%.1f%% acceptance)\n",
+		st.Moves, st.Swaps, st.Rejected,
+		100*float64(st.Moves+st.Swaps)/float64(st.Steps))
+	if *ascii {
+		fmt.Println(sys.ASCII())
+	}
+	if *svgPath != "" {
+		f, err := os.Create(*svgPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := sys.RenderSVG(f); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *svgPath)
+	}
+	return nil
+}
+
+// runDistributed executes the workload on the concurrent amoebot runtime.
+func runDistributed(counts []int, layout sops.Layout, separated bool, lambda, gamma float64, noswap bool, seed, iters uint64, workers int, ascii bool) error {
+	d, err := sops.NewDistributed(sops.Options{
+		Counts:       counts,
+		Layout:       layout,
+		Separated:    separated,
+		Lambda:       lambda,
+		Gamma:        gamma,
+		DisableSwaps: noswap,
+		Seed:         seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("distributed runtime: %d workers, %d activations\n", workers, iters)
+	moves, swaps, err := d.Run(iters, workers, seed)
+	if err != nil {
+		return err
+	}
+	m := d.Metrics()
+	fmt.Printf("accepted %d moves, %d swaps; α=%.3f h=%d segregation=%.3f phase=%s\n",
+		moves, swaps, m.Alpha, m.HetEdges, m.Segregation, m.Phase)
+	snap := d.Snapshot()
+	fmt.Printf("connected=%v holeFree=%v\n", snap.Connected(), snap.HoleFree())
+	if ascii {
+		fmt.Println(d.ASCII())
+	}
+	return nil
+}

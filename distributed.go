@@ -1,0 +1,103 @@
+package sops
+
+import (
+	"fmt"
+	"io"
+
+	"sops/internal/amoebot"
+	"sops/internal/core"
+	"sops/internal/metrics"
+	"sops/internal/psys"
+	"sops/internal/viz"
+)
+
+// Distributed is the asynchronous amoebot-model execution of the
+// separation algorithm: particles are independent agents; activations may
+// run concurrently and are serialized only where their neighborhoods
+// overlap. Its quiescent snapshots satisfy the same invariants as the
+// centralized chain.
+//
+// Run spawns the concurrency internally; the Distributed value itself is a
+// single-controller object — do not call Run from multiple goroutines at
+// once. SetFrozen and Snapshot are safe to call while a Run is in
+// progress.
+type Distributed struct {
+	world *amoebot.World
+	th    metrics.Thresholds
+	done  uint64
+}
+
+// NewDistributed builds a distributed execution from options. The arena is
+// sized automatically.
+func NewDistributed(opts Options) (*Distributed, error) {
+	var cfg *psys.Config
+	var err error
+	layout := opts.Layout
+	if layout == 0 {
+		layout = LayoutSpiral
+	}
+	if opts.Separated {
+		cfg, err = core.InitialSeparated(opts.Counts)
+	} else {
+		cfg, err = core.Initial(layout, opts.Counts, opts.Seed)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sops: initial configuration: %w", err)
+	}
+	world, err := amoebot.NewWorld(cfg, core.Params{
+		Lambda:       opts.Lambda,
+		Gamma:        opts.Gamma,
+		DisableSwaps: opts.DisableSwaps,
+		Seed:         opts.Seed,
+	}, 0)
+	if err != nil {
+		return nil, fmt.Errorf("sops: %w", err)
+	}
+	th := metrics.DefaultThresholds()
+	if opts.Thresholds != nil {
+		th = *opts.Thresholds
+	}
+	return &Distributed{world: world, th: th}, nil
+}
+
+// Run executes the given number of activations across workers concurrent
+// activation sources (workers ≤ 1 runs sequentially) and returns the
+// accepted move and swap counts.
+func (d *Distributed) Run(activations uint64, workers int, seed uint64) (moves, swaps uint64, err error) {
+	if workers <= 1 {
+		res := amoebot.RunSequential(d.world, activations, seed)
+		d.done += activations
+		return res.Moves, res.Swaps, nil
+	}
+	res, err := amoebot.RunConcurrent(d.world, activations, workers, seed)
+	if err != nil {
+		return 0, 0, fmt.Errorf("sops: %w", err)
+	}
+	d.done += activations
+	return res.Moves, res.Swaps, nil
+}
+
+// N returns the number of particles.
+func (d *Distributed) N() int { return d.world.N() }
+
+// SetFrozen crash-stops (or revives) particle id: a frozen particle stops
+// acting but remains present and still participates passively in
+// neighbor-initiated swaps. Safe to call while a Run is in progress.
+func (d *Distributed) SetFrozen(id int, frozen bool) { d.world.SetFrozen(id, frozen) }
+
+// Frozen reports whether particle id is crash-stopped.
+func (d *Distributed) Frozen(id int) bool { return d.world.Frozen(id) }
+
+// Snapshot returns a quiescent copy of the configuration.
+func (d *Distributed) Snapshot() *Config { return d.world.Snapshot() }
+
+// Metrics summarizes a quiescent snapshot of the system.
+func (d *Distributed) Metrics() Snapshot {
+	return metrics.Capture(d.world.Snapshot(), d.done, d.th)
+}
+
+// ASCII renders a quiescent snapshot as text.
+func (d *Distributed) ASCII() string { return viz.ASCII(d.world.Snapshot()) }
+
+// RenderSVG writes a quiescent snapshot as an SVG document.
+func (d *Distributed) RenderSVG(w io.Writer) error { return viz.SVG(w, d.world.Snapshot()) }

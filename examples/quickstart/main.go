@@ -1,0 +1,34 @@
+// Quickstart: build a 100-particle two-color system, run the separation
+// chain with λ = γ = 4, and watch it compress and separate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sops"
+)
+
+func main() {
+	sys, err := sops.New(sops.Options{
+		Counts: []int{50, 50}, // 50 particles of each color
+		Lambda: 4,             // favor having more neighbors (compression)
+		Gamma:  4,             // favor like-colored neighbors (separation)
+		Seed:   1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("initial configuration:")
+	fmt.Println(sys.ASCII())
+
+	sys.RunWith(1_000_000, 250_000, func(m sops.Snapshot) bool {
+		fmt.Printf("after %8d steps: perimeter=%d (α=%.2f), heterogeneous edges=%d, segregation=%.2f, phase=%s\n",
+			m.Steps, m.Perimeter, m.Alpha, m.HetEdges, m.Segregation, m.Phase)
+		return true
+	})
+
+	fmt.Println("\nfinal configuration:")
+	fmt.Println(sys.ASCII())
+}

@@ -1,0 +1,324 @@
+package amoebot
+
+import (
+	"sops/internal/core"
+	"sops/internal/lattice"
+	"sops/internal/psys"
+	"sops/internal/rng"
+)
+
+// This file is the strictly local, anonymous formulation of the separation
+// algorithm: the agent program reads its surroundings exclusively through a
+// LocalView addressed by private port labels, so it cannot observe global
+// coordinates, a shared compass, or particle identities — exactly the
+// informational constraints of the amoebot model (§2.1). ActivateAgent runs
+// the very same algorithm as Activate but through this restricted
+// interface; tests verify the two produce identical executions.
+
+// Port is an edge label in a particle's private orientation: port p of a
+// particle with orientation rot refers to global direction (p + rot) mod 6.
+// Particles never learn rot, so ports carry no global directional
+// information.
+type Port int
+
+// LocalView exposes exactly what one atomic activation may read: the
+// occupancy and colors of the particle's own six neighbor cells and, after
+// choosing a movement port, the six cells around the corresponding target
+// node. All addressing is relative to the particle's private orientation.
+// The view is only valid during the activation that created it (the region
+// locks are held).
+type LocalView struct {
+	w   *World
+	pos lattice.Point
+	rot lattice.Direction
+}
+
+// globalDir translates a private port to a global direction.
+func (v *LocalView) globalDir(p Port) lattice.Direction {
+	return lattice.Direction((int(p) + int(v.rot)) % lattice.NumDirections)
+}
+
+// OwnColor returns the activating particle's color.
+func (v *LocalView) OwnColor() psys.Color {
+	return v.w.cellAt(v.pos).color
+}
+
+// TargetInArena reports whether the node behind the given port exists in
+// the bounded arena (a wall sensor; physical systems are bounded).
+func (v *LocalView) TargetInArena(p Port) bool {
+	return v.w.inArena(v.pos.Neighbor(v.globalDir(p)))
+}
+
+// Occupied reports whether the neighbor at the given port is occupied.
+func (v *LocalView) Occupied(p Port) bool {
+	nb := v.pos.Neighbor(v.globalDir(p))
+	return v.w.inArena(nb) && v.w.cellAt(nb).occupied
+}
+
+// NeighborColor returns the color of the neighbor at the given port; ok is
+// false if the cell is vacant.
+func (v *LocalView) NeighborColor(p Port) (psys.Color, bool) {
+	nb := v.pos.Neighbor(v.globalDir(p))
+	if !v.w.inArena(nb) {
+		return 0, false
+	}
+	c := v.w.cellAt(nb)
+	if !c.occupied {
+		return 0, false
+	}
+	return c.color, true
+}
+
+// TargetOccupied reports occupancy of the j-th neighbor of the target node
+// reached through movement port move, in the same private frame. j indexes
+// the target's neighbors as ports of the target node.
+func (v *LocalView) TargetOccupied(move, j Port) bool {
+	target := v.pos.Neighbor(v.globalDir(move))
+	nb := target.Neighbor(v.globalDir(j))
+	if nb == v.pos {
+		return true // the activating particle itself
+	}
+	return v.w.inArena(nb) && v.w.cellAt(nb).occupied
+}
+
+// TargetNeighborColor returns the color of the target's j-th neighbor. The
+// activating particle's own cell reports its own color.
+func (v *LocalView) TargetNeighborColor(move, j Port) (psys.Color, bool) {
+	target := v.pos.Neighbor(v.globalDir(move))
+	nb := target.Neighbor(v.globalDir(j))
+	if !v.w.inArena(nb) {
+		return 0, false
+	}
+	c := v.w.cellAt(nb)
+	if !c.occupied {
+		return 0, false
+	}
+	return c.color, true
+}
+
+// relativeOccupancy materializes the 12-cell neighborhood in the agent's
+// private coordinate frame (own node at the origin, port p pointing at
+// lattice direction p), for the movement-property checks. It implements
+// psys.Occupancy over private coordinates only.
+type relativeOccupancy struct {
+	cells map[lattice.Point]bool
+}
+
+// Occupied reports occupancy at a private-frame coordinate.
+func (r relativeOccupancy) Occupied(p lattice.Point) bool { return r.cells[p] }
+
+// relativeNeighborhood builds the private-frame occupancy around the agent
+// and its movement target from view reads alone.
+func relativeNeighborhood(v *LocalView, move Port) relativeOccupancy {
+	cells := make(map[lattice.Point]bool, 12)
+	origin := lattice.Point{}
+	target := origin.Neighbor(lattice.Direction(move))
+	cells[origin] = true
+	for p := Port(0); p < lattice.NumDirections; p++ {
+		if v.Occupied(p) {
+			cells[origin.Neighbor(lattice.Direction(p))] = true
+		}
+		if v.TargetOccupied(move, p) {
+			cells[target.Neighbor(lattice.Direction(p))] = true
+		}
+	}
+	return relativeOccupancy{cells: cells}
+}
+
+// agentDecision is the outcome of the pure agent program.
+type agentDecision struct {
+	act  core.Outcome // Rejected, Moved or Swapped
+	port Port         // meaningful unless act == Rejected
+}
+
+// runAgent is the agent program for Algorithm 1: a pure function of the
+// local view and the activation's randomness. It never touches the world
+// directly.
+func runAgent(v *LocalView, params core.Params, pows *powers, r *rng.Source) agentDecision {
+	move := Port(r.Intn(lattice.NumDirections))
+	if !v.TargetInArena(move) {
+		return agentDecision{act: core.Rejected}
+	}
+	q := r.Float64()
+	ci := v.OwnColor()
+
+	if cj, occupied := v.NeighborColor(move); occupied {
+		// Swap arm (steps 9–10).
+		if params.DisableSwaps {
+			return agentDecision{act: core.Rejected}
+		}
+		back := Port((int(move) + 3) % lattice.NumDirections)
+		exp := 0
+		for p := Port(0); p < lattice.NumDirections; p++ {
+			if col, ok := v.NeighborColor(p); ok && p != move {
+				if col == ci {
+					exp-- // |N_i(l)| (Q at move excluded separately below)
+				}
+				if col == cj {
+					exp++ // |N_j(l) \ {Q}|
+				}
+			}
+			if col, ok := v.TargetNeighborColor(move, p); ok && p != back {
+				if col == ci {
+					exp++ // |N_i(l') \ {P}|
+				}
+				if col == cj {
+					exp-- // |N_j(l')|
+				}
+			}
+		}
+		// Corrections for the two endpoints themselves: Q (color cj, at
+		// port move from l) counts in N_j(l) \ {Q}? No — excluded. But it
+		// does count in |N_i(l)| when cj == ci; the loop above skipped
+		// p == move entirely, so add that term back.
+		if cj == ci {
+			exp-- // Q ∈ N_i(l)
+		}
+		// P (color ci, sits at the target's back port) counts in N_j(l')
+		// when ci == cj; the loop skipped p == back.
+		if ci == cj {
+			exp-- // P ∈ N_j(l')
+		}
+		prob := pows.gamma(exp)
+		if prob < 1 && q >= prob {
+			return agentDecision{act: core.Rejected}
+		}
+		if ci == cj {
+			return agentDecision{act: core.Rejected}
+		}
+		return agentDecision{act: core.Swapped, port: move}
+	}
+
+	// Move arm (steps 3–8).
+	e, ei := 0, 0
+	for p := Port(0); p < lattice.NumDirections; p++ {
+		if col, ok := v.NeighborColor(p); ok {
+			e++
+			if col == ci {
+				ei++
+			}
+		}
+	}
+	if e == 5 {
+		return agentDecision{act: core.Rejected}
+	}
+	rel := relativeNeighborhood(v, move)
+	origin := lattice.Point{}
+	target := origin.Neighbor(lattice.Direction(move))
+	if !psys.Property4On(rel, origin, target) && !psys.Property5On(rel, origin, target) {
+		return agentDecision{act: core.Rejected}
+	}
+	back := Port((int(move) + 3) % lattice.NumDirections)
+	ep, epi := 0, 0
+	for p := Port(0); p < lattice.NumDirections; p++ {
+		if p == back {
+			continue // own cell: excluded from e'
+		}
+		if col, ok := v.TargetNeighborColor(move, p); ok {
+			ep++
+			if col == ci {
+				epi++
+			}
+		}
+	}
+	prob := pows.lambda(ep-e) * pows.gamma(epi-ei)
+	if prob < 1 && q >= prob {
+		return agentDecision{act: core.Rejected}
+	}
+	return agentDecision{act: core.Moved, port: move}
+}
+
+// powers adapts the world's precomputed power tables for the agent.
+type powers struct{ w *World }
+
+func (p *powers) lambda(k int) float64 { return p.w.powLambda[k+12] }
+func (p *powers) gamma(k int) float64  { return p.w.powGamma[k+12] }
+
+// ActivateAgent performs one atomic activation of particle id through the
+// strictly local agent program. It is behaviorally identical to Activate
+// (tests assert exact execution equality when orientations are trivial)
+// but structurally guarantees locality: the decision logic sees the world
+// only through LocalView.
+func (w *World) ActivateAgent(id int, r *rng.Source) core.Outcome {
+	p := w.parts[id]
+	if p.frozen.Load() {
+		return core.Rejected
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w.global.RLock()
+	defer w.global.RUnlock()
+
+	l := p.pos
+	// Lock pessimistically over all cells within distance 2 by locking the
+	// union for every possible target; cheaper: draw the port first.
+	// To keep the decision function pure we must draw randomness inside
+	// runAgent, so peek the port by cloning the stream position: instead,
+	// lock the full two-neighborhood of l, which covers every target's
+	// neighborhood.
+	unlock := w.lockTwoNeighborhood(l)
+	defer unlock()
+
+	view := &LocalView{w: w, pos: l, rot: p.orientation}
+	dec := runAgent(view, w.params, &powers{w}, r)
+	switch dec.act {
+	case core.Moved:
+		lp := l.Neighbor(view.globalDir(dec.port))
+		self := w.cellAt(l)
+		targetCell := w.cellAt(lp)
+		self.occupied = false
+		targetCell.occupied = true
+		targetCell.color = view.OwnColor()
+		targetCell.particle = p.id
+		// The moving particle keeps its private orientation.
+		p.pos = lp
+		return core.Moved
+	case core.Swapped:
+		lp := l.Neighbor(view.globalDir(dec.port))
+		self := w.cellAt(l)
+		other := w.cellAt(lp)
+		self.color, other.color = other.color, self.color
+		return core.Swapped
+	default:
+		return core.Rejected
+	}
+}
+
+// lockTwoNeighborhood acquires the stripes covering every cell within
+// lattice distance 2 of l (19 cells), sufficient for any movement target's
+// full neighborhood.
+func (w *World) lockTwoNeighborhood(l lattice.Point) func() {
+	var stripes [19]int
+	n := 0
+	add := func(p lattice.Point) {
+		s := stripeOf(p)
+		for i := 0; i < n; i++ {
+			if stripes[i] == s {
+				return
+			}
+		}
+		stripes[n] = s
+		n++
+	}
+	add(l)
+	for _, nb := range l.Neighbors() {
+		add(nb)
+	}
+	for _, p := range lattice.Ring(l, 2) {
+		add(p)
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && stripes[j] < stripes[j-1]; j-- {
+			stripes[j], stripes[j-1] = stripes[j-1], stripes[j]
+		}
+	}
+	locked := stripes[:n]
+	for _, s := range locked {
+		w.stripes[s].Lock()
+	}
+	return func() {
+		for i := len(locked) - 1; i >= 0; i-- {
+			w.stripes[locked[i]].Unlock()
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package amoebot
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"sops/internal/core"
+	"sops/internal/rng"
+)
+
+// Result aggregates the outcomes of a scheduled run.
+type Result struct {
+	Activations uint64
+	Moves       uint64
+	Swaps       uint64
+}
+
+// RunSequential activates uniformly random particles one at a time —
+// the standard asynchronous model's canonical sequential execution, and the
+// direct analogue of the centralized chain M.
+func RunSequential(w *World, activations uint64, seed uint64) Result {
+	r := rng.New(seed)
+	var res Result
+	n := w.N()
+	for i := uint64(0); i < activations; i++ {
+		switch w.Activate(r.Intn(n), r) {
+		case core.Moved:
+			res.Moves++
+		case core.Swapped:
+			res.Swaps++
+		}
+	}
+	res.Activations = activations
+	return res
+}
+
+// ErrNoWorkers is returned when RunConcurrent is invoked without workers.
+var ErrNoWorkers = errors.New("amoebot: need at least one worker")
+
+// RunConcurrent executes the activation budget across workers goroutines,
+// each acting as an independent asynchronous activation source with its own
+// random stream. Conflicting activations are serialized by the runtime's
+// region locks, so any concurrent execution is equivalent to a sequential
+// activation order (§2.1).
+func RunConcurrent(w *World, activations uint64, workers int, seed uint64) (Result, error) {
+	if workers < 1 {
+		return Result{}, ErrNoWorkers
+	}
+	root := rng.New(seed)
+	var moves, swaps atomic.Uint64
+	var wg sync.WaitGroup
+	n := w.N()
+	share := activations / uint64(workers)
+	extra := activations % uint64(workers)
+	for wi := 0; wi < workers; wi++ {
+		budget := share
+		if uint64(wi) < extra {
+			budget++
+		}
+		stream := root.NewStream()
+		wg.Add(1)
+		go func(budget uint64, r *rng.Source) {
+			defer wg.Done()
+			for i := uint64(0); i < budget; i++ {
+				switch w.Activate(r.Intn(n), r) {
+				case core.Moved:
+					moves.Add(1)
+				case core.Swapped:
+					swaps.Add(1)
+				}
+			}
+		}(budget, stream)
+	}
+	wg.Wait()
+	return Result{
+		Activations: activations,
+		Moves:       moves.Load(),
+		Swaps:       swaps.Load(),
+	}, nil
+}

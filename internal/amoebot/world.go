@@ -1,0 +1,188 @@
+// Package amoebot is the distributed runtime for the amoebot model (§2.1):
+// particles are anonymous agents with strictly local views that execute the
+// separation algorithm A — the distributed translation of Markov chain M —
+// under an asynchronous scheduler.
+//
+// Following the model's atomicity assumption, one activation is one atomic
+// action: the activated particle reads its local neighborhood, performs
+// bounded computation, and applies at most one movement (expansion plus
+// contraction, i.e. one iteration of Algorithm 1) or swap. Concurrent
+// activations are allowed; the runtime resolves conflicts with striped
+// region locks over each activation's 12-cell read/write set, which makes
+// every concurrent execution equivalent to some sequential ordering of
+// activations — the classical serializability argument the paper invokes.
+//
+// The arena is a bounded hexagonal region (physical systems are bounded);
+// proposals that would leave the arena are rejected. The centralized chain
+// in package core remains the reference implementation for measurements on
+// the unbounded lattice.
+package amoebot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"sops/internal/core"
+	"sops/internal/lattice"
+	"sops/internal/psys"
+	"sops/internal/rng"
+)
+
+// numStripes is the number of region locks; activations whose cell sets
+// map to disjoint stripe sets proceed in parallel.
+const numStripes = 128
+
+// cell is one arena location. Cells are only accessed while holding the
+// stripe locks covering them.
+type cell struct {
+	occupied bool
+	color    psys.Color
+	particle int32 // particle id, valid when occupied
+}
+
+// Particle is one agent. Its position field is owned by its own
+// activations, serialized by mu.
+type Particle struct {
+	id     int32
+	mu     sync.Mutex
+	pos    lattice.Point
+	frozen atomic.Bool
+	// orientation is the particle's private rotation of port labels,
+	// fixed at creation: particles share no compass (§2.1). Only the
+	// agent-program path (ActivateAgent) uses it.
+	orientation lattice.Direction
+}
+
+// World is the shared arena plus the particle registry.
+type World struct {
+	params core.Params
+	radius int
+	side   int
+	grid   []cell
+	parts  []*Particle
+
+	// global is held for reading by activations and for writing by
+	// Snapshot, so snapshots observe quiescent states only.
+	global  sync.RWMutex
+	stripes [numStripes]sync.Mutex
+
+	powLambda [25]float64 // λ^k, k ∈ [−12, 12]
+	powGamma  [25]float64
+}
+
+// ErrOutOfArena is returned when the initial configuration does not fit the
+// arena.
+var ErrOutOfArena = errors.New("amoebot: configuration outside arena")
+
+// NewWorld builds an arena of the given hexagonal radius around the origin
+// holding cfg's particles. A radius of 0 chooses one automatically
+// (diameter of the configuration plus generous slack for drift).
+func NewWorld(cfg *psys.Config, params core.Params, radius int) (*World, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.N() == 0 {
+		return nil, core.ErrEmptyConfig
+	}
+	if !cfg.Connected() {
+		return nil, core.ErrDisconnected
+	}
+	pts := cfg.Points()
+	maxDist := 0
+	for _, p := range pts {
+		if d := (lattice.Point{}).Dist(p); d > maxDist {
+			maxDist = d
+		}
+	}
+	if radius == 0 {
+		radius = 3*maxDist + cfg.N() + 8
+	}
+	if maxDist >= radius {
+		return nil, ErrOutOfArena
+	}
+	w := &World{
+		params: params,
+		radius: radius,
+		side:   2*radius + 1,
+	}
+	w.grid = make([]cell, w.side*w.side)
+	for k := -12; k <= 12; k++ {
+		w.powLambda[k+12] = math.Pow(params.Lambda, float64(k))
+		w.powGamma[k+12] = math.Pow(params.Gamma, float64(k))
+	}
+	orient := rng.New(params.Seed ^ 0xa5a5a5a5a5a5a5a5)
+	for i, p := range pts {
+		col, _ := cfg.At(p)
+		c := w.cellAt(p)
+		c.occupied = true
+		c.color = col
+		c.particle = int32(i)
+		w.parts = append(w.parts, &Particle{
+			id:          int32(i),
+			pos:         p,
+			orientation: lattice.Direction(orient.Intn(lattice.NumDirections)),
+		})
+	}
+	return w, nil
+}
+
+// SetOrientation overrides a particle's private port orientation; intended
+// for tests that compare the agent program against the direct
+// implementation. Not safe to call while a scheduler is running.
+func (w *World) SetOrientation(id int, d lattice.Direction) {
+	w.parts[id].orientation = d
+}
+
+// inArena reports whether p lies within the hexagonal arena.
+func (w *World) inArena(p lattice.Point) bool {
+	return (lattice.Point{}).Dist(p) <= w.radius
+}
+
+// cellAt returns the cell storage for p; p must satisfy |Q|,|R| ≤ radius
+// (all hexagon points do).
+func (w *World) cellAt(p lattice.Point) *cell {
+	return &w.grid[(p.R+w.radius)*w.side+(p.Q+w.radius)]
+}
+
+// stripeOf maps a point to its lock stripe.
+func stripeOf(p lattice.Point) int {
+	h := uint64(uint32(p.Q))*0x9e3779b97f4a7c15 + uint64(uint32(p.R))*0xc2b2ae3d27d4eb4f
+	h ^= h >> 29
+	return int(h % numStripes)
+}
+
+// N returns the number of particles.
+func (w *World) N() int { return len(w.parts) }
+
+// SetFrozen marks a particle as crash-stopped (or revives it): a frozen
+// particle ignores its own activations but remains physically present, is
+// still read by neighbors, and still participates passively in swaps
+// initiated by neighbors — the crash-stop failure model for stationary
+// faulty robots. Safe to call concurrently with a running scheduler.
+func (w *World) SetFrozen(id int, frozen bool) {
+	w.parts[id].frozen.Store(frozen)
+}
+
+// Frozen reports whether a particle is crash-stopped.
+func (w *World) Frozen(id int) bool { return w.parts[id].frozen.Load() }
+
+// Params returns the bias parameters.
+func (w *World) Params() core.Params { return w.params }
+
+// Snapshot returns the current configuration. It briefly excludes all
+// activations, so it always observes a quiescent (serializable) state.
+func (w *World) Snapshot() *psys.Config {
+	w.global.Lock()
+	defer w.global.Unlock()
+	cfg := psys.New()
+	for _, p := range w.parts {
+		c := w.cellAt(p.pos)
+		if err := cfg.Place(p.pos, c.color); err != nil {
+			panic(fmt.Sprintf("amoebot: corrupt world: %v", err))
+		}
+	}
+	return cfg
+}

@@ -1,0 +1,270 @@
+// Package core implements the paper's primary contribution: the stochastic,
+// local, distributed algorithm for separation and integration in
+// heterogeneous self-organizing particle systems, in its centralized Markov
+// chain form M (Algorithm 1).
+//
+// The chain's state space is the set of connected configurations of n
+// contracted colored particles on the triangular lattice. Each step chooses
+// a particle P and a random neighboring location l', and either
+//
+//   - moves P to l' (if l' is unoccupied, P does not have five neighbors,
+//     the pair satisfies locally checkable Property 4 or 5, and a Metropolis
+//     filter on λ^{e'−e}·γ^{e'_i−e_i} accepts), or
+//   - swaps P with the particle Q at l' (accepted by a Metropolis filter on
+//     γ raised to the change in same-color adjacencies).
+//
+// By Lemma 9, the chain converges to the stationary distribution
+// π(σ) ∝ (λγ)^{−p(σ)}·γ^{−h(σ)} over connected hole-free configurations,
+// equivalently π(σ) ∝ λ^{e(σ)}·γ^{a(σ)}. Setting γ large yields separation;
+// γ near one yields integration; the monochromatic case with γ = 1 is
+// exactly the compression chain of Cannon et al. (PODC '16).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sops/internal/lattice"
+	"sops/internal/psys"
+	"sops/internal/rng"
+)
+
+// Params are the bias parameters of Markov chain M.
+type Params struct {
+	// Lambda (λ) biases particles toward having more neighbors; λ > 1
+	// favors compression. Must be positive.
+	Lambda float64
+	// Gamma (γ) biases particles toward having more like-colored
+	// neighbors; γ > 1 favors separation. Must be positive.
+	Gamma float64
+	// DisableSwaps turns off swap moves. Swaps are not necessary for
+	// correctness (§2.3) but speed up convergence substantially; disabling
+	// them reproduces the paper's ablation.
+	DisableSwaps bool
+	// Seed seeds the chain's deterministic random source.
+	Seed uint64
+}
+
+// Validate checks that the parameters define a proper chain.
+func (p Params) Validate() error {
+	if math.IsNaN(p.Lambda) || p.Lambda <= 0 {
+		return fmt.Errorf("core: lambda %v must be positive", p.Lambda)
+	}
+	if math.IsNaN(p.Gamma) || p.Gamma <= 0 {
+		return fmt.Errorf("core: gamma %v must be positive", p.Gamma)
+	}
+	return nil
+}
+
+// Outcome describes the effect of one step of the chain.
+type Outcome uint8
+
+// Step outcomes. A step that proposes an invalid or Metropolis-rejected
+// transition leaves the configuration unchanged and reports Rejected.
+const (
+	Rejected Outcome = iota + 1
+	Moved
+	Swapped
+)
+
+// String returns the outcome name.
+func (o Outcome) String() string {
+	switch o {
+	case Rejected:
+		return "rejected"
+	case Moved:
+		return "moved"
+	case Swapped:
+		return "swapped"
+	}
+	return fmt.Sprintf("Outcome(%d)", uint8(o))
+}
+
+// Stats counts the proposals made by a chain, by outcome.
+type Stats struct {
+	Steps    uint64 // total iterations (proposals)
+	Moves    uint64 // accepted particle moves
+	Swaps    uint64 // accepted (color-changing) swap moves
+	Rejected uint64 // proposals that left the configuration unchanged
+}
+
+// maxExp bounds |exponent| in the Metropolis filters: move exponents are
+// within ±5 for λ and γ; swap exponents within ±10.
+const maxExp = 12
+
+// Chain is an instance of Markov chain M bound to a configuration.
+// It is not safe for concurrent use.
+type Chain struct {
+	cfg    *psys.Config
+	params Params
+	rand   *rng.Source
+	stats  Stats
+
+	// positions and index implement O(1) uniform particle selection.
+	positions []lattice.Point
+	index     map[lattice.Point]int
+
+	powLambda [2*maxExp + 1]float64 // λ^k for k in [-maxExp, maxExp]
+	powGamma  [2*maxExp + 1]float64 // γ^k
+}
+
+// ErrEmptyConfig is returned when constructing a chain with no particles.
+var ErrEmptyConfig = errors.New("core: configuration has no particles")
+
+// ErrDisconnected is returned when the initial configuration is not
+// connected; M requires a connected start (Lemma 6).
+var ErrDisconnected = errors.New("core: initial configuration is disconnected")
+
+// New creates a chain operating on cfg. The chain takes ownership of cfg:
+// callers must not mutate it while the chain runs (use Snapshot for copies).
+func New(cfg *psys.Config, params Params) (*Chain, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.N() == 0 {
+		return nil, ErrEmptyConfig
+	}
+	if !cfg.Connected() {
+		return nil, ErrDisconnected
+	}
+	c := &Chain{
+		cfg:    cfg,
+		params: params,
+		rand:   rng.New(params.Seed),
+		index:  make(map[lattice.Point]int, cfg.N()),
+	}
+	c.positions = cfg.Points()
+	for i, p := range c.positions {
+		c.index[p] = i
+	}
+	for k := -maxExp; k <= maxExp; k++ {
+		c.powLambda[k+maxExp] = math.Pow(params.Lambda, float64(k))
+		c.powGamma[k+maxExp] = math.Pow(params.Gamma, float64(k))
+	}
+	return c, nil
+}
+
+// Params returns the chain's bias parameters.
+func (c *Chain) Params() Params { return c.params }
+
+// Config returns the chain's live configuration. Callers must treat it as
+// read-only; mutating it corrupts the chain's particle index.
+func (c *Chain) Config() *psys.Config { return c.cfg }
+
+// Snapshot returns an independent copy of the current configuration.
+func (c *Chain) Snapshot() *psys.Config { return c.cfg.Clone() }
+
+// Stats returns the cumulative step statistics.
+func (c *Chain) Stats() Stats { return c.stats }
+
+// N returns the number of particles.
+func (c *Chain) N() int { return len(c.positions) }
+
+// Step performs one iteration of Markov chain M (Algorithm 1) and reports
+// its outcome.
+func (c *Chain) Step() Outcome {
+	c.stats.Steps++
+	l := c.positions[c.rand.Intn(len(c.positions))]
+	dir := lattice.Direction(c.rand.Intn(lattice.NumDirections))
+	lp := l.Neighbor(dir)
+	ci, _ := c.cfg.At(l)
+
+	if cj, occupied := c.cfg.At(lp); occupied {
+		if o := c.trySwap(l, lp, ci, cj); o != Rejected {
+			return o
+		}
+		c.stats.Rejected++
+		return Rejected
+	}
+	if o := c.tryMove(l, lp, ci); o != Rejected {
+		return o
+	}
+	c.stats.Rejected++
+	return Rejected
+}
+
+// tryMove implements steps 3–8 of Algorithm 1: P expands toward the
+// unoccupied node lp and contracts there if the movement conditions and the
+// Metropolis filter allow, otherwise contracts back to l.
+func (c *Chain) tryMove(l, lp lattice.Point, ci psys.Color) Outcome {
+	e := c.cfg.Degree(l)
+	if e == 5 {
+		return Rejected // condition (i)
+	}
+	if !c.cfg.Property4(l, lp) && !c.cfg.Property5(l, lp) {
+		return Rejected // condition (ii)
+	}
+	ep := c.cfg.DegreeExcluding(lp, l)
+	ei := c.cfg.ColorDegree(l, ci)
+	epi := c.cfg.ColorDegreeExcluding(lp, l, ci)
+	prob := c.powLambda[ep-e+maxExp] * c.powGamma[epi-ei+maxExp]
+	if prob < 1 && c.rand.Float64() >= prob {
+		return Rejected // condition (iii)
+	}
+	if err := c.cfg.ApplyMove(l, lp); err != nil {
+		panic("core: invariant violation applying validated move: " + err.Error())
+	}
+	idx := c.index[l]
+	delete(c.index, l)
+	c.positions[idx] = lp
+	c.index[lp] = idx
+	c.stats.Moves++
+	return Moved
+}
+
+// trySwap implements steps 9–10 of Algorithm 1: P at l and Q at lp exchange
+// positions with probability given by the change in same-color adjacencies.
+// Swaps between same-colored particles are accepted with probability γ^{−2}
+// but have no effect on the configuration; they are counted as Rejected so
+// that Swaps counts configuration-changing events.
+func (c *Chain) trySwap(l, lp lattice.Point, ci, cj psys.Color) Outcome {
+	if c.params.DisableSwaps {
+		return Rejected
+	}
+	exp := c.cfg.ColorDegreeExcluding(lp, l, ci) - c.cfg.ColorDegree(l, ci) +
+		c.cfg.ColorDegreeExcluding(l, lp, cj) - c.cfg.ColorDegree(lp, cj)
+	prob := c.powGamma[exp+maxExp]
+	if prob < 1 && c.rand.Float64() >= prob {
+		return Rejected
+	}
+	if ci == cj {
+		return Rejected // accepted but a no-op on the configuration
+	}
+	if err := c.cfg.ApplySwap(l, lp); err != nil {
+		panic("core: invariant violation applying swap: " + err.Error())
+	}
+	c.stats.Swaps++
+	return Swapped
+}
+
+// Run performs steps iterations.
+func (c *Chain) Run(steps uint64) {
+	for i := uint64(0); i < steps; i++ {
+		c.Step()
+	}
+}
+
+// RunWith performs steps iterations, invoking observe every interval
+// iterations (and once at the end if steps is not a multiple). The callback
+// receives the number of completed iterations; it may inspect the live
+// configuration via Config but must not mutate it. If observe returns false
+// the run stops early.
+func (c *Chain) RunWith(steps, interval uint64, observe func(done uint64) bool) {
+	if interval == 0 {
+		interval = 1
+	}
+	for done := uint64(0); done < steps; {
+		batch := interval
+		if done+batch > steps {
+			batch = steps - done
+		}
+		for i := uint64(0); i < batch; i++ {
+			c.Step()
+		}
+		done += batch
+		if !observe(done) {
+			return
+		}
+	}
+}

@@ -1,0 +1,474 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"sops/internal/lattice"
+	"sops/internal/psys"
+)
+
+func mustInitial(t testing.TB, layout Layout, counts []int, seed uint64) *psys.Config {
+	t.Helper()
+	cfg, err := Initial(layout, counts, seed)
+	if err != nil {
+		t.Fatalf("Initial: %v", err)
+	}
+	return cfg
+}
+
+func TestParamsValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		params Params
+		ok     bool
+	}{
+		{"valid", Params{Lambda: 4, Gamma: 4}, true},
+		{"unit", Params{Lambda: 1, Gamma: 1}, true},
+		{"zero lambda", Params{Lambda: 0, Gamma: 4}, false},
+		{"negative gamma", Params{Lambda: 4, Gamma: -1}, false},
+		{"zero gamma", Params{Lambda: 4, Gamma: 0}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.params.Validate()
+			if (err == nil) != tc.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	if _, err := New(psys.New(), Params{Lambda: 4, Gamma: 4}); err != ErrEmptyConfig {
+		t.Fatalf("empty config: err = %v", err)
+	}
+	split := psys.New()
+	if err := split.Place(lattice.Point{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := split.Place(lattice.Point{Q: 5, R: 5}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(split, Params{Lambda: 4, Gamma: 4}); err != ErrDisconnected {
+		t.Fatalf("disconnected config: err = %v", err)
+	}
+	line := mustInitial(t, LayoutLine, []int{3}, 1)
+	if _, err := New(line, Params{Lambda: 0, Gamma: 1}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestInitialLayouts(t *testing.T) {
+	for _, layout := range []Layout{LayoutSpiral, LayoutLine} {
+		cfg := mustInitial(t, layout, []int{10, 10}, 42)
+		if cfg.N() != 20 {
+			t.Fatalf("layout %d: n=%d", layout, cfg.N())
+		}
+		if cfg.ColorCount(0) != 10 || cfg.ColorCount(1) != 10 {
+			t.Fatalf("layout %d: color counts %d/%d", layout, cfg.ColorCount(0), cfg.ColorCount(1))
+		}
+		if !cfg.Connected() || !cfg.HoleFree() {
+			t.Fatalf("layout %d: not connected hole-free", layout)
+		}
+	}
+	if _, err := Initial(LayoutSpiral, []int{0, 0}, 1); err == nil {
+		t.Fatal("empty counts accepted")
+	}
+	if _, err := Initial(Layout(99), []int{5}, 1); err == nil {
+		t.Fatal("unknown layout accepted")
+	}
+	if _, err := Initial(LayoutSpiral, []int{-1, 2}, 1); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}
+
+func TestInitialSeparatedIsSeparated(t *testing.T) {
+	cfg, err := InitialSeparated([]int{25, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block assignment along the spiral yields far fewer heterogeneous
+	// edges than a random mix (which would have ~half of ~120 edges).
+	random := mustInitial(t, LayoutSpiral, []int{25, 25}, 0)
+	if cfg.HetEdges() >= random.HetEdges() {
+		t.Fatalf("separated start h=%d not below random h=%d", cfg.HetEdges(), random.HetEdges())
+	}
+}
+
+func TestBichromatic(t *testing.T) {
+	if c := Bichromatic(100); c[0] != 50 || c[1] != 50 {
+		t.Fatalf("Bichromatic(100) = %v", c)
+	}
+	if c := Bichromatic(7); c[0] != 4 || c[1] != 3 {
+		t.Fatalf("Bichromatic(7) = %v", c)
+	}
+}
+
+func TestChainDeterminism(t *testing.T) {
+	run := func() string {
+		cfg := mustInitial(t, LayoutLine, []int{10, 10}, 7)
+		ch, err := New(cfg, Params{Lambda: 4, Gamma: 4, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch.Run(20000)
+		return ch.Config().CanonicalKey()
+	}
+	if run() != run() {
+		t.Fatal("identical seeds produced different trajectories")
+	}
+}
+
+func TestChainInvariants(t *testing.T) {
+	// I1, I2, I8: after many steps from a line start, the system is
+	// connected, hole-free, color-conserving, and the particle index
+	// matches the configuration.
+	cfg := mustInitial(t, LayoutLine, []int{15, 15}, 3)
+	ch, err := New(cfg, Params{Lambda: 4, Gamma: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 10; round++ {
+		ch.Run(5000)
+		c := ch.Config()
+		if !c.Connected() {
+			t.Fatalf("round %d: disconnected", round)
+		}
+		if !c.HoleFree() {
+			t.Fatalf("round %d: hole present (line start is hole-free)", round)
+		}
+		if c.ColorCount(0) != 15 || c.ColorCount(1) != 15 {
+			t.Fatalf("round %d: color counts changed", round)
+		}
+		if c.N() != 30 {
+			t.Fatalf("round %d: particle count changed", round)
+		}
+		// Index consistency: every indexed position occupied.
+		for _, p := range ch.positions {
+			if !c.Occupied(p) {
+				t.Fatalf("round %d: stale position %v in index", round, p)
+			}
+		}
+		if len(ch.index) != 30 {
+			t.Fatalf("round %d: index size %d", round, len(ch.index))
+		}
+	}
+	st := ch.Stats()
+	if st.Steps != 50000 {
+		t.Fatalf("steps = %d", st.Steps)
+	}
+	if st.Moves == 0 {
+		t.Fatal("no moves accepted in 50000 steps")
+	}
+	if st.Swaps == 0 {
+		t.Fatal("no swaps accepted in 50000 steps")
+	}
+	if st.Moves+st.Swaps+st.Rejected != st.Steps {
+		t.Fatalf("stats do not add up: %+v", st)
+	}
+}
+
+func TestChainCompresses(t *testing.T) {
+	// With λ=4, γ=4 a 40-particle line (perimeter 78) must compress far
+	// toward p_min(40)=22 within a modest number of steps.
+	cfg := mustInitial(t, LayoutLine, []int{20, 20}, 1)
+	p0 := cfg.Perimeter()
+	ch, err := New(cfg, Params{Lambda: 4, Gamma: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Run(400000)
+	p1 := ch.Config().Perimeter()
+	if p1 >= p0/2 {
+		t.Fatalf("perimeter only improved from %d to %d", p0, p1)
+	}
+}
+
+func TestChainSeparates(t *testing.T) {
+	// With γ=4 the heterogeneous edge count must drop well below the
+	// random-mixing level.
+	cfg := mustInitial(t, LayoutSpiral, []int{25, 25}, 9)
+	h0 := cfg.HetEdges()
+	ch, err := New(cfg, Params{Lambda: 4, Gamma: 4, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Run(2000000)
+	h1 := ch.Config().HetEdges()
+	if h1 >= h0/2 {
+		t.Fatalf("het edges only improved from %d to %d", h0, h1)
+	}
+}
+
+func TestDisableSwapsNeverSwaps(t *testing.T) {
+	cfg := mustInitial(t, LayoutSpiral, []int{10, 10}, 4)
+	ch, err := New(cfg, Params{Lambda: 4, Gamma: 4, DisableSwaps: true, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Run(100000)
+	if ch.Stats().Swaps != 0 {
+		t.Fatalf("swap occurred with swaps disabled: %+v", ch.Stats())
+	}
+}
+
+func TestRunWithObserves(t *testing.T) {
+	cfg := mustInitial(t, LayoutSpiral, []int{5, 5}, 4)
+	ch, err := New(cfg, Params{Lambda: 2, Gamma: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ticks []uint64
+	ch.RunWith(2500, 1000, func(done uint64) bool {
+		ticks = append(ticks, done)
+		return true
+	})
+	if len(ticks) != 3 || ticks[0] != 1000 || ticks[1] != 2000 || ticks[2] != 2500 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	if ch.Stats().Steps != 2500 {
+		t.Fatalf("steps = %d", ch.Stats().Steps)
+	}
+	// Early stop.
+	count := 0
+	ch.RunWith(10000, 100, func(uint64) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("observer called %d times after early stop", count)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for _, o := range []Outcome{Rejected, Moved, Swapped} {
+		if o.String() == "" {
+			t.Fatalf("empty string for outcome %d", o)
+		}
+	}
+	if Outcome(77).String() != "Outcome(77)" {
+		t.Fatal("unknown outcome formatting")
+	}
+}
+
+func TestSnapshotIsIndependent(t *testing.T) {
+	cfg := mustInitial(t, LayoutSpiral, []int{5, 5}, 4)
+	ch, err := New(cfg, Params{Lambda: 4, Gamma: 4, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := ch.Snapshot()
+	ch.Run(20000)
+	if snap.Equal(ch.Config()) {
+		t.Log("configuration returned to snapshot state; acceptable but unlikely")
+	}
+	if snap.N() != 10 {
+		t.Fatal("snapshot corrupted by running chain")
+	}
+}
+
+func BenchmarkChainStep(b *testing.B) {
+	cfg := mustInitial(b, LayoutSpiral, Bichromatic(100), 1)
+	ch, err := New(cfg, Params{Lambda: 4, Gamma: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Step()
+	}
+}
+
+func BenchmarkChainStepMonochrome(b *testing.B) {
+	cfg := mustInitial(b, LayoutSpiral, []int{100}, 1)
+	ch, err := New(cfg, Params{Lambda: 4, Gamma: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Step()
+	}
+}
+
+func TestEnergyDecreasesOnAverage(t *testing.T) {
+	// The chain is a Metropolis sampler for the Gibbs measure of Energy:
+	// from a maximal-energy line start, the running average energy must
+	// fall substantially.
+	cfg := mustInitial(t, LayoutLine, []int{20, 20}, 5)
+	params := Params{Lambda: 4, Gamma: 4, Seed: 8}
+	ch, err := New(cfg, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := ch.Energy()
+	ch.Run(500000)
+	e1 := ch.Energy()
+	if e1 >= e0-10 {
+		t.Fatalf("energy did not drop: %v -> %v", e0, e1)
+	}
+	// Energy is consistent with the standalone function.
+	if got := Energy(ch.Config(), params); got != e1 {
+		t.Fatalf("Energy mismatch: %v vs %v", got, e1)
+	}
+}
+
+func TestEnergyGibbsConsistency(t *testing.T) {
+	// exp(−E) must reproduce the λ^e·γ^a stationary weight.
+	cfg := mustInitial(t, LayoutSpiral, []int{5, 5}, 2)
+	params := Params{Lambda: 3, Gamma: 2}
+	w := math.Pow(params.Lambda, float64(cfg.Edges())) * math.Pow(params.Gamma, float64(cfg.HomEdges()))
+	if got := math.Exp(-Energy(cfg, params)); math.Abs(got-w)/w > 1e-9 {
+		t.Fatalf("exp(-E) = %v, λ^e γ^a = %v", got, w)
+	}
+}
+
+// TestHoleTopologyConserved pins down a reproduction finding about
+// Lemma 6. The locally checkable Properties 4 and 5 are symmetric in
+// (l, l'), so a move that would eliminate a hole has a Prop-valid reverse
+// that would create one; since hole creation is provably impossible from
+// hole-free configurations ([6]), hole elimination is equally impossible
+// under the literal conditions of the provided text. Empirically: from a
+// holed start the hole deforms and shrinks (e.g. 7 cells to 1) but never
+// disappears, at weak or strong bias; a deep single-cell hole is entirely
+// frozen (filling it always violates Property 4). The "eventually
+// eliminates any holes" part of Lemma 6 therefore relies on mechanics of
+// the full version beyond Algorithm 1 as stated; like [6], this library
+// runs experiments from hole-free starts, which the other half of Lemma 6
+// (no new holes - heavily tested elsewhere) keeps hole-free forever.
+func TestHoleTopologyConserved(t *testing.T) {
+	for _, bias := range []float64{1.2, 4} {
+		cfg := psys.New()
+		for _, p := range lattice.Ring(lattice.Point{}, 2) {
+			if err := cfg.Place(p, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i, p := range lattice.Ring(lattice.Point{}, 3) {
+			if i%2 == 0 {
+				if err := cfg.Place(p, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if cfg.HoleFree() || !cfg.Connected() {
+			t.Fatal("setup: want a connected configuration with a hole")
+		}
+		ch, err := New(cfg, Params{Lambda: bias, Gamma: bias, Seed: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 100; round++ {
+			ch.Run(5000)
+			if ch.Config().HoleFree() {
+				t.Fatalf("bias %v: hole eliminated at round %d - Properties 4/5 no longer conserve hole topology; revisit Lemma 6 handling", bias, round)
+			}
+			if !ch.Config().Connected() {
+				t.Fatalf("bias %v: disconnected at round %d", bias, round)
+			}
+		}
+		if ch.Stats().Moves == 0 {
+			t.Fatalf("bias %v: configuration completely frozen", bias)
+		}
+	}
+}
+
+// TestBareRingIsFrozen documents the extreme case: on a bare hexagonal
+// ring every particle's two neighbors are locally disconnected, so no move
+// satisfies Property 4 or 5 and the configuration is immobile (only color
+// swaps can occur).
+func TestBareRingIsFrozen(t *testing.T) {
+	cfg := psys.New()
+	for i, p := range lattice.Ring(lattice.Point{}, 1) {
+		if err := cfg.Place(p, psys.Color(i%2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ch, err := New(cfg, Params{Lambda: 2, Gamma: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Run(100000)
+	if ch.Stats().Moves != 0 {
+		t.Fatalf("bare ring moved %d times", ch.Stats().Moves)
+	}
+	if ch.Stats().Swaps == 0 {
+		t.Fatal("swaps should still occur on the frozen ring")
+	}
+}
+
+// TestCheckpointResume: a resumed chain reproduces the checkpointed
+// chain's exact future trajectory, through a JSON round trip.
+func TestCheckpointResume(t *testing.T) {
+	cfg := mustInitial(t, LayoutSpiral, []int{10, 10}, 6)
+	ch, err := New(cfg, Params{Lambda: 4, Gamma: 4, Seed: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Run(30000)
+	cp, err := ch.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := cp.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Checkpoint
+	if err := decoded.UnmarshalJSON(blob); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Resume(&decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Stats() != ch.Stats() {
+		t.Fatalf("stats not restored: %+v vs %+v", resumed.Stats(), ch.Stats())
+	}
+	ch.Run(30000)
+	resumed.Run(30000)
+	if ch.Config().CanonicalKey() != resumed.Config().CanonicalKey() {
+		t.Fatal("resumed trajectory diverged")
+	}
+	if ch.Stats() != resumed.Stats() {
+		t.Fatal("resumed statistics diverged")
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	if _, err := Resume(&Checkpoint{}); err == nil {
+		t.Fatal("empty checkpoint accepted")
+	}
+	cfg := mustInitial(t, LayoutSpiral, []int{3, 3}, 1)
+	cp := &Checkpoint{Params: Params{Lambda: 2, Gamma: 2}, Rng: []byte{1}, Config: cfg}
+	if _, err := Resume(cp); err == nil {
+		t.Fatal("corrupt rng state accepted")
+	}
+}
+
+// TestSetParamsAnnealing: parameters can change mid-run (annealing),
+// acceptance probabilities follow, and the chain still reaches separation
+// when γ is ramped from 1 to 4.
+func TestSetParamsAnnealing(t *testing.T) {
+	cfg := mustInitial(t, LayoutSpiral, []int{20, 20}, 8)
+	ch, err := New(cfg, Params{Lambda: 4, Gamma: 1, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gamma := range []float64{1, 1.5, 2, 3, 4} {
+		if err := ch.SetParams(Params{Lambda: 4, Gamma: gamma}); err != nil {
+			t.Fatal(err)
+		}
+		ch.Run(300000)
+	}
+	if ch.Params().Gamma != 4 {
+		t.Fatal("params not updated")
+	}
+	if ch.Config().HetEdges() > 30 {
+		t.Fatalf("annealed run failed to separate: h=%d", ch.Config().HetEdges())
+	}
+	if err := ch.SetParams(Params{Lambda: 0, Gamma: 1}); err == nil {
+		t.Fatal("invalid params accepted by SetParams")
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"sops/internal/lattice"
+	"sops/internal/psys"
+)
+
+// Checkpoint is a serializable snapshot of a chain mid-run: configuration,
+// parameters, statistics and the exact random-generator state, so a resumed
+// chain continues the identical trajectory.
+type Checkpoint struct {
+	Params Params       `json:"params"`
+	Stats  Stats        `json:"stats"`
+	Rng    []byte       `json:"rngState"`
+	Config *psys.Config `json:"config"`
+	// Order is the chain's internal particle-selection order (positions
+	// slice). Uniform particle choice draws an index into this slice, so
+	// trajectory-exact resumption must preserve it.
+	Order [][2]int `json:"order"`
+}
+
+// Checkpoint captures the chain's complete state.
+func (c *Chain) Checkpoint() (*Checkpoint, error) {
+	state, err := c.rand.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("core: serialize rng: %w", err)
+	}
+	order := make([][2]int, len(c.positions))
+	for i, p := range c.positions {
+		order[i] = [2]int{p.Q, p.R}
+	}
+	return &Checkpoint{
+		Params: c.params,
+		Stats:  c.stats,
+		Rng:    state,
+		Config: c.Snapshot(),
+		Order:  order,
+	}, nil
+}
+
+// MarshalJSON encodes the checkpoint (Params is flat; the rng state is
+// base64 via encoding/json's []byte handling).
+func (cp *Checkpoint) MarshalJSON() ([]byte, error) {
+	type alias Checkpoint // avoid recursion
+	return json.Marshal((*alias)(cp))
+}
+
+// UnmarshalJSON decodes a checkpoint.
+func (cp *Checkpoint) UnmarshalJSON(data []byte) error {
+	type alias Checkpoint
+	return json.Unmarshal(data, (*alias)(cp))
+}
+
+// Resume reconstructs a chain from a checkpoint. The resumed chain
+// continues the exact trajectory of the checkpointed one: identical future
+// states and statistics.
+func Resume(cp *Checkpoint) (*Chain, error) {
+	if cp.Config == nil {
+		return nil, fmt.Errorf("core: checkpoint has no configuration")
+	}
+	ch, err := New(cp.Config.Clone(), cp.Params)
+	if err != nil {
+		return nil, err
+	}
+	if err := ch.rand.UnmarshalBinary(cp.Rng); err != nil {
+		return nil, fmt.Errorf("core: restore rng: %w", err)
+	}
+	if len(cp.Order) > 0 {
+		if len(cp.Order) != ch.N() {
+			return nil, fmt.Errorf("core: checkpoint order has %d entries for %d particles", len(cp.Order), ch.N())
+		}
+		positions := make([]lattice.Point, len(cp.Order))
+		index := make(map[lattice.Point]int, len(cp.Order))
+		for i, qr := range cp.Order {
+			p := lattice.Point{Q: qr[0], R: qr[1]}
+			if !cp.Config.Occupied(p) {
+				return nil, fmt.Errorf("core: checkpoint order lists vacant node %v", p)
+			}
+			if _, dup := index[p]; dup {
+				return nil, fmt.Errorf("core: checkpoint order repeats node %v", p)
+			}
+			positions[i] = p
+			index[p] = i
+		}
+		ch.positions = positions
+		ch.index = index
+	}
+	ch.stats = cp.Stats
+	return ch, nil
+}
+
+// SetParams replaces the chain's bias parameters mid-run, keeping the
+// configuration, statistics and random stream. This makes the chain
+// time-inhomogeneous — useful for annealing schedules that ramp γ up to
+// escape the metastability visible in long simulation runs. The stationary
+// characterization of Lemma 9 applies only while parameters are held fixed.
+func (c *Chain) SetParams(params Params) error {
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	c.params = params
+	for k := -maxExp; k <= maxExp; k++ {
+		c.powLambda[k+maxExp] = math.Pow(params.Lambda, float64(k))
+		c.powGamma[k+maxExp] = math.Pow(params.Gamma, float64(k))
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+package core
+
+import (
+	"math"
+
+	"sops/internal/psys"
+)
+
+// Energy returns the Hamiltonian value the chain minimizes in the
+// stochastic approach (§1): E(σ) = −e(σ)·ln λ − a(σ)·ln γ, so that the
+// stationary distribution is the Gibbs measure π(σ) ∝ exp(−E(σ)).
+// Lower energy means more edges (compression) and more homogeneous edges
+// (separation) when λ, γ > 1.
+func Energy(cfg *psys.Config, params Params) float64 {
+	return -float64(cfg.Edges())*math.Log(params.Lambda) -
+		float64(cfg.HomEdges())*math.Log(params.Gamma)
+}
+
+// Energy returns the Hamiltonian of the chain's current configuration.
+func (c *Chain) Energy() float64 { return Energy(c.cfg, c.params) }

@@ -1,0 +1,59 @@
+package enumerate
+
+import (
+	"math"
+	"sort"
+
+	"sops/internal/psys"
+)
+
+// PerimeterCensus counts the connected hole-free shapes of n particles by
+// perimeter — the quantity bounded by Lemma 1 ([6], Lemma 4.3): for any
+// ν > 2+√2 and n large enough, the number of shapes with perimeter k is at
+// most ν^k. The returned map is keyed by perimeter.
+func PerimeterCensus(n int) map[int]int {
+	out := make(map[int]int)
+	for _, shape := range Shapes(n) {
+		cfg := psys.New()
+		for _, p := range shape {
+			if err := cfg.Place(p, 0); err != nil {
+				panic("enumerate: census placement failed: " + err.Error())
+			}
+		}
+		if !cfg.HoleFree() {
+			continue
+		}
+		out[cfg.Perimeter()]++
+	}
+	return out
+}
+
+// CensusRow is one row of the Lemma 1 growth table.
+type CensusRow struct {
+	Perimeter int
+	Count     int
+	// Root is Count^{1/Perimeter}, the empirical per-unit-perimeter growth
+	// rate; Lemma 1 says it approaches at most 2+√2 ≈ 3.414 from below as
+	// n grows.
+	Root float64
+}
+
+// CensusTable returns the perimeter census of n-particle shapes as sorted
+// rows with empirical growth rates.
+func CensusTable(n int) []CensusRow {
+	census := PerimeterCensus(n)
+	perims := make([]int, 0, len(census))
+	for k := range census {
+		perims = append(perims, k)
+	}
+	sort.Ints(perims)
+	out := make([]CensusRow, 0, len(perims))
+	for _, k := range perims {
+		out = append(out, CensusRow{
+			Perimeter: k,
+			Count:     census[k],
+			Root:      math.Pow(float64(census[k]), 1/float64(k)),
+		})
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+// Package enumerate provides exact, exhaustive machinery for small particle
+// systems: enumeration of all connected configurations up to translation,
+// the exact transition matrix of Markov chain M, and the exact stationary
+// distribution π(σ) ∝ λ^{e(σ)}·γ^{a(σ)} of Lemma 9.
+//
+// This package exists to verify the simulator scientifically: detailed
+// balance, ergodicity, and convergence of the implemented chain to the
+// paper's stationary distribution are all checked exactly on small n rather
+// than assumed.
+package enumerate
+
+import (
+	"fmt"
+	"math"
+
+	"sops/internal/lattice"
+	"sops/internal/psys"
+)
+
+// Shapes returns every connected arrangement of n occupied vertices of the
+// triangular lattice, up to translation, each in canonical form. The counts
+// for n = 1, 2, 3, … are 1, 3, 11, 44, 186, 814, … (hexagonal-cell lattice
+// animals).
+//
+// The shapes are produced by breadth-first growth with canonical-key
+// deduplication, which is exponential in n; intended for n ≤ 7.
+func Shapes(n int) [][]lattice.Point {
+	if n <= 0 {
+		return nil
+	}
+	current := map[string][]lattice.Point{
+		lattice.Key([]lattice.Point{{}}): {{Q: 0, R: 0}},
+	}
+	for size := 1; size < n; size++ {
+		next := make(map[string][]lattice.Point, len(current)*4)
+		for _, shape := range current {
+			occ := make(map[lattice.Point]bool, len(shape))
+			for _, p := range shape {
+				occ[p] = true
+			}
+			for _, p := range shape {
+				for _, nb := range p.Neighbors() {
+					if occ[nb] {
+						continue
+					}
+					grown := append(append([]lattice.Point{}, shape...), nb)
+					canon := lattice.Canonicalize(grown)
+					k := lattice.Key(canon)
+					if _, ok := next[k]; !ok {
+						next[k] = canon
+					}
+				}
+			}
+		}
+		current = next
+	}
+	out := make([][]lattice.Point, 0, len(current))
+	for _, shape := range current {
+		out = append(out, shape)
+	}
+	return out
+}
+
+// Configs returns every connected configuration with the given color counts
+// (counts[i] particles of color i), up to translation, as canonical
+// representatives. With holeFreeOnly set, configurations containing holes
+// are excluded — these have zero stationary weight (Lemma 9) but are part of
+// the chain's reachable state space.
+func Configs(counts []int, holeFreeOnly bool) ([]*psys.Config, error) {
+	n := 0
+	for _, k := range counts {
+		if k < 0 {
+			return nil, fmt.Errorf("enumerate: negative color count %d", k)
+		}
+		n += k
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("enumerate: empty configuration")
+	}
+	if len(counts) > psys.MaxColors {
+		return nil, psys.ErrColorRange
+	}
+	var out []*psys.Config
+	for _, shape := range Shapes(n) {
+		colorings := assignments(counts)
+		for _, coloring := range colorings {
+			cfg := psys.New()
+			for i, p := range shape {
+				if err := cfg.Place(p, coloring[i]); err != nil {
+					return nil, fmt.Errorf("enumerate: %w", err)
+				}
+			}
+			if holeFreeOnly && !cfg.HoleFree() {
+				continue
+			}
+			out = append(out, cfg)
+		}
+	}
+	return out, nil
+}
+
+// assignments returns every distinct way to assign the color multiset given
+// by counts to positions 0..n-1.
+func assignments(counts []int) [][]psys.Color {
+	n := 0
+	for _, k := range counts {
+		n += k
+	}
+	var out [][]psys.Color
+	cur := make([]psys.Color, n)
+	remaining := append([]int{}, counts...)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			out = append(out, append([]psys.Color{}, cur...))
+			return
+		}
+		for col, left := range remaining {
+			if left == 0 {
+				continue
+			}
+			remaining[col]--
+			cur[i] = psys.Color(col)
+			rec(i + 1)
+			remaining[col]++
+		}
+	}
+	rec(0)
+	return out
+}
+
+// Weights returns the unnormalized stationary weights λ^{e(σ)}·γ^{a(σ)} of
+// Lemma 9 for each configuration, along with their sum (the partition
+// function restricted to the given configurations).
+func Weights(configs []*psys.Config, lambda, gamma float64) (weights []float64, total float64) {
+	weights = make([]float64, len(configs))
+	for i, cfg := range configs {
+		w := math.Pow(lambda, float64(cfg.Edges())) * math.Pow(gamma, float64(cfg.HomEdges()))
+		weights[i] = w
+		total += w
+	}
+	return weights, total
+}
+
+// Stationary returns the exact normalized stationary distribution of M over
+// the provided hole-free configurations.
+func Stationary(configs []*psys.Config, lambda, gamma float64) []float64 {
+	weights, total := Weights(configs, lambda, gamma)
+	for i := range weights {
+		weights[i] /= total
+	}
+	return weights
+}

@@ -1,0 +1,373 @@
+package enumerate
+
+import (
+	"math"
+	"testing"
+
+	"sops/internal/core"
+	"sops/internal/psys"
+)
+
+func TestShapeCounts(t *testing.T) {
+	// Site animals on the triangular lattice up to translation
+	// (equivalently, fixed polyhexes): 1, 3, 11, 44, 186.
+	want := []int{1, 3, 11, 44, 186}
+	for n := 1; n <= len(want); n++ {
+		shapes := Shapes(n)
+		if len(shapes) != want[n-1] {
+			t.Errorf("Shapes(%d) = %d shapes, want %d", n, len(shapes), want[n-1])
+		}
+		for _, s := range shapes {
+			if len(s) != n {
+				t.Fatalf("Shapes(%d) produced a shape with %d cells", n, len(s))
+			}
+		}
+	}
+	if Shapes(0) != nil {
+		t.Error("Shapes(0) should be nil")
+	}
+}
+
+func TestConfigCounts(t *testing.T) {
+	// shapes(n) × multinomial(counts) distinct colored configurations.
+	cases := []struct {
+		counts []int
+		want   int
+	}{
+		{[]int{2}, 3},
+		{[]int{1, 1}, 3 * 2},
+		{[]int{2, 1}, 11 * 3},
+		{[]int{2, 2}, 44 * 6},
+		{[]int{3, 1}, 44 * 4},
+	}
+	for _, tc := range cases {
+		configs, err := Configs(tc.counts, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(configs) != tc.want {
+			t.Errorf("Configs(%v) = %d, want %d", tc.counts, len(configs), tc.want)
+		}
+		seen := make(map[string]bool, len(configs))
+		for _, cfg := range configs {
+			k := cfg.CanonicalKey()
+			if seen[k] {
+				t.Fatalf("Configs(%v) duplicated %q", tc.counts, k)
+			}
+			seen[k] = true
+			if !cfg.Connected() {
+				t.Fatalf("Configs(%v) produced disconnected config", tc.counts)
+			}
+		}
+	}
+}
+
+func TestHoleFreeFilter(t *testing.T) {
+	// n = 6 is the smallest n with a holed connected configuration (the
+	// ring around a vacant center), so filtering must remove something.
+	all, err := Configs([]int{6}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := Configs([]int{6}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(free) >= len(all) {
+		t.Fatalf("hole filter removed nothing: %d vs %d", len(free), len(all))
+	}
+	if len(all)-len(free) != 1 {
+		t.Fatalf("exactly one holed 6-particle shape expected, filter removed %d", len(all)-len(free))
+	}
+}
+
+func TestConfigsErrors(t *testing.T) {
+	if _, err := Configs([]int{}, false); err == nil {
+		t.Fatal("empty counts accepted")
+	}
+	if _, err := Configs([]int{-1, 3}, false); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}
+
+func TestStationaryNormalized(t *testing.T) {
+	configs, err := Configs([]int{2, 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := Stationary(configs, 3, 2)
+	sum := 0.0
+	for _, p := range pi {
+		if p < 0 {
+			t.Fatal("negative probability")
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("stationary distribution sums to %v", sum)
+	}
+}
+
+func TestStationaryFavorsCompactSeparated(t *testing.T) {
+	configs, err := Configs([]int{2, 2}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := Stationary(configs, 4, 4)
+	// The most probable configuration maximizes λ^e·γ^a, i.e. 2e − h for
+	// λ = γ: the rhombus (e = 5) with opposite-corner coloring, whose
+	// minimum achievable heterogeneous edge count is 3.
+	best := 0
+	for i := range pi {
+		if pi[i] > pi[best] {
+			best = i
+		}
+	}
+	b := configs[best]
+	if b.Edges() != 5 {
+		t.Fatalf("most probable config has %d edges, want 5", b.Edges())
+	}
+	if b.HetEdges() != 3 {
+		t.Fatalf("most probable config has %d het edges, want 3", b.HetEdges())
+	}
+}
+
+func TestTransitionMatrixStochastic(t *testing.T) {
+	configs, err := Configs([]int{2, 1}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := TransitionMatrix(configs, 4, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := m.RowSumError(); e > 1e-12 {
+		t.Fatalf("row sum error %v", e)
+	}
+}
+
+// TestDetailedBalance is the exact Lemma 9 verification (I3, I4): the
+// implemented dynamics are reversible with respect to λ^e·γ^a across
+// parameter regimes, with and without swaps, for two state-space sizes.
+func TestDetailedBalance(t *testing.T) {
+	cases := []struct {
+		name          string
+		counts        []int
+		lambda, gamma float64
+		swaps         bool
+	}{
+		{"separation regime", []int{2, 1}, 4, 6, true},
+		{"integration regime", []int{2, 1}, 4, 1.01, true},
+		{"gamma below one", []int{2, 1}, 2, 0.8, true},
+		{"no swaps", []int{2, 1}, 4, 4, false},
+		{"n4 mixed", []int{2, 2}, 3, 5, true},
+		{"n4 compression baseline", []int{4}, 4, 1, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			configs, err := Configs(tc.counts, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := TransitionMatrix(configs, tc.lambda, tc.gamma, tc.swaps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e := m.RowSumError(); e > 1e-12 {
+				t.Fatalf("row sum error %v", e)
+			}
+			if e := m.DetailedBalanceError(tc.lambda, tc.gamma); e > 1e-9 {
+				t.Fatalf("detailed balance violation %v", e)
+			}
+			if e := m.StationaryError(tc.lambda, tc.gamma); e > 1e-12 {
+				t.Fatalf("πP != π: TV error %v", e)
+			}
+		})
+	}
+}
+
+func TestErgodicity(t *testing.T) {
+	configs, err := Configs([]int{2, 2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := TransitionMatrix(configs, 4, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Irreducible() {
+		t.Fatal("chain is not irreducible on connected 4-particle configs")
+	}
+	if !m.Aperiodic() {
+		t.Fatal("chain has no self-loops")
+	}
+}
+
+func TestErgodicityWithoutSwaps(t *testing.T) {
+	// Lemma 8's irreducibility proof does not rely on swap moves.
+	configs, err := Configs([]int{2, 1}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := TransitionMatrix(configs, 4, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Irreducible() {
+		t.Fatal("chain without swaps is not irreducible")
+	}
+}
+
+// TestChainMatchesExactDistribution runs the real simulator (package core)
+// and compares its empirical state distribution against the exact Lemma 9
+// stationary distribution computed by this package's independent
+// implementation — an end-to-end cross-validation of Algorithm 1 (E5).
+func TestChainMatchesExactDistribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long sampling run")
+	}
+	counts := []int{2, 1}
+	lambda, gamma := 2.0, 2.0
+	configs, err := Configs(counts, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := Stationary(configs, lambda, gamma)
+	index := make(map[string]int, len(configs))
+	for i, cfg := range configs {
+		index[cfg.CanonicalKey()] = i
+	}
+
+	init, err := core.Initial(core.LayoutLine, counts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := core.New(init, core.Params{Lambda: lambda, Gamma: gamma, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Run(20000) // burn-in
+	const samples = 300000
+	hist := make([]float64, len(configs))
+	for s := 0; s < samples; s++ {
+		ch.Run(5)
+		i, ok := index[ch.Config().CanonicalKey()]
+		if !ok {
+			t.Fatalf("chain reached state outside enumerated space: %q", ch.Config().CanonicalKey())
+		}
+		hist[i]++
+	}
+	for i := range hist {
+		hist[i] /= samples
+	}
+	if tv := TotalVariation(pi, hist); tv > 0.02 {
+		t.Fatalf("empirical vs exact stationary TV distance %v > 0.02", tv)
+	}
+}
+
+// TestChainMatchesExactDistributionTwoTwo repeats the cross-validation on
+// the 264-state bichromatic 4-particle space with asymmetric parameters.
+func TestChainMatchesExactDistributionTwoTwo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long sampling run")
+	}
+	counts := []int{2, 2}
+	lambda, gamma := 1.5, 2.5
+	configs, err := Configs(counts, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := Stationary(configs, lambda, gamma)
+	index := make(map[string]int, len(configs))
+	for i, cfg := range configs {
+		index[cfg.CanonicalKey()] = i
+	}
+	init, err := core.Initial(core.LayoutSpiral, counts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := core.New(init, core.Params{Lambda: lambda, Gamma: gamma, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Run(50000)
+	const samples = 400000
+	hist := make([]float64, len(configs))
+	for s := 0; s < samples; s++ {
+		ch.Run(7)
+		i, ok := index[ch.Config().CanonicalKey()]
+		if !ok {
+			t.Fatalf("chain reached state outside enumerated space")
+		}
+		hist[i]++
+	}
+	for i := range hist {
+		hist[i] /= samples
+	}
+	if tv := TotalVariation(pi, hist); tv > 0.04 {
+		t.Fatalf("empirical vs exact stationary TV distance %v > 0.04", tv)
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	if tv := TotalVariation([]float64{1, 0}, []float64{0, 1}); tv != 1 {
+		t.Fatalf("TV of disjoint distributions = %v, want 1", tv)
+	}
+	if tv := TotalVariation([]float64{0.5, 0.5}, []float64{0.5, 0.5}); tv != 0 {
+		t.Fatalf("TV of equal distributions = %v, want 0", tv)
+	}
+}
+
+var sinkConfigs []*psys.Config
+
+func BenchmarkShapes5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Shapes(5)
+	}
+}
+
+func BenchmarkTransitionMatrixN4(b *testing.B) {
+	configs, err := Configs([]int{2, 2}, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sinkConfigs = configs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TransitionMatrix(configs, 4, 4, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestLemma9FormsEquivalent verifies that the two forms of the stationary
+// weight — λ^e·γ^a and (λγ)^{−p}·γ^{−h} — agree up to a configuration-
+// independent constant on hole-free configurations, which is exactly the
+// rewriting in the paper's Appendix A.2 (using e = 3n − p − 3 and
+// e = a + h).
+func TestLemma9FormsEquivalent(t *testing.T) {
+	lambda, gamma := 3.0, 2.5
+	configs, err := Configs([]int{3, 2}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights, _ := Weights(configs, lambda, gamma)
+	var constant float64
+	for i, cfg := range configs {
+		alt := math.Pow(lambda*gamma, -float64(cfg.Perimeter())) *
+			math.Pow(gamma, -float64(cfg.HetEdges()))
+		ratio := weights[i] / alt
+		if i == 0 {
+			constant = ratio
+			continue
+		}
+		if math.Abs(ratio-constant)/constant > 1e-9 {
+			t.Fatalf("config %d: ratio %v differs from %v — Lemma 9 forms disagree", i, ratio, constant)
+		}
+	}
+	// The constant is (λγ)^{3n−3}.
+	want := math.Pow(lambda*gamma, float64(3*5-3))
+	if math.Abs(constant-want)/want > 1e-9 {
+		t.Fatalf("constant %v, want (λγ)^{3n−3} = %v", constant, want)
+	}
+}

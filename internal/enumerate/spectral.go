@@ -1,0 +1,202 @@
+package enumerate
+
+import (
+	"errors"
+	"math"
+)
+
+// Spectral analysis of the exact transition matrix: the paper's conclusion
+// (§5) notes that no nontrivial mixing-time bounds are known for M, citing
+// the open problem for low-temperature Ising Glauber dynamics. On small
+// exactly-enumerated state spaces we can compute the relaxation time
+// 1/(1−λ₂) directly, giving numerical evidence for how mixing degrades as
+// γ grows.
+
+// ErrNotStochastic is returned when the matrix rows do not sum to one.
+var ErrNotStochastic = errors.New("enumerate: matrix is not stochastic")
+
+// SpectralGap returns 1 − λ₂ where λ₂ is the second-largest eigenvalue of
+// the chain's transition matrix, computed by power iteration on the
+// π-orthogonal complement of the top eigenvector. The chain must be
+// reversible with respect to the Lemma 9 weights at (lambda, gamma) — as
+// every matrix produced by TransitionMatrix is — so that the spectrum is
+// real and the deflation is exact.
+//
+// The relaxation time t_rel = 1/gap lower-bounds (up to standard factors)
+// the mixing time of the chain.
+func (m *Matrix) SpectralGap(lambda, gamma float64) (float64, error) {
+	if m.RowSumError() > 1e-9 {
+		return 0, ErrNotStochastic
+	}
+	n := len(m.P)
+	if n == 0 {
+		return 0, errors.New("enumerate: empty matrix")
+	}
+	pi := Stationary(m.Configs, lambda, gamma)
+
+	// Reversible chains are self-adjoint in L²(π); power iteration on
+	// vectors π-orthogonal to the constant vector converges to the second
+	// eigenvalue in magnitude. We track |λ| and refine the sign by a final
+	// Rayleigh quotient; for lazy-enough chains (all ours have substantial
+	// self-loops) the extreme eigenvalue is positive.
+	v := make([]float64, n)
+	for i := range v {
+		// Deterministic, non-constant start.
+		v[i] = math.Sin(float64(3*i + 1))
+	}
+	projectOut(v, pi)
+	normalize(v, pi)
+	w := make([]float64, n)
+	prev := 0.0
+	for iter := 0; iter < 20000; iter++ {
+		// w = vP (left multiplication keeps π-orthogonality exact for
+		// reversible chains when measured in the π inner product of the
+		// time-reversed action; we re-project each step for stability).
+		for j := range w {
+			w[j] = 0
+		}
+		for i := range m.P {
+			vi := v[i]
+			if vi == 0 {
+				continue
+			}
+			row := m.P[i]
+			for j, p := range row {
+				if p != 0 {
+					w[j] += vi * p
+				}
+			}
+		}
+		projectOut(w, pi)
+		norm := normL2pi(w, pi)
+		if norm == 0 {
+			return 1, nil // chain mixes in one step on this subspace
+		}
+		for i := range w {
+			w[i] /= norm
+		}
+		v, w = w, v
+		if iter%10 == 9 {
+			if math.Abs(norm-prev) < 1e-13 {
+				break
+			}
+			prev = norm
+		}
+	}
+	// Rayleigh quotient λ₂ = <vP, v>_π / <v, v>_π with the π inner product
+	// <f, g>_π = Σ π_i f_i g_i. For left multiplication the matching form
+	// uses the time reversal; reversibility makes them equal.
+	for j := range w {
+		w[j] = 0
+	}
+	for i := range m.P {
+		vi := v[i]
+		row := m.P[i]
+		for j, p := range row {
+			w[j] += vi * p
+		}
+	}
+	num, den := 0.0, 0.0
+	for i := range v {
+		if pi[i] > 0 {
+			num += w[i] * v[i] / pi[i]
+			den += v[i] * v[i] / pi[i]
+		}
+	}
+	lambda2 := num / den
+	return 1 - lambda2, nil
+}
+
+// projectOut removes the component of v along the top left eigenvector π
+// (in the flow representation v is a signed measure; the invariant
+// component is proportional to π).
+func projectOut(v, pi []float64) {
+	total := 0.0
+	for _, x := range v {
+		total += x
+	}
+	for i := range v {
+		v[i] -= total * pi[i]
+	}
+}
+
+// normL2pi is the L²(1/π) norm of a signed measure, the natural norm in
+// which a reversible chain's action is self-adjoint.
+func normL2pi(v, pi []float64) float64 {
+	s := 0.0
+	for i := range v {
+		if pi[i] > 0 {
+			s += v[i] * v[i] / pi[i]
+		}
+	}
+	return math.Sqrt(s)
+}
+
+func normalize(v, pi []float64) {
+	n := normL2pi(v, pi)
+	if n == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+// RelaxationTime returns 1/SpectralGap, the reversible chain's relaxation
+// time.
+func (m *Matrix) RelaxationTime(lambda, gamma float64) (float64, error) {
+	gap, err := m.SpectralGap(lambda, gamma)
+	if err != nil {
+		return 0, err
+	}
+	if gap <= 0 {
+		return math.Inf(1), nil
+	}
+	return 1 / gap, nil
+}
+
+// MixingTime returns the exact ε-mixing time of the chain:
+// min{t : max_x TV(P^t(x,·), π) ≤ ε}, computed by iterating the transition
+// matrix from every start state simultaneously. maxT bounds the search;
+// if the chain has not mixed by maxT, MixingTime returns maxT and false.
+func (m *Matrix) MixingTime(lambda, gamma, eps float64, maxT int) (int, bool) {
+	n := len(m.P)
+	pi := Stationary(m.Configs, lambda, gamma)
+	// dist[x] is the row-distribution P^t(x, ·); start at t=0 (identity).
+	dist := make([][]float64, n)
+	for x := range dist {
+		dist[x] = make([]float64, n)
+		dist[x][x] = 1
+	}
+	next := make([][]float64, n)
+	for x := range next {
+		next[x] = make([]float64, n)
+	}
+	for t := 1; t <= maxT; t++ {
+		worst := 0.0
+		for x := range dist {
+			row := next[x]
+			for j := range row {
+				row[j] = 0
+			}
+			for i, p := range dist[x] {
+				if p == 0 {
+					continue
+				}
+				for j, q := range m.P[i] {
+					if q != 0 {
+						row[j] += p * q
+					}
+				}
+			}
+			if tv := TotalVariation(row, pi); tv > worst {
+				worst = tv
+			}
+		}
+		dist, next = next, dist
+		if worst <= eps {
+			return t, true
+		}
+	}
+	return maxT, false
+}

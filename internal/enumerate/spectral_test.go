@@ -1,0 +1,237 @@
+package enumerate
+
+import (
+	"math"
+	"testing"
+)
+
+func buildMatrix(t *testing.T, counts []int, lambda, gamma float64) *Matrix {
+	t.Helper()
+	configs, err := Configs(counts, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := TransitionMatrix(configs, lambda, gamma, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSpectralGapPositive(t *testing.T) {
+	m := buildMatrix(t, []int{2, 1}, 2, 2)
+	gap, err := m.SpectralGap(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap <= 0 || gap > 1 {
+		t.Fatalf("gap = %v, want in (0, 1]", gap)
+	}
+	rel, err := m.RelaxationTime(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rel-1/gap) > 1e-9 {
+		t.Fatalf("relaxation time %v != 1/gap %v", rel, 1/gap)
+	}
+}
+
+// TestSpectralGapMatchesDirectEigen validates the power-iteration gap
+// against a dense Jacobi-free reference: for a reversible chain, λ₂ equals
+// the largest eigenvalue of the symmetrized matrix S = D^{1/2} P D^{-1/2}
+// restricted to the complement of its top eigenvector, which we compute by
+// explicit deflated power iteration on S (an independent code path).
+func TestSpectralGapMatchesDirectEigen(t *testing.T) {
+	lambda, gamma := 2.0, 3.0
+	m := buildMatrix(t, []int{2, 1}, lambda, gamma)
+	gap, err := m.SpectralGap(lambda, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: symmetrize with π and run deflated power iteration.
+	pi := Stationary(m.Configs, lambda, gamma)
+	n := len(m.P)
+	s := make([][]float64, n)
+	for i := range s {
+		s[i] = make([]float64, n)
+		for j := range s[i] {
+			s[i][j] = math.Sqrt(pi[i]) * m.P[i][j] / math.Sqrt(pi[j])
+		}
+	}
+	// Top eigenvector of S is sqrt(pi).
+	top := make([]float64, n)
+	for i := range top {
+		top[i] = math.Sqrt(pi[i])
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = math.Cos(float64(2*i + 1))
+	}
+	deflate := func(x []float64) {
+		dot := 0.0
+		for i := range x {
+			dot += x[i] * top[i]
+		}
+		for i := range x {
+			x[i] -= dot * top[i]
+		}
+	}
+	deflate(v)
+	w := make([]float64, n)
+	lambda2 := 0.0
+	for iter := 0; iter < 20000; iter++ {
+		for i := range w {
+			w[i] = 0
+			for j := range v {
+				w[i] += s[i][j] * v[j]
+			}
+		}
+		deflate(w)
+		norm := 0.0
+		for i := range w {
+			norm += w[i] * w[i]
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			break
+		}
+		for i := range w {
+			w[i] /= norm
+		}
+		v, w = w, v
+		lambda2 = norm
+	}
+	want := 1 - lambda2
+	if math.Abs(gap-want) > 1e-6 {
+		t.Fatalf("SpectralGap = %v, symmetrized reference = %v", gap, want)
+	}
+}
+
+// TestSpectralGapShrinksWithGamma gives numerical evidence for the paper's
+// §5 discussion: mixing slows down (gap shrinks) as the like-color bias γ
+// grows.
+func TestSpectralGapShrinksWithGamma(t *testing.T) {
+	configs, err := Configs([]int{2, 2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64 = math.Inf(1)
+	for _, gamma := range []float64{1, 3, 8} {
+		m, err := TransitionMatrix(configs, 2, gamma, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gap, err := m.SpectralGap(2, gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gap >= prev {
+			t.Fatalf("gap %v at γ=%v not smaller than previous %v", gap, gamma, prev)
+		}
+		prev = gap
+	}
+}
+
+func TestPerimeterCensus(t *testing.T) {
+	// n=3: 11 shapes, all hole-free; perimeters: triangles p=3 (2 shapes),
+	// all others p=4 (9 shapes).
+	census := PerimeterCensus(3)
+	if census[3] != 2 || census[4] != 9 {
+		t.Fatalf("census(3) = %v, want {3:2, 4:9}", census)
+	}
+	// n=6: one shape (the ring) has a hole and is excluded.
+	total := 0
+	for _, c := range PerimeterCensus(6) {
+		total += c
+	}
+	if total != len(Shapes(6))-1 {
+		t.Fatalf("census(6) total %d, want %d", total, len(Shapes(6))-1)
+	}
+}
+
+func TestCensusTableLemma1Growth(t *testing.T) {
+	rows := CensusTable(7)
+	if len(rows) == 0 {
+		t.Fatal("empty census")
+	}
+	for i, r := range rows {
+		if r.Count <= 0 || r.Root <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+		if i > 0 && r.Perimeter <= rows[i-1].Perimeter {
+			t.Fatal("rows not sorted by perimeter")
+		}
+		// Lemma 1's asymptotic bound uses ν > 2+√2; small-n censuses stay
+		// well below even ν = 2+√2 per unit perimeter.
+		if r.Root > 2+math.Sqrt2 {
+			t.Fatalf("perimeter %d: growth root %v exceeds 2+√2", r.Perimeter, r.Root)
+		}
+	}
+}
+
+func BenchmarkSpectralGapN4(b *testing.B) {
+	configs, err := Configs([]int{2, 2}, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := TransitionMatrix(configs, 2, 4, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.SpectralGap(2, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMixingTime(t *testing.T) {
+	lambda, gamma := 2.0, 2.0
+	m := buildMatrix(t, []int{2, 1}, lambda, gamma)
+	tm, ok := m.MixingTime(lambda, gamma, 0.25, 10000)
+	if !ok {
+		t.Fatalf("chain did not mix within bound (t=%d)", tm)
+	}
+	if tm < 1 {
+		t.Fatalf("mixing time %d", tm)
+	}
+	// Mixing time must respect the relaxation-time lower bound up to the
+	// standard (t_rel − 1)·ln(1/2ε) ≤ t_mix relation.
+	gap, err := m.SpectralGap(lambda, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower := (1/gap - 1) * math.Log(1/(2*0.25))
+	if float64(tm) < lower-1 {
+		t.Fatalf("t_mix=%d below relaxation lower bound %v", tm, lower)
+	}
+	// Tighter ε needs at least as long.
+	tm2, ok := m.MixingTime(lambda, gamma, 0.05, 20000)
+	if !ok || tm2 < tm {
+		t.Fatalf("ε=0.05 mixing time %d < ε=0.25 time %d", tm2, tm)
+	}
+}
+
+func TestMixingTimeGrowsWithGamma(t *testing.T) {
+	configs, err := Configs([]int{2, 1}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for _, gamma := range []float64{1, 4, 12} {
+		m, err := TransitionMatrix(configs, 2, gamma, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm, ok := m.MixingTime(2, gamma, 0.25, 100000)
+		if !ok {
+			t.Fatalf("γ=%v: not mixed", gamma)
+		}
+		if tm <= prev {
+			t.Fatalf("γ=%v: mixing time %d not above previous %d", gamma, tm, prev)
+		}
+		prev = tm
+	}
+}

@@ -1,0 +1,339 @@
+// Package experiments implements the paper's evaluation: one function per
+// figure, table or quantitative claim, shared by the benchmark harness
+// (bench_test.go) and the command-line tools (cmd/...). Each function
+// returns structured rows so callers can print, assert on, or re-plot them.
+//
+// The experiment ↔ paper mapping is recorded in DESIGN.md (E1–E14) and the
+// measured outcomes in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"sops/internal/core"
+	"sops/internal/ising"
+	"sops/internal/lattice"
+	"sops/internal/metrics"
+	"sops/internal/psys"
+	"sops/internal/stats"
+	"sops/internal/viz"
+)
+
+// Figure2Checkpoints are the iteration counts at which the paper's Figure 2
+// shows the 100-particle system (0; 50,000; 1,050,000; 17,050,000;
+// 68,250,000).
+var Figure2Checkpoints = []uint64{0, 50_000, 1_050_000, 17_050_000, 68_250_000}
+
+// EvolutionPoint is one Figure 2 snapshot.
+type EvolutionPoint struct {
+	Steps uint64
+	Snap  metrics.Snapshot
+	ASCII string
+}
+
+// Figure2 reproduces the paper's Figure 2: a 2-heterogeneous system of n
+// particles (half of each color) from an arbitrary (random line) initial
+// configuration under λ and γ, capturing metrics and a rendering at each
+// checkpoint. Checkpoints must be nondecreasing.
+func Figure2(n int, lambda, gamma float64, checkpoints []uint64, seed uint64) ([]EvolutionPoint, error) {
+	cfg, err := core.Initial(core.LayoutLine, core.Bichromatic(n), seed)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := core.New(cfg, core.Params{Lambda: lambda, Gamma: gamma, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	th := metrics.DefaultThresholds()
+	out := make([]EvolutionPoint, 0, len(checkpoints))
+	var done uint64
+	for _, cp := range checkpoints {
+		if cp < done {
+			return nil, fmt.Errorf("experiments: checkpoints must be nondecreasing (%d after %d)", cp, done)
+		}
+		ch.Run(cp - done)
+		done = cp
+		out = append(out, EvolutionPoint{
+			Steps: cp,
+			Snap:  metrics.Capture(ch.Config(), cp, th),
+			ASCII: viz.ASCII(ch.Config()),
+		})
+	}
+	return out, nil
+}
+
+// PhaseCell is one cell of the Figure 3 phase diagram.
+type PhaseCell struct {
+	Lambda, Gamma float64
+	Snap          metrics.Snapshot
+}
+
+// DefaultPhaseGrid returns (λ, γ) values spanning the four phases of
+// Figure 3, including the paper's showcase point λ = γ = 4. Expanded
+// phases require a small perimeter bias λγ (the stationary weight is
+// (λγ)^{−p}·γ^{−h}), so expanded-separated appears at λ < 1 with γ large.
+func DefaultPhaseGrid() (lambdas, gammas []float64) {
+	return []float64{0.25, 1.05, 4, 6}, []float64{1, 1.05, 4, 6}
+}
+
+// Figure3 reproduces the paper's Figure 3: from one fixed initial
+// configuration, run M for iters iterations at every (λ, γ) grid point and
+// classify the resulting configuration into one of the four phases.
+func Figure3(n int, lambdas, gammas []float64, iters uint64, seed uint64) ([]PhaseCell, error) {
+	th := metrics.DefaultThresholds()
+	var out []PhaseCell
+	for _, lambda := range lambdas {
+		for _, gamma := range gammas {
+			cfg, err := core.Initial(core.LayoutLine, core.Bichromatic(n), seed)
+			if err != nil {
+				return nil, err
+			}
+			ch, err := core.New(cfg, core.Params{Lambda: lambda, Gamma: gamma, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			ch.Run(iters)
+			out = append(out, PhaseCell{
+				Lambda: lambda,
+				Gamma:  gamma,
+				Snap:   metrics.Capture(ch.Config(), iters, th),
+			})
+		}
+	}
+	return out, nil
+}
+
+// AblationResult reports the swap-move ablation (§3.2): iterations needed
+// to reach a segregation target with and without swap moves.
+type AblationResult struct {
+	Target        float64
+	WithSwaps     uint64 // 0 means the target was not reached within budget
+	WithoutSwaps  uint64
+	BudgetPerCase uint64
+}
+
+// SwapAblation measures time-to-separation with swaps enabled and
+// disabled, reproducing the claim that separation still occurs without
+// swaps but takes much longer. The segregation index is checked every
+// checkEvery iterations.
+func SwapAblation(n int, lambda, gamma, target float64, budget, checkEvery, seed uint64) (AblationResult, error) {
+	res := AblationResult{Target: target, BudgetPerCase: budget}
+	for _, disable := range []bool{false, true} {
+		cfg, err := core.Initial(core.LayoutSpiral, core.Bichromatic(n), seed)
+		if err != nil {
+			return res, err
+		}
+		ch, err := core.New(cfg, core.Params{Lambda: lambda, Gamma: gamma, DisableSwaps: disable, Seed: seed})
+		if err != nil {
+			return res, err
+		}
+		reached := uint64(0)
+		ch.RunWith(budget, checkEvery, func(done uint64) bool {
+			if metrics.SegregationIndex(ch.Config()) >= target {
+				reached = done
+				return false
+			}
+			return true
+		})
+		if disable {
+			res.WithoutSwaps = reached
+		} else {
+			res.WithSwaps = reached
+		}
+	}
+	return res, nil
+}
+
+// Lemma2Row is one row of the minimum-perimeter table (E4).
+type Lemma2Row struct {
+	N     int
+	PMin  int
+	Bound float64 // 2√3·√n
+}
+
+// Lemma2Table tabulates p_min(n) against the Lemma 2 bound for the given
+// particle counts.
+func Lemma2Table(ns []int) []Lemma2Row {
+	out := make([]Lemma2Row, len(ns))
+	for i, n := range ns {
+		out[i] = Lemma2Row{
+			N:     n,
+			PMin:  psys.MinPerimeter(n),
+			Bound: 2 * math.Sqrt(3) * math.Sqrt(float64(n)),
+		}
+	}
+	return out
+}
+
+// FrequencyResult reports how often sampled configurations satisfy a
+// property at quasi-stationarity, with a Wilson 95% confidence interval.
+type FrequencyResult struct {
+	Lambda, Gamma float64
+	Hits, Samples int
+	Freq          float64
+	Lo, Hi        float64
+}
+
+// CompressionFrequency estimates Pr[α-compressed] under the chain at
+// (λ, γ): burn in, then sample every gap iterations (E6, E8, E14).
+func CompressionFrequency(n int, lambda, gamma, alpha float64, burnin, gap uint64, samples int, seed uint64) (FrequencyResult, error) {
+	cfg, err := core.Initial(core.LayoutLine, core.Bichromatic(n), seed)
+	if err != nil {
+		return FrequencyResult{}, err
+	}
+	ch, err := core.New(cfg, core.Params{Lambda: lambda, Gamma: gamma, Seed: seed})
+	if err != nil {
+		return FrequencyResult{}, err
+	}
+	ch.Run(burnin)
+	hits := 0
+	for s := 0; s < samples; s++ {
+		ch.Run(gap)
+		if metrics.IsCompressed(ch.Config(), alpha) {
+			hits++
+		}
+	}
+	lo, hi := stats.WilsonCI(hits, samples)
+	return FrequencyResult{
+		Lambda: lambda, Gamma: gamma,
+		Hits: hits, Samples: samples,
+		Freq: float64(hits) / float64(samples),
+		Lo:   lo, Hi: hi,
+	}, nil
+}
+
+// MonochromaticCompressionFrequency is the PODC '16 compression baseline:
+// a single color class, γ = 1, sweeping λ across the provable threshold
+// 2(2+√2) ≈ 6.83 (E14).
+func MonochromaticCompressionFrequency(n int, lambda, alpha float64, burnin, gap uint64, samples int, seed uint64) (FrequencyResult, error) {
+	cfg, err := core.Initial(core.LayoutLine, []int{n}, seed)
+	if err != nil {
+		return FrequencyResult{}, err
+	}
+	ch, err := core.New(cfg, core.Params{Lambda: lambda, Gamma: 1, Seed: seed})
+	if err != nil {
+		return FrequencyResult{}, err
+	}
+	ch.Run(burnin)
+	hits := 0
+	for s := 0; s < samples; s++ {
+		ch.Run(gap)
+		if metrics.IsCompressed(ch.Config(), alpha) {
+			hits++
+		}
+	}
+	lo, hi := stats.WilsonCI(hits, samples)
+	return FrequencyResult{
+		Lambda: lambda, Gamma: 1,
+		Hits: hits, Samples: samples,
+		Freq: float64(hits) / float64(samples),
+		Lo:   lo, Hi: hi,
+	}, nil
+}
+
+// FixedShapeSeparation estimates Pr[(β,δ)-separated] under the
+// fixed-boundary distribution π_P ∝ γ^{−h} sampled by Kawasaki dynamics on
+// a hexagonal shape — the setting of Theorems 14 (large γ) and 16 (γ near
+// one). The shape holds 3·radius²+3·radius+1 particles, half of each color.
+func FixedShapeSeparation(radius int, gamma, beta, delta float64, burnin, gap uint64, samples int, seed uint64) (FrequencyResult, error) {
+	pts := lattice.Hexagon(lattice.Point{}, radius)
+	lattice.SortPoints(pts)
+	cfg := psys.New()
+	for i, p := range pts {
+		col := psys.Color(0)
+		if i >= len(pts)/2 {
+			col = 1
+		}
+		if err := cfg.Place(p, col); err != nil {
+			return FrequencyResult{}, err
+		}
+	}
+	k, err := ising.NewKawasaki(cfg, gamma, seed)
+	if err != nil {
+		return FrequencyResult{}, err
+	}
+	k.Run(burnin)
+	hits := 0
+	for s := 0; s < samples; s++ {
+		k.Run(gap)
+		if metrics.IsSeparated(k.Config(), beta, delta) {
+			hits++
+		}
+	}
+	lo, hi := stats.WilsonCI(hits, samples)
+	return FrequencyResult{
+		Lambda: 0, Gamma: gamma,
+		Hits: hits, Samples: samples,
+		Freq: float64(hits) / float64(samples),
+		Lo:   lo, Hi: hi,
+	}, nil
+}
+
+// MultiColorResult reports the k-color extension (E12, §5).
+type MultiColorResult struct {
+	Colors      int
+	Snap        metrics.Snapshot
+	ClusterFrac []float64 // largest-cluster fraction per color
+}
+
+// MultiColor runs the chain on k color classes of perColor particles each
+// and reports separation order parameters, supporting the paper's remark
+// that the algorithm performs well in practice for k > 2.
+func MultiColor(k, perColor int, lambda, gamma float64, steps, seed uint64) (MultiColorResult, error) {
+	counts := make([]int, k)
+	for i := range counts {
+		counts[i] = perColor
+	}
+	cfg, err := core.Initial(core.LayoutSpiral, counts, seed)
+	if err != nil {
+		return MultiColorResult{}, err
+	}
+	ch, err := core.New(cfg, core.Params{Lambda: lambda, Gamma: gamma, Seed: seed})
+	if err != nil {
+		return MultiColorResult{}, err
+	}
+	ch.Run(steps)
+	res := MultiColorResult{
+		Colors: k,
+		Snap:   metrics.Capture(ch.Config(), steps, metrics.DefaultThresholds()),
+	}
+	for c := 0; c < k; c++ {
+		res.ClusterFrac = append(res.ClusterFrac, metrics.LargestClusterFraction(ch.Config(), psys.Color(c)))
+	}
+	return res, nil
+}
+
+// Replicated runs fn over replicas independent random seeds concurrently
+// and pools the hit counts into one frequency estimate. Each replica must
+// be an independent chain; the pooled Wilson interval is then valid.
+func Replicated(replicas int, base uint64, fn func(seed uint64) (FrequencyResult, error)) (FrequencyResult, error) {
+	if replicas < 1 {
+		return FrequencyResult{}, fmt.Errorf("experiments: need at least one replica")
+	}
+	type outcome struct {
+		res FrequencyResult
+		err error
+	}
+	results := make(chan outcome, replicas)
+	for i := 0; i < replicas; i++ {
+		go func(seed uint64) {
+			res, err := fn(seed)
+			results <- outcome{res, err}
+		}(base + uint64(i)*1_000_003)
+	}
+	var pooled FrequencyResult
+	for i := 0; i < replicas; i++ {
+		o := <-results
+		if o.err != nil {
+			return FrequencyResult{}, o.err
+		}
+		pooled.Lambda = o.res.Lambda
+		pooled.Gamma = o.res.Gamma
+		pooled.Hits += o.res.Hits
+		pooled.Samples += o.res.Samples
+	}
+	pooled.Freq = float64(pooled.Hits) / float64(pooled.Samples)
+	pooled.Lo, pooled.Hi = stats.WilsonCI(pooled.Hits, pooled.Samples)
+	return pooled, nil
+}

@@ -1,0 +1,112 @@
+package ising
+
+import (
+	"errors"
+
+	"sops/internal/lattice"
+	"sops/internal/psys"
+)
+
+// Edges returns the configuration's edges (both endpoints occupied), each
+// once, in deterministic order.
+func Edges(cfg *psys.Config) []lattice.Edge {
+	var out []lattice.Edge
+	for _, p := range cfg.Points() {
+		for d := lattice.Direction(0); d < 3; d++ { // canonical half
+			nb := p.Neighbor(d)
+			if cfg.Occupied(nb) {
+				out = append(out, lattice.NewEdge(p, nb))
+			}
+		}
+	}
+	return out
+}
+
+// ErrTooLarge is returned when a brute-force computation would be
+// intractable.
+var ErrTooLarge = errors.New("ising: instance too large for exact computation")
+
+// PartitionBrute computes Z = Σ_σ γ^{−h(σ)} over all 2^n two-colorings of
+// the shape by direct enumeration. Exponential; n ≤ 24.
+func PartitionBrute(cfg *psys.Config, gamma float64) (float64, error) {
+	pts := cfg.Points()
+	n := len(pts)
+	if n > 24 {
+		return 0, ErrTooLarge
+	}
+	index := make(map[lattice.Point]int, n)
+	for i, p := range pts {
+		index[p] = i
+	}
+	type pair struct{ a, b int }
+	var pairs []pair
+	for _, e := range Edges(cfg) {
+		pairs = append(pairs, pair{index[e.A], index[e.B]})
+	}
+	invGamma := 1 / gamma
+	total := 0.0
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		w := 1.0
+		for _, pr := range pairs {
+			if (mask>>uint(pr.a))&1 != (mask>>uint(pr.b))&1 {
+				w *= invGamma
+			}
+		}
+		total += w
+	}
+	return total, nil
+}
+
+// PartitionHT computes the same partition function through the
+// high-temperature expansion (§4 of the paper):
+//
+//	Z = x^{|E|} · 2^{|V|} · Σ_{E'⊆E even} B^{|E'|},
+//
+// where x = (1+γ^{−1})/2 and B = (γ−1)/(γ+1), and "even" means every
+// vertex has even degree in E'. The even-set sum is evaluated exactly over
+// all 2^{|E|} subsets; |E| ≤ 24.
+func PartitionHT(cfg *psys.Config, gamma float64) (float64, error) {
+	edges := Edges(cfg)
+	m := len(edges)
+	if m > 24 {
+		return 0, ErrTooLarge
+	}
+	pts := cfg.Points()
+	index := make(map[lattice.Point]int, len(pts))
+	for i, p := range pts {
+		index[p] = i
+	}
+	x := (1 + 1/gamma) / 2
+	b := (gamma - 1) / (gamma + 1)
+	evenSum := 0.0
+	deg := make([]int, len(pts))
+	for mask := 0; mask < 1<<uint(m); mask++ {
+		for i := range deg {
+			deg[i] = 0
+		}
+		w := 1.0
+		for i, e := range edges {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			deg[index[e.A]]++
+			deg[index[e.B]]++
+			w *= b
+		}
+		even := true
+		for _, d := range deg {
+			if d%2 != 0 {
+				even = false
+				break
+			}
+		}
+		if even {
+			evenSum += w
+		}
+	}
+	z := evenSum * float64(uint64(1)<<uint(len(pts)))
+	for i := 0; i < m; i++ {
+		z *= x
+	}
+	return z, nil
+}

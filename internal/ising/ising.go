@@ -1,0 +1,190 @@
+// Package ising implements the Ising-model substrate the paper's analysis
+// builds on: color dynamics on a fixed particle shape.
+//
+// With the occupied set frozen to a boundary P, the separation chain M
+// reduces to its swap moves, whose stationary distribution is exactly the
+// fixed-boundary measure π_P(σ) ∝ γ^{−h(σ)} appearing in Theorems 14 and
+// 16 — an Ising/Potts model with conserved color counts on the subgraph
+// induced by the shape. This package provides:
+//
+//   - Kawasaki dynamics: color-conserving nearest-neighbor swaps with a
+//     Metropolis filter, sampling π_P at fixed color counts;
+//   - Glauber dynamics: heat-bath single-site color resampling, sampling
+//     the unconstrained measure ∝ γ^{a(σ)};
+//   - the high-temperature expansion (§4): the exact identity rewriting
+//     Σ_σ γ^{−h(σ)} as a sum over even edge sets, used to analyze γ near 1.
+package ising
+
+import (
+	"errors"
+	"math"
+
+	"sops/internal/lattice"
+	"sops/internal/psys"
+	"sops/internal/rng"
+)
+
+// Kawasaki is the conserved-color swap chain on a fixed particle shape.
+// It is the restriction of Markov chain M to swap moves and therefore
+// samples π_P(σ) ∝ γ^{−h(σ)} over colorings of the shape with the initial
+// color counts.
+type Kawasaki struct {
+	cfg       *psys.Config
+	positions []lattice.Point
+	gamma     float64
+	rand      *rng.Source
+	powGamma  [41]float64 // γ^k for k ∈ [−20, 20]
+	steps     uint64
+	swaps     uint64
+}
+
+// ErrTooFewParticles is returned for shapes with fewer than two particles.
+var ErrTooFewParticles = errors.New("ising: need at least two particles")
+
+// NewKawasaki builds the swap chain over cfg's shape. The chain takes
+// ownership of cfg. gamma must be positive.
+func NewKawasaki(cfg *psys.Config, gamma float64, seed uint64) (*Kawasaki, error) {
+	if cfg.N() < 2 {
+		return nil, ErrTooFewParticles
+	}
+	if math.IsNaN(gamma) || gamma <= 0 {
+		return nil, errors.New("ising: gamma must be positive")
+	}
+	k := &Kawasaki{
+		cfg:       cfg,
+		positions: cfg.Points(),
+		gamma:     gamma,
+		rand:      rng.New(seed),
+	}
+	for e := -20; e <= 20; e++ {
+		k.powGamma[e+20] = math.Pow(gamma, float64(e))
+	}
+	return k, nil
+}
+
+// Step proposes one swap: a uniform particle, a uniform direction, and a
+// Metropolis acceptance on the change in same-color adjacencies — exactly
+// the swap arm of Algorithm 1. It reports whether the configuration
+// changed.
+func (k *Kawasaki) Step() bool {
+	k.steps++
+	l := k.positions[k.rand.Intn(len(k.positions))]
+	lp := l.Neighbor(lattice.Direction(k.rand.Intn(lattice.NumDirections)))
+	cj, occupied := k.cfg.At(lp)
+	if !occupied {
+		return false
+	}
+	ci, _ := k.cfg.At(l)
+	exp := k.cfg.ColorDegreeExcluding(lp, l, ci) - k.cfg.ColorDegree(l, ci) +
+		k.cfg.ColorDegreeExcluding(l, lp, cj) - k.cfg.ColorDegree(lp, cj)
+	prob := k.powGamma[exp+20]
+	if prob < 1 && k.rand.Float64() >= prob {
+		return false
+	}
+	if ci == cj {
+		return false
+	}
+	if err := k.cfg.ApplySwap(l, lp); err != nil {
+		panic("ising: invariant violation applying swap: " + err.Error())
+	}
+	k.swaps++
+	return true
+}
+
+// Run performs steps proposals.
+func (k *Kawasaki) Run(steps uint64) {
+	for i := uint64(0); i < steps; i++ {
+		k.Step()
+	}
+}
+
+// Config returns the live configuration (treat as read-only).
+func (k *Kawasaki) Config() *psys.Config { return k.cfg }
+
+// Snapshot returns an independent copy of the configuration.
+func (k *Kawasaki) Snapshot() *psys.Config { return k.cfg.Clone() }
+
+// Steps returns the number of proposals made.
+func (k *Kawasaki) Steps() uint64 { return k.steps }
+
+// Swaps returns the number of accepted color-changing swaps.
+func (k *Kawasaki) Swaps() uint64 { return k.swaps }
+
+// Glauber is the heat-bath single-site chain over colorings of a fixed
+// shape with k colors: each step resamples one particle's color from the
+// conditional distribution P(c | neighbors) ∝ γ^{|N_c|}. Color counts are
+// not conserved; the stationary distribution is ∝ γ^{a(σ)} over all
+// k-colorings of the shape.
+type Glauber struct {
+	cfg       *psys.Config
+	positions []lattice.Point
+	gamma     float64
+	colors    int
+	rand      *rng.Source
+	steps     uint64
+}
+
+// NewGlauber builds the heat-bath chain with the given number of colors.
+func NewGlauber(cfg *psys.Config, colors int, gamma float64, seed uint64) (*Glauber, error) {
+	if cfg.N() < 1 {
+		return nil, ErrTooFewParticles
+	}
+	if colors < 2 || colors > psys.MaxColors {
+		return nil, psys.ErrColorRange
+	}
+	if math.IsNaN(gamma) || gamma <= 0 {
+		return nil, errors.New("ising: gamma must be positive")
+	}
+	return &Glauber{
+		cfg:       cfg,
+		positions: cfg.Points(),
+		gamma:     gamma,
+		colors:    colors,
+		rand:      rng.New(seed),
+	}, nil
+}
+
+// Step resamples one uniformly chosen particle's color.
+func (g *Glauber) Step() {
+	g.steps++
+	l := g.positions[g.rand.Intn(len(g.positions))]
+	cur, _ := g.cfg.At(l)
+	var weights [psys.MaxColors]float64
+	total := 0.0
+	for c := 0; c < g.colors; c++ {
+		w := math.Pow(g.gamma, float64(g.cfg.ColorDegree(l, psys.Color(c))))
+		weights[c] = w
+		total += w
+	}
+	u := g.rand.Float64() * total
+	next := psys.Color(0)
+	for c := 0; c < g.colors; c++ {
+		u -= weights[c]
+		if u < 0 {
+			next = psys.Color(c)
+			break
+		}
+	}
+	if next == cur {
+		return
+	}
+	if err := g.cfg.Remove(l); err != nil {
+		panic("ising: " + err.Error())
+	}
+	if err := g.cfg.Place(l, next); err != nil {
+		panic("ising: " + err.Error())
+	}
+}
+
+// Run performs steps resamplings.
+func (g *Glauber) Run(steps uint64) {
+	for i := uint64(0); i < steps; i++ {
+		g.Step()
+	}
+}
+
+// Config returns the live configuration (treat as read-only).
+func (g *Glauber) Config() *psys.Config { return g.cfg }
+
+// Steps returns the number of resamplings performed.
+func (g *Glauber) Steps() uint64 { return g.steps }

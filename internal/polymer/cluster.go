@@ -1,0 +1,296 @@
+package polymer
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"sops/internal/lattice"
+)
+
+// Xi computes the polymer partition function Ξ = Σ_{Γ'⊆pool compatible}
+// Π_{ξ∈Γ'} w(ξ) exactly, by depth-first summation over compatible
+// collections: Ξ(S) = 1 + Σ_{i∈S} w_i·Ξ({j ∈ S : j > i, j compatible
+// with i}). The empty collection contributes 1.
+func Xi(m Model, pool []Polymer) float64 {
+	n := len(pool)
+	compat := make([][]bool, n)
+	for i := range pool {
+		compat[i] = make([]bool, n)
+		for j := range pool {
+			if i != j {
+				compat[i][j] = m.Compatible(pool[i], pool[j])
+			}
+		}
+	}
+	weights := make([]float64, n)
+	for i, p := range pool {
+		weights[i] = m.Weight(p)
+	}
+	var rec func(start int, allowed []bool) float64
+	rec = func(start int, allowed []bool) float64 {
+		total := 1.0
+		for i := start; i < n; i++ {
+			if !allowed[i] {
+				continue
+			}
+			next := make([]bool, n)
+			for j := i + 1; j < n; j++ {
+				next[j] = allowed[j] && compat[i][j]
+			}
+			total += weights[i] * rec(i+1, next)
+		}
+		return total
+	}
+	allowed := make([]bool, n)
+	for i := range allowed {
+		allowed[i] = true
+	}
+	return rec(0, allowed)
+}
+
+// Cluster is an unordered multiset of polymers whose incompatibility graph
+// is connected, stored sorted by polymer key.
+type Cluster []Polymer
+
+func clusterKey(members Cluster) string {
+	keys := make([]string, len(members))
+	for i, p := range members {
+		keys[i] = p.Key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "|")
+}
+
+// sortedInsert returns members with q inserted, keeping key order.
+func sortedInsert(members Cluster, q Polymer) Cluster {
+	out := make(Cluster, 0, len(members)+1)
+	qk := q.Key()
+	inserted := false
+	for _, p := range members {
+		if !inserted && qk < p.Key() {
+			out = append(out, q)
+			inserted = true
+		}
+		out = append(out, p)
+	}
+	if !inserted {
+		out = append(out, q)
+	}
+	return out
+}
+
+// ursell computes Σ_{G ⊆ H, connected, spanning} (−1)^{|E(G)|} for the
+// incompatibility graph H of the cluster's occurrences.
+func ursell(adj [][]bool) float64 {
+	m := len(adj)
+	if m == 1 {
+		return 1
+	}
+	type edge struct{ a, b int }
+	var edges []edge
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			if adj[i][j] {
+				edges = append(edges, edge{i, j})
+			}
+		}
+	}
+	total := 0.0
+	for mask := 0; mask < 1<<uint(len(edges)); mask++ {
+		parent := make([]int, m)
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		count := 0
+		comps := m
+		for b, e := range edges {
+			if mask&(1<<uint(b)) == 0 {
+				continue
+			}
+			count++
+			ra, rb := find(e.a), find(e.b)
+			if ra != rb {
+				parent[ra] = rb
+				comps--
+			}
+		}
+		if comps == 1 {
+			if count%2 == 0 {
+				total++
+			} else {
+				total--
+			}
+		}
+	}
+	return total
+}
+
+// Contribution returns Ψ(X) for the cluster, summed over its orderings:
+// (1/∏ mult_ξ!)·ursell(H_X)·Π_{ξ∈X} w(ξ), which equals the ordered-multiset
+// form (1/|X|!)·(Σ over connected spanning subgraphs)·Πw of Theorem 10.
+func Contribution(m Model, members Cluster) float64 {
+	size := len(members)
+	adj := make([][]bool, size)
+	for a := 0; a < size; a++ {
+		adj[a] = make([]bool, size)
+	}
+	for a := 0; a < size; a++ {
+		for b := a + 1; b < size; b++ {
+			inc := !m.Compatible(members[a], members[b])
+			adj[a][b] = inc
+			adj[b][a] = inc
+		}
+	}
+	phi := ursell(adj)
+	if phi == 0 {
+		return 0
+	}
+	w := 1.0
+	for _, p := range members {
+		w *= m.Weight(p)
+	}
+	multFact := 1.0
+	run := 1
+	for i := 1; i <= size; i++ {
+		if i < size && members[i].Key() == members[i-1].Key() {
+			run++
+			continue
+		}
+		for f := 2; f <= run; f++ {
+			multFact *= float64(f)
+		}
+		run = 1
+	}
+	return phi * w / multFact
+}
+
+// growClusters enumerates each connected multiset of size ≤ maxSize exactly
+// once, starting from the given seeds and extending by polymers drawn from
+// candidates (which must return every polymer possibly incompatible with
+// its argument, including the argument itself). visit receives each cluster
+// once.
+func growClusters(m Model, seeds []Polymer, maxSize int, candidates func(Polymer) []Polymer, visit func(Cluster)) {
+	seen := make(map[string]bool)
+	var grow func(members Cluster)
+	grow = func(members Cluster) {
+		k := clusterKey(members)
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		visit(members)
+		if len(members) >= maxSize {
+			return
+		}
+		for _, p := range members {
+			for _, q := range candidates(p) {
+				if m.Compatible(p, q) {
+					continue // not linked to p; reachable via other members if linked there
+				}
+				grow(sortedInsert(members, q))
+			}
+		}
+	}
+	for _, s := range seeds {
+		grow(Cluster{s})
+	}
+}
+
+// regionCandidates builds a candidate function over a fixed pool: for each
+// polymer, the pool members incompatible with it.
+func regionCandidates(m Model, pool []Polymer) func(Polymer) []Polymer {
+	byKey := make(map[string][]Polymer, len(pool))
+	for _, p := range pool {
+		k := p.Key()
+		var inc []Polymer
+		for _, q := range pool {
+			if !m.Compatible(p, q) {
+				inc = append(inc, q)
+			}
+		}
+		byKey[k] = inc
+	}
+	return func(p Polymer) []Polymer { return byKey[p.Key()] }
+}
+
+// LogXiTruncated evaluates the cluster expansion of ln Ξ over the pool,
+// truncated at clusters of maxSize polymers (Theorem 10, Equation 2).
+func LogXiTruncated(m Model, pool []Polymer, maxSize int) float64 {
+	total := 0.0
+	growClusters(m, pool, maxSize, regionCandidates(m, pool), func(c Cluster) {
+		total += Contribution(m, c)
+	})
+	return total
+}
+
+// lazyCandidates enumerates, on demand, every polymer of the family that
+// could be incompatible with a given polymer: all family members through
+// any edge of the polymer's closure [ξ]. Results are memoized by polymer
+// key.
+func lazyCandidates(m Model) func(Polymer) []Polymer {
+	memo := make(map[string][]Polymer)
+	return func(p Polymer) []Polymer {
+		k := p.Key()
+		if c, ok := memo[k]; ok {
+			return c
+		}
+		seenPoly := make(map[string]bool)
+		var out []Polymer
+		for _, e := range m.ClosureEdges(p) {
+			for _, q := range m.EnumerateThrough(e) {
+				qk := q.Key()
+				if !seenPoly[qk] {
+					seenPoly[qk] = true
+					out = append(out, q)
+				}
+			}
+		}
+		memo[k] = out
+		return out
+	}
+}
+
+// PsiPerEdge computes ψ = Σ_{X: e ∈ supp(X)} Ψ(X)/|supp(X)| for a reference
+// edge e, truncated at clusters of maxSize polymers — the volume density of
+// the cluster expansion appearing in Theorem 11. By translation and
+// rotation invariance of the family, the value is independent of the
+// reference edge. Clusters are discovered lazily by geometric growth from
+// the polymers through e; every cluster whose support contains e includes
+// such a polymer, so nothing is missed.
+func PsiPerEdge(m Model, maxSize int) float64 {
+	base := lattice.NewEdge(lattice.Point{}, lattice.Point{Q: 1})
+	total := 0.0
+	growClusters(m, m.EnumerateThrough(base), maxSize, lazyCandidates(m), func(c Cluster) {
+		supp := make(EdgeSet)
+		for _, p := range c {
+			for _, e := range p {
+				supp[e] = true
+			}
+		}
+		if !supp[base] {
+			return
+		}
+		total += Contribution(m, c) / float64(len(supp))
+	})
+	return total
+}
+
+// LogXiExact returns ln Ξ for the pool, computed from the exact partition
+// function. It returns NaN if Ξ ≤ 0 (possible in principle for strongly
+// negative weights, where the expansion is meaningless).
+func LogXiExact(m Model, pool []Polymer) float64 {
+	xi := Xi(m, pool)
+	if xi <= 0 {
+		return math.NaN()
+	}
+	return math.Log(xi)
+}

@@ -1,0 +1,174 @@
+package polymer
+
+import (
+	"math"
+
+	"sops/internal/lattice"
+)
+
+// Model is an abstract polymer model in the sense of §4: a family of
+// polymers with real weights and a pairwise compatibility notion. MaxLen
+// caps polymer size, keeping the family finite per region while remaining
+// translation- and rotation-invariant as Theorem 11 requires.
+type Model struct {
+	// Name describes the model in reports.
+	Name string
+	// MaxLen caps |ξ|.
+	MaxLen int
+	// Weight returns w(ξ); it may be negative (even polymers with γ < 1).
+	Weight func(p Polymer) float64
+	// Compatible reports whether two polymers are compatible.
+	Compatible func(a, b Polymer) bool
+	// ClosureEdges returns [ξ], the minimal edge set that any polymer
+	// incompatible with ξ must intersect.
+	ClosureEdges func(p Polymer) []lattice.Edge
+	// ClosureSize returns |[ξ]|.
+	ClosureSize func(p Polymer) int
+	// Enumerate returns all polymers of the family within the region (every
+	// polymer exactly once).
+	Enumerate func(region EdgeSet) []Polymer
+	// EnumerateThrough returns all polymers of the family containing a
+	// given edge, unrestricted by region.
+	EnumerateThrough func(e lattice.Edge) []Polymer
+	// CountBound returns an upper bound on the number of polymers of size k
+	// containing a fixed edge, used to bound enumeration tails analytically.
+	CountBound func(k int) float64
+	// WeightBound returns an upper bound on |w(ξ)| for |ξ| = k.
+	WeightBound func(k int) float64
+	// ClosureBound returns an upper bound on |[ξ]| for |ξ| = k.
+	ClosureBound func(k int) int
+}
+
+// LoopModel is the paper's loop-polymer model: polymers are simple cycles
+// on G_Δ with weight γ^{−|ξ|}, compatible when they share no edges, so
+// [ξ] = ξ. Cycles through a fixed edge of length k number at most 5^{k−2}
+// (each step of the defining self-avoiding path has at most five
+// continuations).
+func LoopModel(gamma float64, maxLen int) Model {
+	return Model{
+		Name:   "loops",
+		MaxLen: maxLen,
+		Weight: func(p Polymer) float64 {
+			return math.Pow(gamma, -float64(len(p)))
+		},
+		Compatible:   func(a, b Polymer) bool { return !a.SharesEdge(b) },
+		ClosureEdges: func(p Polymer) []lattice.Edge { return p },
+		ClosureSize:  func(p Polymer) int { return len(p) },
+		Enumerate: func(region EdgeSet) []Polymer {
+			return CyclesInRegion(region, maxLen)
+		},
+		EnumerateThrough: func(e lattice.Edge) []Polymer {
+			return CyclesThrough(e, maxLen, nil)
+		},
+		CountBound: func(k int) float64 {
+			if k < 3 {
+				return 0
+			}
+			return math.Pow(5, float64(k-2))
+		},
+		WeightBound:  func(k int) float64 { return math.Pow(gamma, -float64(k)) },
+		ClosureBound: func(k int) int { return k },
+	}
+}
+
+// EvenModel is the paper's high-temperature even-polymer model: polymers
+// are connected edge sets with even degree at every vertex, with weight
+// B^{|ξ|} where B = (γ−1)/(γ+1) is the high-temperature edge activity of
+// the Ising coupling e^{2J} = γ. Polymers are compatible when vertex
+// disjoint, so [ξ] is every edge incident to a vertex of ξ: |[ξ]| ≤ 11·|ξ|
+// (each edge has ten incident neighbors plus itself). Connected edge sets
+// of size k through a fixed edge number at most (10e)^{k−1}.
+func EvenModel(gamma float64, maxLen int) Model {
+	b := (gamma - 1) / (gamma + 1)
+	return Model{
+		Name:   "even",
+		MaxLen: maxLen,
+		Weight: func(p Polymer) float64 {
+			w := 1.0
+			for range p {
+				w *= b
+			}
+			return w
+		},
+		Compatible:   func(a, b Polymer) bool { return !a.SharesVertex(b) },
+		ClosureEdges: evenClosureEdges,
+		ClosureSize:  func(p Polymer) int { return len(evenClosureEdges(p)) },
+		Enumerate: func(region EdgeSet) []Polymer {
+			return EvenInRegion(region, maxLen)
+		},
+		EnumerateThrough: func(e lattice.Edge) []Polymer {
+			return EvenThrough(e, maxLen, nil)
+		},
+		CountBound: func(k int) float64 {
+			if k < 3 {
+				return 0
+			}
+			return math.Pow(10*math.E, float64(k-1))
+		},
+		WeightBound:  func(k int) float64 { return math.Pow(math.Abs(b), float64(k)) },
+		ClosureBound: func(k int) int { return 11 * k },
+	}
+}
+
+// evenClosureEdges returns every edge incident to a vertex of the polymer.
+func evenClosureEdges(p Polymer) []lattice.Edge {
+	seen := make(map[lattice.Edge]bool, 11*len(p))
+	var out []lattice.Edge
+	for _, v := range p.Vertices() {
+		for d := lattice.Direction(0); d < lattice.NumDirections; d++ {
+			e := lattice.NewEdge(v, v.Neighbor(d))
+			if !seen[e] {
+				seen[e] = true
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// KPReport is the outcome of checking the per-edge Kotecký–Preiss-type
+// condition of Theorem 11 (Equation 3): Σ_{ξ ∋ e} |w(ξ)|·e^{c|[ξ]|} ≤ c.
+type KPReport struct {
+	C float64
+	// PerSize[k] is the enumerated contribution of polymers with k edges
+	// (index 0..MaxLen; sizes below 3 are zero).
+	PerSize []float64
+	// Head is the total enumerated contribution for sizes ≤ MaxLen.
+	Head float64
+	// Tail bounds the contribution of all larger polymers analytically via
+	// CountBound/WeightBound/ClosureBound, summed to convergence; +Inf if
+	// the geometric tail does not contract.
+	Tail float64
+	// Total = Head + Tail.
+	Total float64
+	// Satisfied reports Total ≤ c.
+	Satisfied bool
+}
+
+// CheckKP verifies the Theorem 11 hypothesis for the model at constant c.
+// By translation and rotation invariance it suffices to check a single
+// reference edge.
+func CheckKP(m Model, c float64) KPReport {
+	rep := KPReport{C: c, PerSize: make([]float64, m.MaxLen+1)}
+	base := lattice.NewEdge(lattice.Point{}, lattice.Point{Q: 1})
+	for _, p := range m.EnumerateThrough(base) {
+		term := math.Abs(m.Weight(p)) * math.Exp(c*float64(m.ClosureSize(p)))
+		rep.PerSize[len(p)] += term
+		rep.Head += term
+	}
+	// Geometric tail: term(k) ≤ CountBound(k)·WeightBound(k)·e^{c·ClosureBound(k)}.
+	termAt := func(k int) float64 {
+		return m.CountBound(k) * m.WeightBound(k) * math.Exp(c*float64(m.ClosureBound(k)))
+	}
+	k0 := m.MaxLen + 1
+	t0 := termAt(k0)
+	ratio := termAt(k0+1) / t0
+	if math.IsNaN(ratio) || ratio >= 1 {
+		rep.Tail = math.Inf(1)
+	} else {
+		rep.Tail = t0 / (1 - ratio)
+	}
+	rep.Total = rep.Head + rep.Tail
+	rep.Satisfied = rep.Total <= c
+	return rep
+}

@@ -1,0 +1,441 @@
+package polymer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sops/internal/lattice"
+	"sops/internal/rng"
+)
+
+func baseEdge() lattice.Edge {
+	return lattice.NewEdge(lattice.Point{}, lattice.Point{Q: 1})
+}
+
+func TestCyclesThroughStructure(t *testing.T) {
+	cycles := CyclesThrough(baseEdge(), 6, nil)
+	seen := make(map[string]bool)
+	for _, c := range cycles {
+		if !c.IsCycle() {
+			t.Fatalf("non-cycle returned: %v", c)
+		}
+		if len(c) > 6 {
+			t.Fatalf("cycle longer than cap: %d", len(c))
+		}
+		found := false
+		for _, e := range c {
+			if e == baseEdge() {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("cycle missing base edge: %v", c)
+		}
+		k := c.Key()
+		if seen[k] {
+			t.Fatalf("duplicate cycle %v", c)
+		}
+		seen[k] = true
+	}
+}
+
+func TestCyclesThroughCounts(t *testing.T) {
+	// Exactly 2 triangles and 4 quadrilaterals contain any given edge.
+	byLen := map[int]int{}
+	for _, c := range CyclesThrough(baseEdge(), 4, nil) {
+		byLen[len(c)]++
+	}
+	if byLen[3] != 2 {
+		t.Fatalf("triangles through edge = %d, want 2", byLen[3])
+	}
+	if byLen[4] != 4 {
+		t.Fatalf("quadrilaterals through edge = %d, want 4", byLen[4])
+	}
+}
+
+func TestCountBoundDominatesEnumeration(t *testing.T) {
+	m := LoopModel(5, 8)
+	byLen := map[int]float64{}
+	for _, c := range m.EnumerateThrough(baseEdge()) {
+		byLen[len(c)]++
+	}
+	for k, count := range byLen {
+		if count > m.CountBound(k) {
+			t.Fatalf("length %d: %v cycles exceeds bound %v", k, count, m.CountBound(k))
+		}
+	}
+	em := EvenModel(1.02, 6)
+	byLen = map[int]float64{}
+	for _, p := range em.EnumerateThrough(baseEdge()) {
+		byLen[len(p)]++
+	}
+	for k, count := range byLen {
+		if count > em.CountBound(k) {
+			t.Fatalf("even size %d: %v polymers exceeds bound %v", k, count, em.CountBound(k))
+		}
+	}
+}
+
+func TestCyclesInRegionWheelCounts(t *testing.T) {
+	// The radius-1 hexagon patch is the wheel W6; its cycle counts by
+	// maximum length are classical: 6 triangles, 6 quads, 6 pentagons,
+	// 6 hexagons through the hub plus the rim hexagon, 6 heptagons.
+	region := HexRegion(1)
+	if len(region) != 12 {
+		t.Fatalf("hex region r=1 has %d edges, want 12", len(region))
+	}
+	wants := map[int]int{3: 6, 4: 12, 5: 18, 6: 25, 7: 31}
+	for maxLen, want := range wants {
+		if got := len(CyclesInRegion(region, maxLen)); got != want {
+			t.Errorf("cycles with maxLen %d: %d, want %d", maxLen, got, want)
+		}
+	}
+}
+
+func TestEvenThroughStructure(t *testing.T) {
+	polys := EvenThrough(baseEdge(), 6, nil)
+	small := 0
+	sawBowtie := false
+	for _, p := range polys {
+		if !p.IsEven() || !p.IsConnected() {
+			t.Fatalf("invalid even polymer %v", p)
+		}
+		if len(p) <= 4 {
+			small++
+			if !p.IsCycle() {
+				t.Fatalf("even polymer with ≤4 edges must be a cycle: %v", p)
+			}
+		}
+		if len(p) == 6 && !p.IsCycle() {
+			sawBowtie = true // two triangles sharing a vertex
+		}
+	}
+	if small != 6 {
+		t.Fatalf("even polymers with ≤4 edges = %d, want 6 (2 triangles + 4 quads)", small)
+	}
+	if !sawBowtie {
+		t.Fatal("no size-6 non-cycle even polymer (bowtie) found")
+	}
+}
+
+func TestSharesEdgeVertex(t *testing.T) {
+	tris := CyclesThrough(baseEdge(), 3, nil)
+	if len(tris) != 2 {
+		t.Fatal("setup: need the two triangles")
+	}
+	a, b := tris[0], tris[1]
+	if !a.SharesEdge(b) {
+		t.Fatal("both triangles contain the base edge")
+	}
+	if !a.SharesVertex(b) {
+		t.Fatal("triangles share base endpoints")
+	}
+	far := CyclesThrough(lattice.NewEdge(lattice.Point{Q: 10, R: 10}, lattice.Point{Q: 11, R: 10}), 3, nil)[0]
+	if a.SharesEdge(far) || a.SharesVertex(far) {
+		t.Fatal("distant polymers reported as touching")
+	}
+}
+
+func TestHexRegionAndSurface(t *testing.T) {
+	r2 := HexRegion(2)
+	if len(r2) != 42 {
+		t.Fatalf("hex region r=2 has %d edges, want 42", len(r2))
+	}
+	surf := r2.SurfaceEdges()
+	// Interior vertices are the radius-1 hexagon (7 vertices); edges with
+	// both endpoints interior number 12; the rest are surface.
+	if len(surf) != 30 {
+		t.Fatalf("surface edges = %d, want 30", len(surf))
+	}
+	// r=1: every vertex touches the outside, so every edge is surface.
+	r1 := HexRegion(1)
+	if got := len(r1.SurfaceEdges()); got != 12 {
+		t.Fatalf("r=1 surface edges = %d, want 12", got)
+	}
+}
+
+func TestXiSmallPools(t *testing.T) {
+	m := LoopModel(2, 3) // triangles have weight 1/8
+	tris := CyclesThrough(baseEdge(), 3, nil)
+	// The two triangles share the base edge: incompatible.
+	w := m.Weight(tris[0])
+	got := Xi(m, tris)
+	want := 1 + 2*w
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Xi incompatible pair = %v, want %v", got, want)
+	}
+	// Two distant triangles: compatible.
+	far := CyclesThrough(lattice.NewEdge(lattice.Point{Q: 30, R: 0}, lattice.Point{Q: 31, R: 0}), 3, nil)[0]
+	got = Xi(m, []Polymer{tris[0], far})
+	want = 1 + 2*w + w*w
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Xi compatible pair = %v, want %v", got, want)
+	}
+	if Xi(m, nil) != 1 {
+		t.Fatal("empty pool Xi != 1")
+	}
+}
+
+func TestUrsellValues(t *testing.T) {
+	if got := ursell([][]bool{{false}}); got != 1 {
+		t.Fatalf("single-vertex ursell %v, want 1", got)
+	}
+	pair := [][]bool{{false, true}, {true, false}}
+	if got := ursell(pair); got != -1 {
+		t.Fatalf("incompatible-pair ursell %v, want -1", got)
+	}
+	path := [][]bool{
+		{false, true, false},
+		{true, false, true},
+		{false, true, false},
+	}
+	if got := ursell(path); got != 1 {
+		t.Fatalf("path ursell %v, want 1", got)
+	}
+	triangle := [][]bool{
+		{false, true, true},
+		{true, false, true},
+		{true, true, false},
+	}
+	if got := ursell(triangle); got != 2 {
+		t.Fatalf("triangle ursell %v, want 2", got)
+	}
+}
+
+func TestContributionRepeatedPolymer(t *testing.T) {
+	m := LoopModel(2, 3)
+	tri := CyclesThrough(baseEdge(), 3, nil)[0]
+	w := m.Weight(tri)
+	// Cluster {ξ, ξ}: Ψ = (1/2!)·ursell(K2)·w² = −w²/2.
+	got := Contribution(m, Cluster{tri, tri})
+	if math.Abs(got-(-w*w/2)) > 1e-15 {
+		t.Fatalf("repeated-polymer contribution %v, want %v", got, -w*w/2)
+	}
+}
+
+// TestClusterExpansionConverges verifies Theorem 10 numerically: on a small
+// region the truncated cluster expansion of ln Ξ approaches the exact value
+// as more cluster sizes are included.
+func TestClusterExpansionConverges(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Model
+	}{
+		{"loops gamma=8", LoopModel(8, 4)},
+		{"even gamma=1.05", EvenModel(1.05, 4)},
+		{"even gamma=0.97 (negative weights)", EvenModel(0.97, 4)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pool := tc.m.Enumerate(HexRegion(1))
+			if len(pool) == 0 {
+				t.Fatal("empty pool")
+			}
+			exact := LogXiExact(tc.m, pool)
+			if math.IsNaN(exact) {
+				t.Fatal("exact partition function not positive")
+			}
+			prevErr := math.Inf(1)
+			for size := 1; size <= 4; size++ {
+				err := math.Abs(LogXiTruncated(tc.m, pool, size) - exact)
+				if size >= 2 && err > prevErr+1e-12 {
+					t.Fatalf("size %d error %v worse than previous %v", size, err, prevErr)
+				}
+				prevErr = err
+			}
+			if prevErr > 1e-6 {
+				t.Fatalf("size-4 truncation error %v too large", prevErr)
+			}
+		})
+	}
+}
+
+func TestCheckKPLoops(t *testing.T) {
+	// Large γ: per-edge condition holds with c = 0.05.
+	rep := CheckKP(LoopModel(8, 8), 0.05)
+	if !rep.Satisfied {
+		t.Fatalf("KP should hold for loops at gamma=8: %+v", rep)
+	}
+	if rep.Tail <= 0 || math.IsInf(rep.Tail, 1) {
+		t.Fatalf("tail bound %v not finite positive", rep.Tail)
+	}
+	// γ below 5e^c: tail geometric ratio exceeds 1, condition must fail.
+	rep = CheckKP(LoopModel(4, 6), 0.05)
+	if rep.Satisfied {
+		t.Fatal("KP reported satisfied for gamma=4 loops")
+	}
+}
+
+func TestCheckKPEven(t *testing.T) {
+	// γ in the paper's integration window (79/81, 81/79): |B| ≤ 1/80 and
+	// the condition holds comfortably.
+	rep := CheckKP(EvenModel(81.0/79.0, 6), 0.01)
+	if !rep.Satisfied {
+		t.Fatalf("KP should hold for even polymers at gamma=81/79: %+v", rep)
+	}
+	// γ far from 1 (B large): fails.
+	rep = CheckKP(EvenModel(3, 6), 0.01)
+	if rep.Satisfied {
+		t.Fatal("KP reported satisfied for gamma=3 even polymers")
+	}
+}
+
+// TestTheorem11VolumeSurface is the paper's volume/surface decomposition
+// verified numerically: with ψ computed from the per-edge cluster density
+// and c from the KP check, exact partition functions on hexagonal regions
+// satisfy e^{ψ|Λ|−c|∂Λ|} ≤ Ξ_Λ ≤ e^{ψ|Λ|+c|∂Λ|}.
+func TestTheorem11VolumeSurface(t *testing.T) {
+	m := LoopModel(8, 4)
+	const c = 0.05
+	if rep := CheckKP(m, c); !rep.Satisfied {
+		t.Fatalf("KP precondition failed: %+v", rep)
+	}
+	psi := PsiPerEdge(m, 3)
+	if math.Abs(psi) > c {
+		t.Fatalf("|ψ| = %v exceeds c = %v, contradicting Theorem 11", math.Abs(psi), c)
+	}
+	for r := 1; r <= 2; r++ {
+		region := HexRegion(r)
+		pool := m.Enumerate(region)
+		logXi := LogXiExact(m, pool)
+		vol := psi * float64(len(region))
+		surf := c * float64(len(region.SurfaceEdges()))
+		if logXi < vol-surf || logXi > vol+surf {
+			t.Fatalf("r=%d: ln Ξ = %v outside [%v, %v]", r, logXi, vol-surf, vol+surf)
+		}
+	}
+}
+
+func TestTheorem11EvenModel(t *testing.T) {
+	m := EvenModel(81.0/79.0, 4)
+	const c = 0.01
+	if rep := CheckKP(m, c); !rep.Satisfied {
+		t.Fatalf("KP precondition failed: %+v", rep)
+	}
+	psi := PsiPerEdge(m, 2)
+	if math.Abs(psi) > c {
+		t.Fatalf("|ψ| = %v exceeds c = %v", math.Abs(psi), c)
+	}
+	for r := 1; r <= 2; r++ {
+		region := HexRegion(r)
+		pool := m.Enumerate(region)
+		logXi := LogXiExact(m, pool)
+		vol := psi * float64(len(region))
+		surf := c * float64(len(region.SurfaceEdges()))
+		if logXi < vol-surf || logXi > vol+surf {
+			t.Fatalf("r=%d: ln Ξ = %v outside [%v, %v]", r, logXi, vol-surf, vol+surf)
+		}
+	}
+}
+
+func TestPolymerPredicates(t *testing.T) {
+	tri := CyclesThrough(baseEdge(), 3, nil)[0]
+	if !tri.IsCycle() || !tri.IsEven() || !tri.IsConnected() {
+		t.Fatal("triangle predicates failed")
+	}
+	// A path of two edges: connected, not even, not a cycle.
+	path := Polymer{
+		lattice.NewEdge(lattice.Point{}, lattice.Point{Q: 1}),
+		lattice.NewEdge(lattice.Point{Q: 1}, lattice.Point{Q: 2}),
+	}
+	if path.IsCycle() || path.IsEven() || !path.IsConnected() {
+		t.Fatal("path predicates failed")
+	}
+	// Two disjoint edges: disconnected.
+	split := Polymer{
+		lattice.NewEdge(lattice.Point{}, lattice.Point{Q: 1}),
+		lattice.NewEdge(lattice.Point{Q: 5}, lattice.Point{Q: 6}),
+	}
+	if split.IsConnected() {
+		t.Fatal("disjoint edges reported connected")
+	}
+	if len(tri.Vertices()) != 3 {
+		t.Fatalf("triangle has %d vertices", len(tri.Vertices()))
+	}
+}
+
+func TestClosureEdges(t *testing.T) {
+	m := LoopModel(8, 4)
+	tri := CyclesThrough(baseEdge(), 3, nil)[0]
+	if got := m.ClosureSize(tri); got != 3 {
+		t.Fatalf("loop closure size %d, want 3", got)
+	}
+	em := EvenModel(1.05, 4)
+	// Triangle vertices have 6 incident edges each; triangle edges shared:
+	// |[ξ]| = 3·6 − 3 (each triangle edge counted twice) = 15.
+	if got := em.ClosureSize(tri); got != 15 {
+		t.Fatalf("even closure size %d, want 15", got)
+	}
+	if got := em.ClosureSize(tri); got > em.ClosureBound(3) {
+		t.Fatalf("closure size %d exceeds bound %d", got, em.ClosureBound(3))
+	}
+}
+
+func BenchmarkCyclesThrough6(b *testing.B) {
+	e := baseEdge()
+	for i := 0; i < b.N; i++ {
+		_ = CyclesThrough(e, 6, nil)
+	}
+}
+
+func BenchmarkXiHexRegion(b *testing.B) {
+	m := LoopModel(8, 4)
+	pool := m.Enumerate(HexRegion(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Xi(m, pool)
+	}
+}
+
+func TestQuickCanonicalOrderInvariance(t *testing.T) {
+	// The polymer key must not depend on edge discovery order.
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		cycles := CyclesThrough(baseEdge(), 6, nil)
+		p := cycles[r.Intn(len(cycles))]
+		shuffled := make([]lattice.Edge, len(p))
+		copy(shuffled, p)
+		r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		return canonical(shuffled).Key() == p.Key()
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCompatibilitySymmetry(t *testing.T) {
+	lm := LoopModel(5, 5)
+	em := EvenModel(1.1, 5)
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		pool := CyclesThrough(baseEdge(), 5, nil)
+		a := pool[r.Intn(len(pool))]
+		b := pool[r.Intn(len(pool))]
+		if lm.Compatible(a, b) != lm.Compatible(b, a) {
+			return false
+		}
+		return em.Compatible(a, b) == em.Compatible(b, a)
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickXiOrderInvariance(t *testing.T) {
+	// The partition function must not depend on pool ordering.
+	m := LoopModel(3, 4)
+	pool := m.Enumerate(HexRegion(1))
+	want := Xi(m, pool)
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		shuffled := make([]Polymer, len(pool))
+		copy(shuffled, pool)
+		r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got := Xi(m, shuffled)
+		return math.Abs(got-want) < 1e-9*math.Abs(want)
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+package psys
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"sops/internal/lattice"
+)
+
+// particleJSON is the wire form of one particle.
+type particleJSON struct {
+	Q     int   `json:"q"`
+	R     int   `json:"r"`
+	Color Color `json:"color"`
+}
+
+// configJSON is the wire form of a configuration.
+type configJSON struct {
+	Particles []particleJSON `json:"particles"`
+}
+
+// MarshalJSON encodes the configuration as a list of particles in canonical
+// point order, so equal configurations (same arrangement) produce identical
+// bytes.
+func (c *Config) MarshalJSON() ([]byte, error) {
+	wire := configJSON{Particles: make([]particleJSON, 0, c.N())}
+	for _, pt := range c.Particles() {
+		wire.Particles = append(wire.Particles, particleJSON{
+			Q: pt.Pos.Q, R: pt.Pos.R, Color: pt.Color,
+		})
+	}
+	return json.Marshal(wire)
+}
+
+// UnmarshalJSON replaces the configuration with the encoded one, rebuilding
+// all derived statistics. It fails on duplicate positions or out-of-range
+// colors and leaves the receiver unchanged on error.
+func (c *Config) UnmarshalJSON(data []byte) error {
+	var wire configJSON
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return fmt.Errorf("psys: decode configuration: %w", err)
+	}
+	fresh := New()
+	for _, p := range wire.Particles {
+		if err := fresh.Place(lattice.Point{Q: p.Q, R: p.R}, p.Color); err != nil {
+			return fmt.Errorf("psys: decode particle (%d,%d): %w", p.Q, p.R, err)
+		}
+	}
+	*c = *fresh
+	return nil
+}

@@ -1,0 +1,384 @@
+package psys
+
+import (
+	"testing"
+
+	"sops/internal/lattice"
+	"sops/internal/rng"
+)
+
+func TestApplyMovePreservesCounts(t *testing.T) {
+	// Move the tip of an L-shape and verify incremental counts match a
+	// from-scratch rebuild.
+	parts := []Particle{
+		{lattice.Point{Q: 0, R: 0}, 0},
+		{lattice.Point{Q: 1, R: 0}, 1},
+		{lattice.Point{Q: 2, R: 0}, 0},
+		{lattice.Point{Q: 0, R: 1}, 1},
+	}
+	c := mustConfig(t, parts)
+	from := lattice.Point{Q: 2, R: 0}
+	to := lattice.Point{Q: 1, R: 1}
+	if !from.Adjacent(to) {
+		t.Fatal("test setup: from/to not adjacent")
+	}
+	if err := c.ApplyMove(from, to); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := NewFrom(c.Particles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Edges() != rebuilt.Edges() || c.HomEdges() != rebuilt.HomEdges() {
+		t.Fatalf("incremental e=%d a=%d, rebuilt e=%d a=%d",
+			c.Edges(), c.HomEdges(), rebuilt.Edges(), rebuilt.HomEdges())
+	}
+	if _, ok := c.At(from); ok {
+		t.Fatal("source still occupied after move")
+	}
+	if col, ok := c.At(to); !ok || col != 0 {
+		t.Fatal("moved particle missing or recolored")
+	}
+}
+
+func TestApplyMoveErrors(t *testing.T) {
+	c := mustConfig(t, monochrome(lattice.Line(lattice.Point{}, 3)))
+	if err := c.ApplyMove(lattice.Point{Q: 9, R: 9}, lattice.Point{Q: 10, R: 9}); err == nil {
+		t.Fatal("move from vacant node succeeded")
+	}
+	if err := c.ApplyMove(lattice.Point{}, lattice.Point{Q: 1, R: 0}); err == nil {
+		t.Fatal("move onto occupied node succeeded")
+	}
+	if err := c.ApplyMove(lattice.Point{}, lattice.Point{Q: 3, R: 3}); err == nil {
+		t.Fatal("move to non-adjacent node succeeded")
+	}
+}
+
+func TestApplySwap(t *testing.T) {
+	a := lattice.Point{Q: 0, R: 0}
+	b := lattice.Point{Q: 1, R: 0}
+	d := lattice.Point{Q: 0, R: 1}
+	c := mustConfig(t, []Particle{{a, 0}, {b, 1}, {d, 0}})
+	heBefore := c.HetEdges()
+	if err := c.ApplySwap(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if col, _ := c.At(a); col != 1 {
+		t.Fatal("swap did not exchange colors at a")
+	}
+	if col, _ := c.At(b); col != 0 {
+		t.Fatal("swap did not exchange colors at b")
+	}
+	rebuilt, err := NewFrom(c.Particles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.HomEdges() != rebuilt.HomEdges() || c.Edges() != rebuilt.Edges() {
+		t.Fatalf("swap bookkeeping diverged: e=%d a=%d vs rebuilt e=%d a=%d",
+			c.Edges(), c.HomEdges(), rebuilt.Edges(), rebuilt.HomEdges())
+	}
+	// Triangle a-b-d: before swap h = 2 (a-b, b-d); after h = 2 (a-b, a-d).
+	if c.HetEdges() != heBefore {
+		t.Fatalf("het edges %d -> %d", heBefore, c.HetEdges())
+	}
+	// Occupied set unchanged (I7).
+	if c.N() != 3 || !c.Occupied(a) || !c.Occupied(b) || !c.Occupied(d) {
+		t.Fatal("swap changed occupied set")
+	}
+}
+
+func TestSwapSameColorNoOp(t *testing.T) {
+	a := lattice.Point{Q: 0, R: 0}
+	b := lattice.Point{Q: 1, R: 0}
+	c := mustConfig(t, []Particle{{a, 2}, {b, 2}})
+	before := c.CanonicalKey()
+	if err := c.ApplySwap(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if c.CanonicalKey() != before {
+		t.Fatal("same-color swap changed configuration")
+	}
+}
+
+func TestSwapErrors(t *testing.T) {
+	c := mustConfig(t, monochrome(lattice.Line(lattice.Point{}, 2)))
+	if err := c.ApplySwap(lattice.Point{}, lattice.Point{Q: 5, R: 0}); err == nil {
+		t.Fatal("swap of non-adjacent nodes succeeded")
+	}
+	if err := c.ApplySwap(lattice.Point{}, lattice.Point{Q: 0, R: 1}); err == nil {
+		t.Fatal("swap with vacant node succeeded")
+	}
+}
+
+// Property 4 cases. Geometry: l=(0,0), lp=(1,0); their common lattice
+// neighbors are (0,1) [north] and (1,-1) [south].
+func TestProperty4(t *testing.T) {
+	l := lattice.Point{Q: 0, R: 0}
+	lp := lattice.Point{Q: 1, R: 0}
+	north := lattice.Point{Q: 0, R: 1}
+	south := lattice.Point{Q: 1, R: -1}
+
+	t.Run("SingleCommonNeighbor", func(t *testing.T) {
+		c := mustConfig(t, []Particle{{l, 0}, {north, 0}})
+		if !c.Property4(l, lp) {
+			t.Fatal("|S|=1 with trivially connected neighborhood should satisfy Property 4")
+		}
+	})
+
+	t.Run("NoCommonNeighbor", func(t *testing.T) {
+		// Only a far neighbor of l, none adjacent to lp.
+		west := lattice.Point{Q: -1, R: 0}
+		c := mustConfig(t, []Particle{{l, 0}, {west, 0}})
+		if c.Property4(l, lp) {
+			t.Fatal("|S|=0 must fail Property 4")
+		}
+	})
+
+	t.Run("TwoCommonNeighborsSeparated", func(t *testing.T) {
+		// Both common neighbors occupied but in separate local components.
+		c := mustConfig(t, []Particle{{l, 0}, {north, 0}, {south, 0}})
+		if !c.Property4(l, lp) {
+			t.Fatal("|S|=2 in distinct components should satisfy Property 4")
+		}
+	})
+
+	t.Run("TwoCommonNeighborsJoined", func(t *testing.T) {
+		// Join north and south through the east side of lp: now particles
+		// are connected to BOTH members of S, violating 'exactly one'.
+		ne := lattice.Point{Q: 1, R: 1}  // neighbor of lp and of north
+		e := lattice.Point{Q: 2, R: 0}   // neighbor of lp
+		se := lattice.Point{Q: 2, R: -1} // neighbor of lp and of south
+		c := mustConfig(t, []Particle{{l, 0}, {north, 0}, {south, 0}, {ne, 0}, {e, 0}, {se, 0}})
+		if c.Property4(l, lp) {
+			t.Fatal("a path joining both members of S must fail Property 4")
+		}
+	})
+
+	t.Run("ChainToOneCommonNeighbor", func(t *testing.T) {
+		// north plus a chain hanging off it stays connected to exactly one
+		// member of S.
+		nw := lattice.Point{Q: -1, R: 1} // neighbor of l and of north
+		c := mustConfig(t, []Particle{{l, 0}, {north, 0}, {nw, 0}})
+		if !c.Property4(l, lp) {
+			t.Fatal("chain attached to single S member should satisfy Property 4")
+		}
+	})
+}
+
+func TestProperty5(t *testing.T) {
+	l := lattice.Point{Q: 0, R: 0}
+	lp := lattice.Point{Q: 1, R: 0}
+
+	t.Run("Satisfied", func(t *testing.T) {
+		// One neighbor of l away from lp, one neighbor of lp away from l,
+		// no common neighbors.
+		west := lattice.Point{Q: -1, R: 0}
+		east := lattice.Point{Q: 2, R: 0}
+		c := mustConfig(t, []Particle{{l, 0}, {west, 0}, {east, 0}})
+		if !c.Property5(l, lp) {
+			t.Fatal("separated nonempty neighborhoods should satisfy Property 5")
+		}
+	})
+
+	t.Run("FailsWithCommonNeighbor", func(t *testing.T) {
+		north := lattice.Point{Q: 0, R: 1}
+		c := mustConfig(t, []Particle{{l, 0}, {north, 0}})
+		if c.Property5(l, lp) {
+			t.Fatal("|S|=1 must fail Property 5")
+		}
+	})
+
+	t.Run("FailsEmptySide", func(t *testing.T) {
+		west := lattice.Point{Q: -1, R: 0}
+		c := mustConfig(t, []Particle{{l, 0}, {west, 0}})
+		if c.Property5(l, lp) {
+			t.Fatal("empty N(lp) must fail Property 5")
+		}
+	})
+
+	t.Run("FailsDisconnectedSide", func(t *testing.T) {
+		// Two non-adjacent neighbors of l (west and south-west are adjacent;
+		// pick west and south-east of l... (1,-1) is common w/ lp; use
+		// west (-1,0) and north-west (-1,1): those ARE adjacent. Use
+		// west (-1,0) and south (0,-1): adjacent? (-1,0)-(0,-1): diff (1,-1)
+		// adjacent. On a hexagon ring, non-adjacent means two apart: west
+		// and north (0,1) — but north is common with lp. l's neighbors:
+		// E=lp, NE(0,1)=common, NW(-1,1), W(-1,0), SW(0,-1), SE(1,-1)=common.
+		// Non-adjacent pair avoiding commons: NW and SW (two apart).
+		nw := lattice.Point{Q: -1, R: 1}
+		sw := lattice.Point{Q: 0, R: -1}
+		east := lattice.Point{Q: 2, R: 0}
+		c := mustConfig(t, []Particle{{l, 0}, {nw, 0}, {sw, 0}, {east, 0}})
+		if nw.Adjacent(sw) {
+			t.Fatal("test setup: nw and sw should not be adjacent")
+		}
+		if c.Property5(l, lp) {
+			t.Fatal("disconnected N(l) must fail Property 5")
+		}
+	})
+}
+
+func TestMoveValidBasics(t *testing.T) {
+	l := lattice.Point{Q: 0, R: 0}
+	lp := lattice.Point{Q: 1, R: 0}
+	north := lattice.Point{Q: 0, R: 1}
+	c := mustConfig(t, []Particle{{l, 0}, {north, 0}})
+	if !c.MoveValid(l, lp) {
+		t.Fatal("valid slide rejected")
+	}
+	if c.MoveValid(l, l.Neighbor(3)) {
+		// Moving west would leave the particle with no relation to north?
+		// West: S = common neighbors of l and (-1,0) are (-1,1) and (0,-1),
+		// both vacant, so Property 4 fails; N(l)\{lp} = {north} nonempty,
+		// N(lp') = {} empty, so Property 5 fails. Must be invalid.
+		t.Fatal("disconnecting move accepted")
+	}
+	if c.MoveValid(north, l) {
+		t.Fatal("move onto occupied node accepted")
+	}
+	if c.MoveValid(lattice.Point{Q: 7, R: 7}, lattice.Point{Q: 8, R: 7}) {
+		t.Fatal("move of vacant node accepted")
+	}
+}
+
+func TestMoveValidDegreeFive(t *testing.T) {
+	// Particle with exactly 5 neighbors: condition (i) forbids the move.
+	center := lattice.Point{Q: 0, R: 0}
+	parts := []Particle{{center, 0}}
+	nbs := center.Neighbors()
+	for i, nb := range nbs {
+		if i == 0 {
+			continue // leave East vacant
+		}
+		parts = append(parts, Particle{nb, 0})
+	}
+	c := mustConfig(t, parts)
+	if c.Degree(center) != 5 {
+		t.Fatalf("setup: degree %d, want 5", c.Degree(center))
+	}
+	if c.MoveValid(center, nbs[0]) {
+		t.Fatal("degree-5 particle allowed to move")
+	}
+}
+
+// TestMovesPreserveInvariants is the core property test (I1, I2, I10):
+// random sequences of valid moves and swaps never disconnect the system,
+// never create a hole, and keep incremental statistics consistent with a
+// from-scratch rebuild.
+func TestMovesPreserveInvariants(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 10; trial++ {
+		n := 10 + r.Intn(20)
+		pts := lattice.Spiral(lattice.Point{}, n)
+		parts := make([]Particle, n)
+		for i, p := range pts {
+			parts[i] = Particle{Pos: p, Color: Color(r.Intn(2))}
+		}
+		c := mustConfig(t, parts)
+		accepted := 0
+		for step := 0; step < 3000; step++ {
+			all := c.Points()
+			p := all[r.Intn(len(all))]
+			d := lattice.Direction(r.Intn(6))
+			q := p.Neighbor(d)
+			if c.Occupied(q) {
+				if err := c.ApplySwap(p, q); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			if c.MoveValid(p, q) {
+				if err := c.ApplyMove(p, q); err != nil {
+					t.Fatal(err)
+				}
+				accepted++
+			}
+		}
+		if accepted == 0 {
+			t.Fatal("no moves accepted in 3000 proposals")
+		}
+		if !c.Connected() {
+			t.Fatalf("trial %d: configuration disconnected", trial)
+		}
+		if !c.HoleFree() {
+			t.Fatalf("trial %d: configuration has a hole", trial)
+		}
+		rebuilt, err := NewFrom(c.Particles())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Edges() != rebuilt.Edges() || c.HomEdges() != rebuilt.HomEdges() {
+			t.Fatalf("trial %d: incremental stats diverged", trial)
+		}
+		if c.Perimeter() != c.PerimeterWalk() {
+			t.Fatalf("trial %d: perimeter formula %d != walk %d", trial, c.Perimeter(), c.PerimeterWalk())
+		}
+		if c.N() != n {
+			t.Fatalf("trial %d: particle count changed", trial)
+		}
+	}
+}
+
+// TestMoveReversibility (I3): if a particle moved l -> lp, the reverse move
+// lp -> l must also be valid.
+func TestMoveReversibility(t *testing.T) {
+	r := rng.New(99)
+	n := 20
+	pts := lattice.Spiral(lattice.Point{}, n)
+	c := mustConfig(t, monochrome(pts))
+	checked := 0
+	for step := 0; step < 5000; step++ {
+		all := c.Points()
+		p := all[r.Intn(len(all))]
+		q := p.Neighbor(lattice.Direction(r.Intn(6)))
+		if c.Occupied(q) || !c.MoveValid(p, q) {
+			continue
+		}
+		if err := c.ApplyMove(p, q); err != nil {
+			t.Fatal(err)
+		}
+		if !c.MoveValid(q, p) {
+			t.Fatalf("move %v->%v not reversible", p, q)
+		}
+		checked++
+	}
+	if checked < 50 {
+		t.Fatalf("only %d moves exercised", checked)
+	}
+}
+
+func BenchmarkMoveValid(b *testing.B) {
+	pts := lattice.Spiral(lattice.Point{}, 100)
+	c, err := NewFrom(monochrome(pts))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	all := c.Points()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := all[r.Intn(len(all))]
+		q := p.Neighbor(lattice.Direction(r.Intn(6)))
+		_ = !c.Occupied(q) && c.MoveValid(p, q)
+	}
+}
+
+func BenchmarkApplyMove(b *testing.B) {
+	pts := lattice.Spiral(lattice.Point{}, 100)
+	c, err := NewFrom(monochrome(pts))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		all := c.Points()
+		p := all[r.Intn(len(all))]
+		q := p.Neighbor(lattice.Direction(r.Intn(6)))
+		if !c.Occupied(q) && c.MoveValid(p, q) {
+			if err := c.ApplyMove(p, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,410 @@
+// Package psys implements heterogeneous particle-system configurations on
+// the triangular lattice: occupancy with immutable particle colors,
+// incrementally maintained edge statistics, perimeter, connectivity and hole
+// detection, and the locally checkable movement properties (Properties 4
+// and 5 of the paper) that guarantee moves never disconnect the system or
+// create holes.
+//
+// A Config corresponds to the paper's notion of a configuration σ: the set
+// of occupied vertices of G_Δ together with the colors of the occupying
+// particles. The package maintains, under every move and swap:
+//
+//   - e(σ): the number of lattice edges with both endpoints occupied,
+//   - a(σ): the number of homogeneous edges (endpoints of equal color),
+//   - h(σ) = e(σ) − a(σ): the number of heterogeneous edges,
+//
+// and exposes the perimeter p(σ) through the identity e = 3n − p − 3, valid
+// for connected hole-free configurations, as well as through an independent
+// boundary-walk computation.
+package psys
+
+import (
+	"errors"
+	"fmt"
+
+	"sops/internal/lattice"
+)
+
+// Color identifies a particle's immutable color class c_i. Colors are dense
+// small integers 0, 1, …, k−1; the paper's proofs cover k = 2 and its
+// simulations (and this library) allow any constant k.
+type Color uint8
+
+// MaxColors bounds the number of distinct color classes; the paper assumes
+// k ≪ n is a constant.
+const MaxColors = 16
+
+// Particle is an occupied location together with its color.
+type Particle struct {
+	Pos   lattice.Point
+	Color Color
+}
+
+// Config is a heterogeneous particle-system configuration. It is not safe
+// for concurrent mutation; the amoebot runtime provides synchronization.
+type Config struct {
+	occ        map[uint64]Color
+	n          int
+	edges      int
+	hom        int
+	colorCount [MaxColors]int
+}
+
+var (
+	// ErrOccupied is returned when placing a particle on an occupied node.
+	ErrOccupied = errors.New("psys: node already occupied")
+	// ErrVacant is returned when an operation expects an occupied node.
+	ErrVacant = errors.New("psys: node not occupied")
+	// ErrNotAdjacent is returned when two nodes are not lattice-adjacent.
+	ErrNotAdjacent = errors.New("psys: nodes are not adjacent")
+	// ErrColorRange is returned for colors outside [0, MaxColors).
+	ErrColorRange = errors.New("psys: color out of range")
+)
+
+func key(p lattice.Point) uint64 {
+	return uint64(uint32(p.Q))<<32 | uint64(uint32(p.R))
+}
+
+// New returns an empty configuration.
+func New() *Config {
+	return &Config{occ: make(map[uint64]Color)}
+}
+
+// NewFrom builds a configuration from particles. It fails if any two
+// particles share a location or a color is out of range. It does not require
+// connectivity; call Connected to check.
+func NewFrom(particles []Particle) (*Config, error) {
+	c := &Config{occ: make(map[uint64]Color, len(particles))}
+	for _, pt := range particles {
+		if err := c.Place(pt.Pos, pt.Color); err != nil {
+			return nil, fmt.Errorf("particle at %v: %w", pt.Pos, err)
+		}
+	}
+	return c, nil
+}
+
+// Place adds a particle of color col at p, updating edge statistics.
+func (c *Config) Place(p lattice.Point, col Color) error {
+	if col >= MaxColors {
+		return ErrColorRange
+	}
+	k := key(p)
+	if _, ok := c.occ[k]; ok {
+		return ErrOccupied
+	}
+	for _, nb := range p.Neighbors() {
+		if nc, ok := c.occ[key(nb)]; ok {
+			c.edges++
+			if nc == col {
+				c.hom++
+			}
+		}
+	}
+	c.occ[k] = col
+	c.n++
+	c.colorCount[col]++
+	return nil
+}
+
+// Remove deletes the particle at p, updating edge statistics.
+func (c *Config) Remove(p lattice.Point) error {
+	k := key(p)
+	col, ok := c.occ[k]
+	if !ok {
+		return ErrVacant
+	}
+	delete(c.occ, k)
+	for _, nb := range p.Neighbors() {
+		if nc, ok := c.occ[key(nb)]; ok {
+			c.edges--
+			if nc == col {
+				c.hom--
+			}
+		}
+	}
+	c.n--
+	c.colorCount[col]--
+	return nil
+}
+
+// At returns the color of the particle at p, if any.
+func (c *Config) At(p lattice.Point) (Color, bool) {
+	col, ok := c.occ[key(p)]
+	return col, ok
+}
+
+// Occupied reports whether p is occupied.
+func (c *Config) Occupied(p lattice.Point) bool {
+	_, ok := c.occ[key(p)]
+	return ok
+}
+
+// N returns the number of particles.
+func (c *Config) N() int { return c.n }
+
+// Edges returns e(σ), the number of edges of the configuration.
+func (c *Config) Edges() int { return c.edges }
+
+// HomEdges returns a(σ), the number of homogeneous edges.
+func (c *Config) HomEdges() int { return c.hom }
+
+// HetEdges returns h(σ), the number of heterogeneous edges.
+func (c *Config) HetEdges() int { return c.edges - c.hom }
+
+// ColorCount returns the number of particles of color col.
+func (c *Config) ColorCount(col Color) int {
+	if col >= MaxColors {
+		return 0
+	}
+	return c.colorCount[col]
+}
+
+// NumColors returns one plus the largest color present (0 for empty).
+func (c *Config) NumColors() int {
+	for k := MaxColors - 1; k >= 0; k-- {
+		if c.colorCount[k] > 0 {
+			return k + 1
+		}
+	}
+	return 0
+}
+
+// Perimeter returns p(σ) via the identity e = 3n − p − 3 from [6], which
+// holds for connected hole-free configurations. For n = 0 it returns 0.
+func (c *Config) Perimeter() int {
+	if c.n == 0 {
+		return 0
+	}
+	return 3*c.n - 3 - c.edges
+}
+
+// Degree returns |N(p)|, the number of occupied neighbors of p.
+func (c *Config) Degree(p lattice.Point) int {
+	d := 0
+	for _, nb := range p.Neighbors() {
+		if _, ok := c.occ[key(nb)]; ok {
+			d++
+		}
+	}
+	return d
+}
+
+// DegreeExcluding returns |N(p) \ {ex}|.
+func (c *Config) DegreeExcluding(p, ex lattice.Point) int {
+	d := 0
+	for _, nb := range p.Neighbors() {
+		if nb == ex {
+			continue
+		}
+		if _, ok := c.occ[key(nb)]; ok {
+			d++
+		}
+	}
+	return d
+}
+
+// ColorDegree returns |N_col(p)|, the number of occupied neighbors of p with
+// color col.
+func (c *Config) ColorDegree(p lattice.Point, col Color) int {
+	d := 0
+	for _, nb := range p.Neighbors() {
+		if nc, ok := c.occ[key(nb)]; ok && nc == col {
+			d++
+		}
+	}
+	return d
+}
+
+// ColorDegreeExcluding returns |N_col(p) \ {ex}|.
+func (c *Config) ColorDegreeExcluding(p, ex lattice.Point, col Color) int {
+	d := 0
+	for _, nb := range p.Neighbors() {
+		if nb == ex {
+			continue
+		}
+		if nc, ok := c.occ[key(nb)]; ok && nc == col {
+			d++
+		}
+	}
+	return d
+}
+
+// Particles returns all particles in canonical point order.
+func (c *Config) Particles() []Particle {
+	pts := c.Points()
+	out := make([]Particle, len(pts))
+	for i, p := range pts {
+		col, _ := c.At(p)
+		out[i] = Particle{Pos: p, Color: col}
+	}
+	return out
+}
+
+// Points returns all occupied points in canonical point order.
+func (c *Config) Points() []lattice.Point {
+	out := make([]lattice.Point, 0, c.n)
+	for k := range c.occ {
+		out = append(out, unkey(k))
+	}
+	lattice.SortPoints(out)
+	return out
+}
+
+func unkey(k uint64) lattice.Point {
+	return lattice.Point{Q: int(int32(k >> 32)), R: int(int32(k))}
+}
+
+// Clone returns a deep copy of the configuration.
+func (c *Config) Clone() *Config {
+	cp := *c
+	cp.occ = make(map[uint64]Color, len(c.occ))
+	for k, v := range c.occ {
+		cp.occ[k] = v
+	}
+	return &cp
+}
+
+// Equal reports whether two configurations occupy exactly the same nodes
+// with the same colors (no translation applied).
+func (c *Config) Equal(o *Config) bool {
+	if c.n != o.n {
+		return false
+	}
+	for k, v := range c.occ {
+		if ov, ok := o.occ[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// CanonicalKey returns a string identifying the configuration up to lattice
+// translation, including particle colors. Two configurations are the same
+// configuration in the paper's sense (equivalence class of arrangements) iff
+// their canonical keys are equal.
+func (c *Config) CanonicalKey() string {
+	pts := c.Points()
+	if len(pts) == 0 {
+		return ""
+	}
+	base := pts[0]
+	b := make([]byte, 0, len(pts)*10)
+	for _, p := range pts {
+		q := p.Sub(base)
+		col, _ := c.At(p)
+		b = appendInt(b, q.Q)
+		b = append(b, ',')
+		b = appendInt(b, q.R)
+		b = append(b, ':')
+		b = append(b, byte('0'+col))
+		b = append(b, ';')
+	}
+	return string(b)
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v < 0 {
+		b = append(b, '-')
+		v = -v
+	}
+	if v >= 10 {
+		b = appendInt(b, v/10)
+	}
+	return append(b, byte('0'+v%10))
+}
+
+// Connected reports whether the configuration is connected: between any two
+// particles there is a path of configuration edges.
+func (c *Config) Connected() bool {
+	if c.n <= 1 {
+		return true
+	}
+	var start lattice.Point
+	for k := range c.occ {
+		start = unkey(k)
+		break
+	}
+	visited := make(map[uint64]bool, c.n)
+	visited[key(start)] = true
+	stack := []lattice.Point{start}
+	count := 1
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nb := range p.Neighbors() {
+			nk := key(nb)
+			if _, ok := c.occ[nk]; ok && !visited[nk] {
+				visited[nk] = true
+				count++
+				stack = append(stack, nb)
+			}
+		}
+	}
+	return count == c.n
+}
+
+// HoleFree reports whether the configuration has no holes: no maximal finite
+// connected component of unoccupied vertices. It flood-fills the unoccupied
+// complement inside a one-cell-inflated bounding box; any unoccupied cell in
+// the box not reached from the box border lies in a hole.
+func (c *Config) HoleFree() bool {
+	if c.n == 0 {
+		return true
+	}
+	lo, hi := lattice.Bounds(c.Points())
+	lo.Q--
+	lo.R--
+	hi.Q++
+	hi.R++
+	width := hi.Q - lo.Q + 1
+	height := hi.R - lo.R + 1
+	idx := func(p lattice.Point) int { return (p.R-lo.R)*width + (p.Q - lo.Q) }
+	inBox := func(p lattice.Point) bool {
+		return p.Q >= lo.Q && p.Q <= hi.Q && p.R >= lo.R && p.R <= hi.R
+	}
+	visited := make([]bool, width*height)
+	var stack []lattice.Point
+	// Seed from every border cell of the box; the inflated border is
+	// entirely unoccupied and part of the infinite exterior component.
+	for q := lo.Q; q <= hi.Q; q++ {
+		for _, r := range [2]int{lo.R, hi.R} {
+			p := lattice.Point{Q: q, R: r}
+			if !c.Occupied(p) && !visited[idx(p)] {
+				visited[idx(p)] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	for r := lo.R; r <= hi.R; r++ {
+		for _, q := range [2]int{lo.Q, hi.Q} {
+			p := lattice.Point{Q: q, R: r}
+			if !c.Occupied(p) && !visited[idx(p)] {
+				visited[idx(p)] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nb := range p.Neighbors() {
+			if !inBox(nb) || c.Occupied(nb) {
+				continue
+			}
+			if i := idx(nb); !visited[i] {
+				visited[i] = true
+				stack = append(stack, nb)
+			}
+		}
+	}
+	// Any unoccupied, unvisited cell strictly inside the box is in a hole.
+	for r := lo.R + 1; r < hi.R; r++ {
+		for q := lo.Q + 1; q < hi.Q; q++ {
+			p := lattice.Point{Q: q, R: r}
+			if !c.Occupied(p) && !visited[idx(p)] {
+				return false
+			}
+		}
+	}
+	return true
+}

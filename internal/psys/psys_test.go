@@ -1,0 +1,388 @@
+package psys
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sops/internal/lattice"
+	"sops/internal/rng"
+)
+
+// mustConfig builds a configuration from (point, color) pairs, failing the
+// test on error.
+func mustConfig(t *testing.T, parts []Particle) *Config {
+	t.Helper()
+	c, err := NewFrom(parts)
+	if err != nil {
+		t.Fatalf("NewFrom: %v", err)
+	}
+	return c
+}
+
+func monochrome(pts []lattice.Point) []Particle {
+	out := make([]Particle, len(pts))
+	for i, p := range pts {
+		out[i] = Particle{Pos: p, Color: 0}
+	}
+	return out
+}
+
+func TestPlaceRemoveCounts(t *testing.T) {
+	c := New()
+	a := lattice.Point{Q: 0, R: 0}
+	b := lattice.Point{Q: 1, R: 0}
+	d := lattice.Point{Q: 0, R: 1}
+	if err := c.Place(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Place(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Place(d, 1); err != nil {
+		t.Fatal(err)
+	}
+	// a-b homogeneous, a-d heterogeneous, b-d heterogeneous (triangle).
+	if c.N() != 3 || c.Edges() != 3 || c.HomEdges() != 1 || c.HetEdges() != 2 {
+		t.Fatalf("counts n=%d e=%d a=%d h=%d", c.N(), c.Edges(), c.HomEdges(), c.HetEdges())
+	}
+	if c.ColorCount(0) != 2 || c.ColorCount(1) != 1 {
+		t.Fatalf("color counts %d,%d", c.ColorCount(0), c.ColorCount(1))
+	}
+	if err := c.Remove(d); err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 2 || c.Edges() != 1 || c.HomEdges() != 1 || c.HetEdges() != 0 {
+		t.Fatalf("after remove: n=%d e=%d a=%d h=%d", c.N(), c.Edges(), c.HomEdges(), c.HetEdges())
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	c := New()
+	p := lattice.Point{}
+	if err := c.Place(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Place(p, 1); err != ErrOccupied {
+		t.Fatalf("double place: %v, want ErrOccupied", err)
+	}
+	if err := c.Place(lattice.Point{Q: 5}, MaxColors); err != ErrColorRange {
+		t.Fatalf("bad color: %v, want ErrColorRange", err)
+	}
+	if err := c.Remove(lattice.Point{Q: 9}); err != ErrVacant {
+		t.Fatalf("remove vacant: %v, want ErrVacant", err)
+	}
+}
+
+func TestPerimeterIdentityHexagons(t *testing.T) {
+	for r := 1; r <= 5; r++ {
+		c := mustConfig(t, monochrome(lattice.Hexagon(lattice.Point{}, r)))
+		if got, want := c.Perimeter(), 6*r; got != want {
+			t.Errorf("hexagon r=%d perimeter %d, want %d", r, got, want)
+		}
+		if got := c.PerimeterWalk(); got != 6*r {
+			t.Errorf("hexagon r=%d walk perimeter %d, want %d", r, got, 6*r)
+		}
+	}
+}
+
+func TestPerimeterLine(t *testing.T) {
+	for _, n := range []int{2, 3, 7, 20} {
+		c := mustConfig(t, monochrome(lattice.Line(lattice.Point{}, n)))
+		want := 2 * (n - 1)
+		if got := c.Perimeter(); got != want {
+			t.Errorf("line n=%d perimeter %d, want %d", n, got, want)
+		}
+		if got := c.PerimeterWalk(); got != want {
+			t.Errorf("line n=%d walk perimeter %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestPerimeterSingleAndEmpty(t *testing.T) {
+	c := New()
+	if c.Perimeter() != 0 || c.PerimeterWalk() != 0 {
+		t.Fatal("empty config has nonzero perimeter")
+	}
+	if err := c.Place(lattice.Point{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Perimeter() != 0 || c.PerimeterWalk() != 0 {
+		t.Fatalf("single particle perimeter %d/%d, want 0", c.Perimeter(), c.PerimeterWalk())
+	}
+}
+
+func TestWalkMatchesFormulaOnSpirals(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 6, 7, 10, 13, 19, 25, 37, 50, 61, 100} {
+		c := mustConfig(t, monochrome(lattice.Spiral(lattice.Point{}, n)))
+		if !c.Connected() || !c.HoleFree() {
+			t.Fatalf("spiral n=%d not connected hole-free", n)
+		}
+		if f, w := c.Perimeter(), c.PerimeterWalk(); f != w {
+			t.Errorf("spiral n=%d: formula %d != walk %d", n, f, w)
+		}
+	}
+}
+
+func TestMinPerimeterLemma2(t *testing.T) {
+	// Lemma 2: p_min(n) <= 2*sqrt(3)*sqrt(n), i.e. p_min^2 <= 12 n.
+	for n := 1; n <= 500; n++ {
+		p := MinPerimeter(n)
+		if p*p > 12*n {
+			t.Errorf("n=%d: p_min=%d violates Lemma 2 bound (p^2=%d > 12n=%d)", n, p, p*p, 12*n)
+		}
+	}
+	// Exact values for perfect hexagons: n = 3l^2+3l+1 has p = 6l.
+	for l := 1; l <= 10; l++ {
+		n := 3*l*l + 3*l + 1
+		if p := MinPerimeter(n); p != 6*l {
+			t.Errorf("hexagon number n=%d: p_min=%d, want %d", n, p, 6*l)
+		}
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	c := mustConfig(t, monochrome([]lattice.Point{{Q: 0, R: 0}, {Q: 1, R: 0}, {Q: 5, R: 5}}))
+	if c.Connected() {
+		t.Fatal("disconnected config reported connected")
+	}
+	c2 := mustConfig(t, monochrome(lattice.Hexagon(lattice.Point{}, 2)))
+	if !c2.Connected() {
+		t.Fatal("hexagon reported disconnected")
+	}
+	if !New().Connected() {
+		t.Fatal("empty config should be connected")
+	}
+}
+
+func TestHoleDetection(t *testing.T) {
+	// Ring of radius 1 around a vacant center: a hole.
+	ring := mustConfig(t, monochrome(lattice.Ring(lattice.Point{}, 1)))
+	if ring.HoleFree() {
+		t.Fatal("ring with vacant center reported hole-free")
+	}
+	// Fill the center: hole-free.
+	full := mustConfig(t, monochrome(lattice.Hexagon(lattice.Point{}, 1)))
+	if !full.HoleFree() {
+		t.Fatal("filled hexagon reported as having a hole")
+	}
+	// A larger ring (radius 2) has a 7-cell hole.
+	big := lattice.Ring(lattice.Point{}, 2)
+	ring2 := mustConfig(t, monochrome(big))
+	if ring2.HoleFree() {
+		t.Fatal("radius-2 ring reported hole-free")
+	}
+	// A line can never have holes.
+	line := mustConfig(t, monochrome(lattice.Line(lattice.Point{}, 10)))
+	if !line.HoleFree() {
+		t.Fatal("line reported as having a hole")
+	}
+}
+
+func TestDegreeHelpers(t *testing.T) {
+	// Triangle with two colors.
+	a := lattice.Point{Q: 0, R: 0}
+	b := lattice.Point{Q: 1, R: 0}
+	d := lattice.Point{Q: 0, R: 1}
+	c := mustConfig(t, []Particle{{a, 0}, {b, 0}, {d, 1}})
+	if got := c.Degree(a); got != 2 {
+		t.Errorf("Degree(a)=%d, want 2", got)
+	}
+	if got := c.DegreeExcluding(a, b); got != 1 {
+		t.Errorf("DegreeExcluding(a,b)=%d, want 1", got)
+	}
+	if got := c.ColorDegree(a, 0); got != 1 {
+		t.Errorf("ColorDegree(a,0)=%d, want 1", got)
+	}
+	if got := c.ColorDegree(a, 1); got != 1 {
+		t.Errorf("ColorDegree(a,1)=%d, want 1", got)
+	}
+	if got := c.ColorDegreeExcluding(a, d, 1); got != 0 {
+		t.Errorf("ColorDegreeExcluding(a,d,1)=%d, want 0", got)
+	}
+	// Vacant node adjacent to all three has degree 3... check a shared one:
+	// node (1,1)? neighbors: (0,1)=d? (1,1) neighbors: (2,1),(1,2),(0,2),(0,1),(1,0),(2,0).
+	v := lattice.Point{Q: 1, R: 1}
+	if got := c.Degree(v); got != 2 { // neighbors (0,1)=d and (1,0)=b
+		t.Errorf("Degree(vacant)=%d, want 2", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := mustConfig(t, monochrome(lattice.Hexagon(lattice.Point{}, 1)))
+	cp := c.Clone()
+	if !c.Equal(cp) {
+		t.Fatal("clone not equal to original")
+	}
+	if err := cp.Remove(lattice.Point{}); err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 7 || cp.N() != 6 {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if c.Equal(cp) {
+		t.Fatal("Equal failed to detect difference")
+	}
+}
+
+func TestCanonicalKeyTranslationInvariance(t *testing.T) {
+	base := []Particle{{lattice.Point{Q: 0, R: 0}, 0}, {lattice.Point{Q: 1, R: 0}, 1}, {lattice.Point{Q: 0, R: 1}, 0}}
+	c1 := mustConfig(t, base)
+	err := quick.Check(func(dq, dr int8) bool {
+		shifted := make([]Particle, len(base))
+		for i, pt := range base {
+			shifted[i] = Particle{Pos: pt.Pos.Add(lattice.Point{Q: int(dq), R: int(dr)}), Color: pt.Color}
+		}
+		c2, err := NewFrom(shifted)
+		if err != nil {
+			return false
+		}
+		return c1.CanonicalKey() == c2.CanonicalKey()
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanonicalKeyColorSensitive(t *testing.T) {
+	a := mustConfig(t, []Particle{{lattice.Point{Q: 0, R: 0}, 0}, {lattice.Point{Q: 1, R: 0}, 1}})
+	b := mustConfig(t, []Particle{{lattice.Point{Q: 0, R: 0}, 1}, {lattice.Point{Q: 1, R: 0}, 0}})
+	if a.CanonicalKey() == b.CanonicalKey() {
+		t.Fatal("canonical key ignores colors")
+	}
+}
+
+func TestEdgeIdentityProperty(t *testing.T) {
+	// I5: for connected hole-free configs, e = 3n - p - 3 where p is the
+	// boundary walk length, and e = a + h always.
+	r := rng.New(2024)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(60)
+		pts := lattice.Spiral(lattice.Point{}, n)
+		parts := make([]Particle, n)
+		for i, p := range pts {
+			parts[i] = Particle{Pos: p, Color: Color(r.Intn(3))}
+		}
+		c := mustConfig(t, parts)
+		if c.Edges() != c.HomEdges()+c.HetEdges() {
+			t.Fatalf("e != a + h")
+		}
+		if c.Edges() != 3*n-c.PerimeterWalk()-3 {
+			t.Fatalf("n=%d: e=%d but 3n-p-3=%d", n, c.Edges(), 3*n-c.PerimeterWalk()-3)
+		}
+	}
+}
+
+func TestParticlesRoundTrip(t *testing.T) {
+	parts := []Particle{
+		{lattice.Point{Q: 0, R: 0}, 2},
+		{lattice.Point{Q: 1, R: 0}, 0},
+		{lattice.Point{Q: 0, R: 1}, 1},
+	}
+	c := mustConfig(t, parts)
+	got := c.Particles()
+	if len(got) != 3 {
+		t.Fatalf("got %d particles", len(got))
+	}
+	c2, err := NewFrom(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Equal(c2) {
+		t.Fatal("Particles/NewFrom round trip changed configuration")
+	}
+}
+
+func TestNumColors(t *testing.T) {
+	c := New()
+	if c.NumColors() != 0 {
+		t.Fatal("empty config NumColors != 0")
+	}
+	if err := c.Place(lattice.Point{}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumColors() != 4 {
+		t.Fatalf("NumColors=%d, want 4", c.NumColors())
+	}
+}
+
+// TestHoleFreeMatchesPerimeterIdentity cross-checks hole detection with an
+// independent criterion: a connected configuration is hole-free iff the
+// identity e = 3n − 3 − p holds for the OUTER boundary-walk perimeter
+// (holes strictly reduce the edge count below the hole-free value).
+func TestHoleFreeMatchesPerimeterIdentity(t *testing.T) {
+	check := func(c *Config) {
+		t.Helper()
+		if !c.Connected() {
+			t.Fatal("setup: config must be connected")
+		}
+		identity := c.Edges() == 3*c.N()-3-c.PerimeterWalk()
+		if c.HoleFree() != identity {
+			t.Fatalf("HoleFree=%v but identity=%v (n=%d e=%d walk=%d)",
+				c.HoleFree(), identity, c.N(), c.Edges(), c.PerimeterWalk())
+		}
+	}
+	// Hole-free shapes.
+	for _, n := range []int{2, 5, 12, 30} {
+		check(mustConfig(t, monochrome(lattice.Spiral(lattice.Point{}, n))))
+	}
+	// Rings with holes of various sizes.
+	for r := 1; r <= 3; r++ {
+		check(mustConfig(t, monochrome(lattice.Ring(lattice.Point{}, r))))
+	}
+	// A ring with one extra tail particle (hole plus appendage).
+	pts := append(lattice.Ring(lattice.Point{}, 1), lattice.Point{Q: 2, R: 0})
+	check(mustConfig(t, monochrome(pts)))
+	// Random-walk grown configs, which may or may not enclose holes.
+	r := rng.New(31)
+	for trial := 0; trial < 30; trial++ {
+		occ := map[lattice.Point]bool{{}: true}
+		cur := lattice.Point{}
+		pts := []lattice.Point{cur}
+		for len(pts) < 25 {
+			cur = pts[r.Intn(len(pts))]
+			nb := cur.Neighbor(lattice.Direction(r.Intn(6)))
+			if !occ[nb] {
+				occ[nb] = true
+				pts = append(pts, nb)
+			}
+		}
+		check(mustConfig(t, monochrome(pts)))
+	}
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	orig := mustConfig(t, []Particle{
+		{lattice.Point{Q: 0, R: 0}, 0},
+		{lattice.Point{Q: 1, R: 0}, 2},
+		{lattice.Point{Q: 0, R: 1}, 1},
+	})
+	blob, err := orig.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := New()
+	if err := restored.UnmarshalJSON(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !orig.Equal(restored) {
+		t.Fatal("JSON round trip changed configuration")
+	}
+	if restored.Edges() != orig.Edges() || restored.HomEdges() != orig.HomEdges() {
+		t.Fatal("derived statistics not rebuilt")
+	}
+	// Deterministic bytes for equal configs.
+	blob2, err := orig.Clone().MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != string(blob2) {
+		t.Fatal("encoding not canonical")
+	}
+	// Bad input rejected.
+	if err := restored.UnmarshalJSON([]byte(`{"particles":[{"q":0,"r":0,"color":0},{"q":0,"r":0,"color":1}]}`)); err == nil {
+		t.Fatal("duplicate positions accepted")
+	}
+	if err := restored.UnmarshalJSON([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

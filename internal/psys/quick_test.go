@@ -1,0 +1,154 @@
+package psys
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sops/internal/lattice"
+	"sops/internal/rng"
+)
+
+// TestQuickColorDegreeDecomposition: for any occupied point, the color
+// degrees over all colors sum to the total degree.
+func TestQuickColorDegreeDecomposition(t *testing.T) {
+	err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		r := rng.New(seed)
+		c := New()
+		for _, p := range lattice.Spiral(lattice.Point{}, n) {
+			if err := c.Place(p, Color(r.Intn(4))); err != nil {
+				return false
+			}
+		}
+		for _, p := range c.Points() {
+			sum := 0
+			for col := Color(0); col < 4; col++ {
+				sum += c.ColorDegree(p, col)
+			}
+			if sum != c.Degree(p) {
+				return false
+			}
+			// Excluding an arbitrary neighbor reduces counts consistently.
+			ex := p.Neighbor(lattice.Direction(r.Intn(6)))
+			sumEx := 0
+			for col := Color(0); col < 4; col++ {
+				sumEx += c.ColorDegreeExcluding(p, ex, col)
+			}
+			if sumEx != c.DegreeExcluding(p, ex) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPlaceRemoveInverse: removing what was placed restores all
+// statistics exactly.
+func TestQuickPlaceRemoveInverse(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		base := New()
+		for _, p := range lattice.Spiral(lattice.Point{}, 15) {
+			if err := base.Place(p, Color(r.Intn(3))); err != nil {
+				return false
+			}
+		}
+		e, a, n := base.Edges(), base.HomEdges(), base.N()
+		// Place and remove a random extra particle near the cluster.
+		var extra lattice.Point
+		for {
+			extra = lattice.Point{Q: r.Intn(9) - 4, R: r.Intn(9) - 4}
+			if !base.Occupied(extra) {
+				break
+			}
+		}
+		col := Color(r.Intn(3))
+		if err := base.Place(extra, col); err != nil {
+			return false
+		}
+		if err := base.Remove(extra); err != nil {
+			return false
+		}
+		return base.Edges() == e && base.HomEdges() == a && base.N() == n
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMoveSwapRoundTrip: applying a move and its reverse, or a swap
+// twice, restores the configuration exactly (canonical keys equal).
+func TestQuickMoveSwapRoundTrip(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		c := New()
+		for _, p := range lattice.Spiral(lattice.Point{}, 12) {
+			if err := c.Place(p, Color(r.Intn(2))); err != nil {
+				return false
+			}
+		}
+		key := c.CanonicalKey()
+		pts := c.Points()
+		p := pts[r.Intn(len(pts))]
+		q := p.Neighbor(lattice.Direction(r.Intn(6)))
+		if c.Occupied(q) {
+			if err := c.ApplySwap(p, q); err != nil {
+				return false
+			}
+			if err := c.ApplySwap(p, q); err != nil {
+				return false
+			}
+		} else if c.MoveValid(p, q) {
+			if err := c.ApplyMove(p, q); err != nil {
+				return false
+			}
+			if err := c.ApplyMove(q, p); err != nil {
+				return false
+			}
+		}
+		return c.CanonicalKey() == key
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPropertySymmetry: Properties 4 and 5 are symmetric in (l, lp),
+// the fact Lemma 7's reversibility argument relies on.
+func TestQuickPropertySymmetry(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		c := New()
+		// A loose random cluster so both satisfied and violated cases arise.
+		occ := map[lattice.Point]bool{{}: true}
+		pts := []lattice.Point{{}}
+		for len(pts) < 12 {
+			base := pts[r.Intn(len(pts))]
+			nb := base.Neighbor(lattice.Direction(r.Intn(6)))
+			if !occ[nb] {
+				occ[nb] = true
+				pts = append(pts, nb)
+			}
+		}
+		for _, p := range pts {
+			if err := c.Place(p, 0); err != nil {
+				return false
+			}
+		}
+		p := pts[r.Intn(len(pts))]
+		q := p.Neighbor(lattice.Direction(r.Intn(6)))
+		if c.Occupied(q) {
+			return true
+		}
+		if c.Property4(p, q) != c.Property4(q, p) {
+			return false
+		}
+		return c.Property5(p, q) == c.Property5(q, p)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package schelling
+
+import (
+	"testing"
+
+	"sops/internal/lattice"
+	"sops/internal/metrics"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(5, []int{10, 10}, -0.1, 1); err == nil {
+		t.Fatal("negative tolerance accepted")
+	}
+	if _, err := New(5, []int{10, 10}, 1.5, 1); err == nil {
+		t.Fatal("tolerance above one accepted")
+	}
+	if _, err := New(1, []int{7}, 0.5, 1); err != ErrTooCrowded {
+		t.Fatalf("full region: %v", err)
+	}
+	if _, err := New(3, nil, 0.5, 1); err == nil {
+		t.Fatal("no agents accepted")
+	}
+	if _, err := New(3, []int{-1, 5}, 0.5, 1); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}
+
+func TestConservation(t *testing.T) {
+	m, err := New(5, []int{30, 30}, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(50000)
+	cfg, err := m.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.N() != 60 || cfg.ColorCount(0) != 30 || cfg.ColorCount(1) != 30 {
+		t.Fatalf("agents not conserved: n=%d %d/%d", cfg.N(), cfg.ColorCount(0), cfg.ColorCount(1))
+	}
+	// All agents inside the region.
+	for _, p := range cfg.Points() {
+		if (lattice.Point{}).Dist(p) > 5 {
+			t.Fatalf("agent escaped region: %v", p)
+		}
+	}
+	// Internal occupancy bookkeeping consistent.
+	if len(m.vacant) != 91-60 {
+		t.Fatalf("vacancy count %d", len(m.vacant))
+	}
+	for v, i := range m.vacantIdx {
+		if m.vacant[i] != v {
+			t.Fatal("vacancy index out of sync")
+		}
+		if _, occ := m.cells[v]; occ {
+			t.Fatal("vacant cell also occupied")
+		}
+	}
+}
+
+func TestSegregationEmerges(t *testing.T) {
+	m, err := New(6, []int{40, 40}, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, err := m.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	segStart := metrics.SegregationIndex(start)
+	m.Run(300000)
+	end, err := m.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	segEnd := metrics.SegregationIndex(end)
+	if segEnd < segStart+0.3 {
+		t.Fatalf("Schelling did not segregate: %v -> %v", segStart, segEnd)
+	}
+	if hf := m.HappyFraction(); hf < 0.9 {
+		t.Fatalf("happy fraction %v after long run", hf)
+	}
+}
+
+func TestZeroToleranceIsStatic(t *testing.T) {
+	m, err := New(4, []int{15, 15}, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HappyFraction() != 1 {
+		t.Fatal("tolerance 0 should make everyone happy")
+	}
+	m.Run(10000)
+	if m.Moves() != 0 {
+		t.Fatalf("%d relocations with zero tolerance", m.Moves())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() string {
+		m, err := New(4, []int{12, 12}, 0.5, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Run(20000)
+		cfg, err := m.Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cfg.CanonicalKey()
+	}
+	if run() != run() {
+		t.Fatal("not deterministic under fixed seed")
+	}
+}
+
+func BenchmarkSchellingStep(b *testing.B) {
+	m, err := New(8, []int{80, 80}, 0.6, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+}

@@ -1,0 +1,149 @@
+// Package viz renders particle-system configurations as ASCII art and SVG,
+// used to reproduce the paper's configuration figures (Figures 2 and 3).
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"sops/internal/lattice"
+	"sops/internal/psys"
+)
+
+// colorGlyphs maps colors to ASCII glyphs; chosen for contrast in terminals.
+var colorGlyphs = [psys.MaxColors]byte{
+	'#', 'o', '*', '+', 'x', '@', '%', '&',
+	'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H',
+}
+
+// Glyph returns the ASCII glyph used for a color.
+func Glyph(c psys.Color) byte {
+	if int(c) < len(colorGlyphs) {
+		return colorGlyphs[c]
+	}
+	return '?'
+}
+
+// ASCII renders the configuration as text. Rows follow the lattice's R axis
+// (north up); within a row, each eastward lattice step is two characters, so
+// the triangular geometry is preserved by offsetting odd rows. Vacant
+// lattice nodes inside the bounding box render as '.'.
+func ASCII(cfg *psys.Config) string {
+	if cfg.N() == 0 {
+		return "(empty)\n"
+	}
+	pts := cfg.Points()
+	lo, hi := lattice.Bounds(pts)
+	var b strings.Builder
+	// Column index of point p is 2·Q + R, shifted to be non-negative.
+	minCol := 2*lo.Q + lo.R
+	for _, p := range pts {
+		if c := 2*p.Q + p.R; c < minCol {
+			minCol = c
+		}
+	}
+	for r := hi.R; r >= lo.R; r-- {
+		line := []byte{}
+		for q := lo.Q; q <= hi.Q; q++ {
+			p := lattice.Point{Q: q, R: r}
+			col := 2*p.Q + p.R - minCol
+			for len(line) <= col {
+				line = append(line, ' ')
+			}
+			if c, ok := cfg.At(p); ok {
+				line[col] = Glyph(c)
+			} else {
+				line[col] = '.'
+			}
+		}
+		b.Write(trimRight(line))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func trimRight(line []byte) []byte {
+	end := len(line)
+	for end > 0 && (line[end-1] == ' ' || line[end-1] == '.') {
+		end--
+	}
+	return line[:end]
+}
+
+// palette holds SVG fill colors per particle color.
+var palette = [psys.MaxColors]string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e",
+	"#9467bd", "#8c564b", "#e377c2", "#7f7f7f",
+	"#bcbd22", "#17becf", "#aec7e8", "#ffbb78",
+	"#98df8a", "#ff9896", "#c5b0d5", "#c49c94",
+}
+
+// SVG writes the configuration as a standalone SVG document: one filled
+// circle per particle at its triangular-lattice embedding, plus light edges
+// between adjacent particles.
+func SVG(w io.Writer, cfg *psys.Config) error {
+	const scale = 20.0
+	const radius = 8.0
+	pts := cfg.Points()
+	if len(pts) == 0 {
+		_, err := fmt.Fprint(w, `<svg xmlns="http://www.w3.org/2000/svg" width="40" height="40"/>`)
+		return err
+	}
+	minX, minY := pts[0].XY()
+	maxX, maxY := minX, minY
+	for _, p := range pts[1:] {
+		x, y := p.XY()
+		if x < minX {
+			minX = x
+		}
+		if y < minY {
+			minY = y
+		}
+		if x > maxX {
+			maxX = x
+		}
+		if y > maxY {
+			maxY = y
+		}
+	}
+	width := (maxX-minX)*scale + 4*radius
+	height := (maxY-minY)*scale + 4*radius
+	toPix := func(p lattice.Point) (float64, float64) {
+		x, y := p.XY()
+		// Flip y so that increasing R renders upward.
+		return (x-minX)*scale + 2*radius, (maxY-y)*scale + 2*radius
+	}
+	if _, err := fmt.Fprintf(w,
+		"<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\">\n",
+		width, height, width, height); err != nil {
+		return err
+	}
+	// Edges first so circles draw over them.
+	for _, p := range pts {
+		for d := lattice.Direction(0); d < 3; d++ { // each edge once
+			nb := p.Neighbor(d)
+			if !cfg.Occupied(nb) {
+				continue
+			}
+			x1, y1 := toPix(p)
+			x2, y2 := toPix(nb)
+			if _, err := fmt.Fprintf(w,
+				"  <line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#cccccc\" stroke-width=\"2\"/>\n",
+				x1, y1, x2, y2); err != nil {
+				return err
+			}
+		}
+	}
+	for _, p := range pts {
+		c, _ := cfg.At(p)
+		x, y := toPix(p)
+		if _, err := fmt.Fprintf(w,
+			"  <circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\" fill=\"%s\" stroke=\"#333333\"/>\n",
+			x, y, radius, palette[int(c)%len(palette)]); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "</svg>")
+	return err
+}

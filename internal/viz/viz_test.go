@@ -1,0 +1,112 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"sops/internal/lattice"
+	"sops/internal/psys"
+)
+
+func build(t *testing.T, parts []psys.Particle) *psys.Config {
+	t.Helper()
+	cfg, err := psys.NewFrom(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestASCIIEmpty(t *testing.T) {
+	if got := ASCII(psys.New()); got != "(empty)\n" {
+		t.Fatalf("empty render %q", got)
+	}
+}
+
+func TestASCIISingle(t *testing.T) {
+	cfg := build(t, []psys.Particle{{Pos: lattice.Point{}, Color: 0}})
+	got := ASCII(cfg)
+	if strings.TrimSpace(got) != string(Glyph(0)) {
+		t.Fatalf("single particle render %q", got)
+	}
+}
+
+func TestASCIIGlyphCounts(t *testing.T) {
+	// Render a two-color hexagon; glyph counts must match color counts.
+	pts := lattice.Hexagon(lattice.Point{}, 2)
+	parts := make([]psys.Particle, len(pts))
+	for i, p := range pts {
+		parts[i] = psys.Particle{Pos: p, Color: psys.Color(i % 2)}
+	}
+	cfg := build(t, parts)
+	got := ASCII(cfg)
+	if n := strings.Count(got, string(Glyph(0))); n != cfg.ColorCount(0) {
+		t.Fatalf("glyph 0 count %d, want %d", n, cfg.ColorCount(0))
+	}
+	if n := strings.Count(got, string(Glyph(1))); n != cfg.ColorCount(1) {
+		t.Fatalf("glyph 1 count %d, want %d", n, cfg.ColorCount(1))
+	}
+	if len(strings.Split(strings.TrimRight(got, "\n"), "\n")) != 5 {
+		t.Fatalf("hexagon radius 2 should render 5 rows:\n%s", got)
+	}
+}
+
+func TestASCIILineHorizontal(t *testing.T) {
+	cfg := build(t, []psys.Particle{
+		{Pos: lattice.Point{Q: 0, R: 0}, Color: 0},
+		{Pos: lattice.Point{Q: 1, R: 0}, Color: 0},
+		{Pos: lattice.Point{Q: 2, R: 0}, Color: 0},
+	})
+	got := strings.TrimRight(ASCII(cfg), "\n")
+	want := "# # #"
+	if got != want {
+		t.Fatalf("line render %q, want %q", got, want)
+	}
+}
+
+func TestGlyphsDistinct(t *testing.T) {
+	seen := map[byte]bool{}
+	for c := psys.Color(0); c < psys.MaxColors; c++ {
+		g := Glyph(c)
+		if seen[g] {
+			t.Fatalf("duplicate glyph %c", g)
+		}
+		seen[g] = true
+	}
+	if Glyph(psys.Color(200)) != '?' {
+		t.Fatal("out-of-range glyph")
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	pts := lattice.Spiral(lattice.Point{}, 20)
+	parts := make([]psys.Particle, len(pts))
+	for i, p := range pts {
+		parts[i] = psys.Particle{Pos: p, Color: psys.Color(i % 3)}
+	}
+	cfg := build(t, parts)
+	var b strings.Builder
+	if err := SVG(&b, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatalf("not an SVG document: %.60s...", out)
+	}
+	if n := strings.Count(out, "<circle"); n != 20 {
+		t.Fatalf("%d circles, want 20", n)
+	}
+	if n := strings.Count(out, "<line"); n != cfg.Edges() {
+		t.Fatalf("%d edges drawn, want %d", n, cfg.Edges())
+	}
+}
+
+func TestSVGEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := SVG(&b, psys.New()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "<svg") {
+		t.Fatal("empty SVG missing root element")
+	}
+}

@@ -1,0 +1,249 @@
+// Package sops is a library for stochastic self-organizing particle
+// systems on the triangular lattice. It implements the local, distributed
+// separation/integration algorithm of Cannon, Daymude, Gökmen, Randall and
+// Richa ("A Local Stochastic Algorithm for Separation in Heterogeneous
+// Self-Organizing Particle Systems"), together with the amoebot-model
+// substrate it runs on, the compression algorithm of PODC '16 as a special
+// case, and the measurement and analysis machinery used to reproduce the
+// paper's results.
+//
+// The core object is a System: a heterogeneous particle configuration
+// evolving under Markov chain M with bias parameters λ (favoring more
+// neighbors) and γ (favoring like-colored neighbors). Large λ and γ yield
+// compressed, separated systems; γ near one yields compressed, integrated
+// systems; the monochromatic γ = 1 case is compression.
+//
+//	sys, err := sops.New(sops.Options{
+//		Counts: []int{50, 50}, // 50 particles of each color
+//		Lambda: 4,
+//		Gamma:  4,
+//		Seed:   1,
+//	})
+//	if err != nil { ... }
+//	sys.Run(1_000_000)
+//	fmt.Println(sys.Metrics().Phase) // compressed-separated
+//
+// Subpackages under internal/ implement the substrates (lattice geometry,
+// configurations, the chain, the distributed amoebot runtime, polymer
+// models and cluster expansions, Ising dynamics, exact enumeration); this
+// package is the stable public surface.
+package sops
+
+import (
+	"fmt"
+	"io"
+
+	"sops/internal/core"
+	"sops/internal/metrics"
+	"sops/internal/psys"
+	"sops/internal/viz"
+)
+
+// Re-exported configuration and measurement types.
+type (
+	// Params are the bias parameters (λ, γ) of the separation chain.
+	Params = core.Params
+	// Config is a particle-system configuration.
+	Config = psys.Config
+	// Color identifies a particle's immutable color class.
+	Color = psys.Color
+	// Particle is a located, colored particle.
+	Particle = psys.Particle
+	// Snapshot is a numeric summary of a configuration.
+	Snapshot = metrics.Snapshot
+	// Thresholds parameterizes compression/separation classification.
+	Thresholds = metrics.Thresholds
+	// Phase is one of the four regimes of the paper's Figure 3.
+	Phase = metrics.Phase
+	// Outcome describes the effect of a single chain step.
+	Outcome = core.Outcome
+	// Stats counts chain proposals by outcome.
+	Stats = core.Stats
+)
+
+// Re-exported phase and outcome values.
+const (
+	CompressedSeparated  = metrics.CompressedSeparated
+	CompressedIntegrated = metrics.CompressedIntegrated
+	ExpandedSeparated    = metrics.ExpandedSeparated
+	ExpandedIntegrated   = metrics.ExpandedIntegrated
+
+	Rejected = core.Rejected
+	Moved    = core.Moved
+	Swapped  = core.Swapped
+)
+
+// Layout names an initial arrangement.
+type Layout = core.Layout
+
+// Initial layouts.
+const (
+	// LayoutSpiral is a compact, near-minimal-perimeter start.
+	LayoutSpiral = core.LayoutSpiral
+	// LayoutLine is a maximal-perimeter adversarial start.
+	LayoutLine = core.LayoutLine
+)
+
+// DefaultThresholds returns the classification thresholds used for the
+// paper's n ≈ 100 workloads.
+func DefaultThresholds() Thresholds { return metrics.DefaultThresholds() }
+
+// Options configures a System.
+type Options struct {
+	// Counts gives the number of particles of each color; Counts[i]
+	// particles receive color i. Required.
+	Counts []int
+	// Layout selects the initial arrangement; defaults to LayoutSpiral.
+	Layout Layout
+	// Separated starts from a fully color-separated arrangement instead of
+	// a random coloring (useful for integration experiments).
+	Separated bool
+	// Lambda is the neighbor bias λ > 0. Required.
+	Lambda float64
+	// Gamma is the like-color bias γ > 0. Required.
+	Gamma float64
+	// DisableSwaps turns off swap moves (the paper's ablation).
+	DisableSwaps bool
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed uint64
+	// Thresholds overrides the phase-classification thresholds.
+	Thresholds *Thresholds
+}
+
+// System is a particle system evolving under the separation chain M.
+// It is not safe for concurrent use; for a concurrent distributed execution
+// see Distributed.
+type System struct {
+	chain *core.Chain
+	th    metrics.Thresholds
+}
+
+// New builds a System from options.
+func New(opts Options) (*System, error) {
+	var cfg *psys.Config
+	var err error
+	layout := opts.Layout
+	if layout == 0 {
+		layout = LayoutSpiral
+	}
+	if opts.Separated {
+		cfg, err = core.InitialSeparated(opts.Counts)
+	} else {
+		cfg, err = core.Initial(layout, opts.Counts, opts.Seed)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sops: initial configuration: %w", err)
+	}
+	return NewFromConfig(cfg, opts)
+}
+
+// NewFromConfig builds a System around an existing configuration, which
+// must be connected. The System takes ownership of cfg. Counts, Layout and
+// Separated in opts are ignored.
+func NewFromConfig(cfg *psys.Config, opts Options) (*System, error) {
+	chain, err := core.New(cfg, core.Params{
+		Lambda:       opts.Lambda,
+		Gamma:        opts.Gamma,
+		DisableSwaps: opts.DisableSwaps,
+		Seed:         opts.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sops: %w", err)
+	}
+	th := metrics.DefaultThresholds()
+	if opts.Thresholds != nil {
+		th = *opts.Thresholds
+	}
+	return &System{chain: chain, th: th}, nil
+}
+
+// Step performs one iteration of the chain.
+func (s *System) Step() Outcome { return s.chain.Step() }
+
+// Run performs steps iterations.
+func (s *System) Run(steps uint64) { s.chain.Run(steps) }
+
+// RunWith performs steps iterations, invoking observe with a metrics
+// snapshot every interval iterations (and at the end). Returning false
+// stops the run early.
+func (s *System) RunWith(steps, interval uint64, observe func(snap Snapshot) bool) {
+	s.chain.RunWith(steps, interval, func(uint64) bool {
+		return observe(s.Metrics())
+	})
+}
+
+// Steps returns the number of iterations performed so far.
+func (s *System) Steps() uint64 { return s.chain.Stats().Steps }
+
+// Stats returns proposal statistics.
+func (s *System) Stats() Stats { return s.chain.Stats() }
+
+// Params returns the chain's bias parameters.
+func (s *System) Params() Params { return s.chain.Params() }
+
+// N returns the number of particles.
+func (s *System) N() int { return s.chain.N() }
+
+// Config returns the live configuration for reading. Mutating it corrupts
+// the System; use Snapshot for an independent copy.
+func (s *System) Config() *Config { return s.chain.Config() }
+
+// Snapshot returns an independent copy of the current configuration.
+func (s *System) Snapshot() *Config { return s.chain.Snapshot() }
+
+// Metrics summarizes the current configuration.
+func (s *System) Metrics() Snapshot {
+	return metrics.Capture(s.chain.Config(), s.chain.Stats().Steps, s.th)
+}
+
+// ASCII renders the current configuration as text.
+func (s *System) ASCII() string { return viz.ASCII(s.chain.Config()) }
+
+// RenderSVG writes the current configuration as an SVG document.
+func (s *System) RenderSVG(w io.Writer) error { return viz.SVG(w, s.chain.Config()) }
+
+// Classify assigns a configuration to one of the four Figure 3 phases.
+func Classify(cfg *Config, th Thresholds) Phase { return metrics.Classify(cfg, th) }
+
+// Capture summarizes an arbitrary configuration.
+func Capture(cfg *Config, steps uint64, th Thresholds) Snapshot {
+	return metrics.Capture(cfg, steps, th)
+}
+
+// IsCompressed reports whether cfg is α-compressed.
+func IsCompressed(cfg *Config, alpha float64) bool { return metrics.IsCompressed(cfg, alpha) }
+
+// IsSeparated reports whether cfg is (β,δ)-separated (Definition 3),
+// using the certificate regions described in the metrics package.
+func IsSeparated(cfg *Config, beta, delta float64) bool {
+	return metrics.IsSeparated(cfg, beta, delta)
+}
+
+// Checkpoint serializes the System's complete state (configuration, bias
+// parameters, statistics, random-generator state) to JSON. A System
+// restored with Restore continues the exact same trajectory.
+func (s *System) Checkpoint() ([]byte, error) {
+	cp, err := s.chain.Checkpoint()
+	if err != nil {
+		return nil, fmt.Errorf("sops: %w", err)
+	}
+	return cp.MarshalJSON()
+}
+
+// Restore rebuilds a System from a Checkpoint blob. th overrides the
+// phase-classification thresholds (nil for defaults).
+func Restore(data []byte, th *Thresholds) (*System, error) {
+	var cp core.Checkpoint
+	if err := cp.UnmarshalJSON(data); err != nil {
+		return nil, fmt.Errorf("sops: decode checkpoint: %w", err)
+	}
+	chain, err := core.Resume(&cp)
+	if err != nil {
+		return nil, fmt.Errorf("sops: %w", err)
+	}
+	thresholds := metrics.DefaultThresholds()
+	if th != nil {
+		thresholds = *th
+	}
+	return &System{chain: chain, th: thresholds}, nil
+}
