@@ -9,10 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
@@ -25,6 +27,7 @@ import (
 	"sops/internal/metrics"
 	"sops/internal/polymer"
 	"sops/internal/psys"
+	"sops/internal/runner"
 	"sops/internal/schelling"
 )
 
@@ -37,14 +40,20 @@ func main() {
 
 func run() error {
 	var (
-		outDir = flag.String("out", "out", "output directory")
-		full   = flag.Bool("full", false, "paper-scale workloads (much slower)")
-		seed   = flag.Uint64("seed", 1, "random seed")
+		outDir  = flag.String("out", "out", "output directory")
+		full    = flag.Bool("full", false, "paper-scale workloads (much slower)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
 	}
+
+	// Ctrl-C cancels the in-flight sweep promptly instead of waiting for
+	// the current figure to finish.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	scale := uint64(10) // scaled-down divisor
 	if *full {
@@ -54,7 +63,7 @@ func run() error {
 	if err := figure2(*outDir, scale, *seed); err != nil {
 		return fmt.Errorf("figure 2: %w", err)
 	}
-	if err := figure3(*outDir, scale, *seed); err != nil {
+	if err := figure3(ctx, *outDir, scale, *seed, *workers); err != nil {
 		return fmt.Errorf("figure 3: %w", err)
 	}
 	if err := lemma2(*outDir); err != nil {
@@ -63,7 +72,7 @@ func run() error {
 	if err := ablation(*outDir, scale, *seed); err != nil {
 		return fmt.Errorf("ablation: %w", err)
 	}
-	if err := theoremTables(*outDir, scale, *seed); err != nil {
+	if err := theoremTables(ctx, *outDir, scale, *seed, *workers); err != nil {
 		return fmt.Errorf("theorem tables: %w", err)
 	}
 	if err := analysis(*outDir); err != nil {
@@ -128,10 +137,10 @@ func figure2(outDir string, scale, seed uint64) error {
 	return nil
 }
 
-func figure3(outDir string, scale, seed uint64) error {
+func figure3(ctx context.Context, outDir string, scale, seed uint64, workers int) error {
 	fmt.Println("figure 3: phase diagram...")
 	ls, gs := experiments.DefaultPhaseGrid()
-	cells, err := experiments.Figure3(100, ls, gs, 50_000_000/scale, seed)
+	cells, err := experiments.Figure3Context(ctx, 100, ls, gs, 50_000_000/scale, seed, workers)
 	if err != nil {
 		return err
 	}
@@ -175,39 +184,54 @@ func ablation(outDir string, scale, seed uint64) error {
 	return os.WriteFile(filepath.Join(outDir, "ablation.txt"), []byte(b.String()), 0o644)
 }
 
-func theoremTables(outDir string, scale, seed uint64) error {
+func theoremTables(ctx context.Context, outDir string, scale, seed uint64, workers int) error {
 	fmt.Println("theorem-regime tables...")
 	var b strings.Builder
 
+	// Each point list is an independent sweep: shard it across the engine's
+	// workers and print in input order, identical to the serial output.
 	b.WriteString("Theorem 13 / 15 regimes: Pr[3-compressed] at quasi-stationarity, n=60\n\n")
 	fmt.Fprintf(&b, "%8s %8s %8s %18s\n", "lambda", "gamma", "freq", "95% CI")
 	type lg struct{ l, g float64 }
-	for _, p := range []lg{{4, 6}, {2, 6}, {4, 1.02}, {6, 1.02}, {1, 1}} {
-		res, err := experiments.CompressionFrequency(60, p.l, p.g, 3, 4_000_000/scale, 10_000, 50, seed)
-		if err != nil {
-			return err
-		}
+	points, err := runner.Sweep(ctx, []lg{{4, 6}, {2, 6}, {4, 1.02}, {6, 1.02}, {1, 1}},
+		runner.Options{Workers: workers, Seed: seed},
+		func(ctx context.Context, p lg, _ uint64) (experiments.FrequencyResult, error) {
+			return experiments.CompressionFrequencyContext(ctx, 60, p.l, p.g, 3, 4_000_000/scale, 10_000, 50, seed)
+		})
+	if err != nil {
+		return err
+	}
+	for _, r := range points {
+		res := r.Value
 		fmt.Fprintf(&b, "%8.3g %8.3g %8.2f [%6.2f, %6.2f]\n", res.Lambda, res.Gamma, res.Freq, res.Lo, res.Hi)
 	}
 
 	b.WriteString("\nPODC'16 compression baseline (monochromatic, γ=1): Pr[3-compressed], n=60\n\n")
 	fmt.Fprintf(&b, "%8s %8s %18s\n", "lambda", "freq", "95% CI")
-	for _, l := range []float64{2, 4, 6, 8} {
-		res, err := experiments.MonochromaticCompressionFrequency(60, l, 3, 4_000_000/scale, 10_000, 50, seed)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(&b, "%8.3g %8.2f [%6.2f, %6.2f]\n", res.Lambda, res.Freq, res.Lo, res.Hi)
+	mono, err := runner.Sweep(ctx, []float64{2, 4, 6, 8},
+		runner.Options{Workers: workers, Seed: seed},
+		func(ctx context.Context, l float64, _ uint64) (experiments.FrequencyResult, error) {
+			return experiments.MonochromaticCompressionFrequencyContext(ctx, 60, l, 3, 4_000_000/scale, 10_000, 50, seed)
+		})
+	if err != nil {
+		return err
+	}
+	for _, r := range mono {
+		fmt.Fprintf(&b, "%8.3g %8.2f [%6.2f, %6.2f]\n", r.Value.Lambda, r.Value.Freq, r.Value.Lo, r.Value.Hi)
 	}
 
 	b.WriteString("\nTheorem 14 / 16 regimes: Pr[(4,0.25)-separated] under π_P on a fixed hexagon (r=3, n=37)\n\n")
 	fmt.Fprintf(&b, "%8s %8s %18s\n", "gamma", "freq", "95% CI")
-	for _, g := range []float64{81.0 / 79.0, 1.5, 2, 3, 4, 6} {
-		res, err := experiments.FixedShapeSeparation(3, g, 4, 0.25, 4_000_000/scale, 20_000, 40, seed)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(&b, "%8.4g %8.2f [%6.2f, %6.2f]\n", res.Gamma, res.Freq, res.Lo, res.Hi)
+	hex, err := runner.Sweep(ctx, []float64{81.0 / 79.0, 1.5, 2, 3, 4, 6},
+		runner.Options{Workers: workers, Seed: seed},
+		func(ctx context.Context, g float64, _ uint64) (experiments.FrequencyResult, error) {
+			return experiments.FixedShapeSeparationContext(ctx, 3, g, 4, 0.25, 4_000_000/scale, 20_000, 40, seed)
+		})
+	if err != nil {
+		return err
+	}
+	for _, r := range hex {
+		fmt.Fprintf(&b, "%8.4g %8.2f [%6.2f, %6.2f]\n", r.Value.Gamma, r.Value.Freq, r.Value.Lo, r.Value.Hi)
 	}
 
 	b.WriteString("\nMulti-color extension (§5): k colors, 15 particles each, λ=γ=4\n\n")

@@ -4,19 +4,28 @@
 //
 // Usage:
 //
-//	phase -n 100 -iters 5000000 -lambdas 1.05,1.5,4,6 -gammas 1,1.05,4,6
+//	phase -n 100 -iters 5000000 -lambdas 1.05,1.5,4,6 -gammas 1,1.05,4,6 -workers 8
+//
+// Cells run in parallel on the sweep engine (-workers, default GOMAXPROCS);
+// the printed diagram is byte-identical at any worker count. Interrupting
+// with Ctrl-C (or hitting -timeout) cancels the sweep promptly and prints
+// the cells that finished.
 //
 // The paper runs 5·10⁷ iterations per cell; the default here is smaller so
 // the sweep finishes in minutes. Pass -iters 50000000 for paper scale.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
+	"sops"
 	"sops/internal/experiments"
 )
 
@@ -29,11 +38,14 @@ func main() {
 
 func run() error {
 	var (
-		n       = flag.Int("n", 100, "total number of particles (two colors)")
-		iters   = flag.Uint64("iters", 5_000_000, "iterations per grid cell")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		lambdas = flag.String("lambdas", "", "comma-separated λ values (default grid)")
-		gammas  = flag.String("gammas", "", "comma-separated γ values (default grid)")
+		n        = flag.Int("n", 100, "total number of particles (two colors)")
+		iters    = flag.Uint64("iters", 5_000_000, "iterations per grid cell")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		lambdas  = flag.String("lambdas", "", "comma-separated λ values (default grid)")
+		gammas   = flag.String("gammas", "", "comma-separated γ values (default grid)")
+		workers  = flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 0, "cancel the sweep after this duration (0 = none)")
+		progress = flag.Bool("progress", false, "report per-cell completion on stderr")
 	)
 	flag.Parse()
 
@@ -50,23 +62,59 @@ func run() error {
 		}
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	spec := sops.SweepSpec{
+		Lambdas: ls,
+		Gammas:  gs,
+		Seed:    *seed,
+		Counts:  sops.Bichromatic(*n),
+		Layout:  sops.LayoutLine,
+		Steps:   *iters,
+		Workers: *workers,
+	}
+	if *progress {
+		start := time.Now()
+		spec.Observe = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "phase: %d/%d cells (%.1fs)\n", done, total, time.Since(start).Seconds())
+		}
+	}
+
 	fmt.Printf("phase diagram: n=%d iters=%d seed=%d\n\n", *n, *iters, *seed)
-	cells, err := experiments.Figure3(*n, ls, gs, *iters, *seed)
+	cells, err := sops.Sweep(ctx, spec)
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		// Partial sweep: print what finished, then report the interruption.
+		printCells(cells, ls, gs)
+		return fmt.Errorf("sweep interrupted (%v); results above are partial", ctxErr)
+	}
 	if err != nil {
 		return err
 	}
+	printCells(cells, ls, gs)
+	return nil
+}
 
+// printCells prints the per-cell table and the compact grid view for every
+// completed cell; cancelled or failed cells are skipped.
+func printCells(cells []sops.CellResult, ls, gs []float64) {
 	fmt.Printf("%8s %8s %7s %7s %8s  %s\n", "lambda", "gamma", "alpha", "het", "segr", "phase")
+	byKey := make(map[[2]float64]string, len(cells))
 	for _, c := range cells {
+		if c.Err != nil {
+			continue
+		}
 		fmt.Printf("%8.3g %8.3g %7.3f %7d %8.3f  %s\n",
 			c.Lambda, c.Gamma, c.Snap.Alpha, c.Snap.HetEdges, c.Snap.Segregation, c.Snap.Phase)
+		byKey[[2]float64{c.Lambda, c.Gamma}] = shortPhase(c.Snap.Phase.String())
 	}
 
 	// Compact grid view (rows: γ descending; columns: λ ascending).
-	byKey := make(map[[2]float64]string, len(cells))
-	for _, c := range cells {
-		byKey[[2]float64{c.Lambda, c.Gamma}] = shortPhase(c.Snap.Phase.String())
-	}
 	fmt.Printf("\n%8s", "γ \\ λ")
 	for _, l := range ls {
 		fmt.Printf(" %6.3g", l)
@@ -80,7 +128,6 @@ func run() error {
 		fmt.Println()
 	}
 	fmt.Println("\nCS=compressed-separated CI=compressed-integrated ES=expanded-separated EI=expanded-integrated")
-	return nil
 }
 
 func shortPhase(name string) string {

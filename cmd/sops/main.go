@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"sops"
 )
@@ -128,10 +130,12 @@ func runDistributed(counts []int, layout sops.Layout, separated bool, lambda, ga
 	if err != nil {
 		return err
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	fmt.Printf("distributed runtime: %d workers, %d activations\n", workers, iters)
-	moves, swaps, err := d.Run(iters, workers, seed)
+	performed, moves, swaps, err := d.RunContext(ctx, iters, workers)
 	if err != nil {
-		return err
+		fmt.Printf("interrupted after %d activations (%v)\n", performed, err)
 	}
 	m := d.Metrics()
 	fmt.Printf("accepted %d moves, %d swaps; α=%.3f h=%d segregation=%.3f phase=%s\n",

@@ -1,13 +1,14 @@
 package sops
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"sops/internal/amoebot"
 	"sops/internal/core"
 	"sops/internal/metrics"
-	"sops/internal/psys"
+	"sops/internal/rng"
 	"sops/internal/viz"
 )
 
@@ -17,32 +18,32 @@ import (
 // overlap. Its quiescent snapshots satisfy the same invariants as the
 // centralized chain.
 //
-// Run spawns the concurrency internally; the Distributed value itself is a
-// single-controller object — do not call Run from multiple goroutines at
-// once. SetFrozen and Snapshot are safe to call while a Run is in
-// progress.
+// RunContext spawns the concurrency internally; the Distributed value
+// itself is a single-controller object — do not call RunContext from
+// multiple goroutines at once. SetFrozen and Snapshot are safe to call
+// while a run is in progress.
 type Distributed struct {
 	world *amoebot.World
 	th    metrics.Thresholds
 	done  uint64
+	sched *rng.Source // deterministic per-run scheduler seeds, from Options.Seed
 }
 
+// schedulerStream is the rng.SeedAt index reserved for deriving the
+// activation scheduler's seed sequence from Options.Seed, chosen far from
+// the small cell indices sweeps use so the streams never collide.
+const schedulerStream = 0x5eed<<32 | 0x5c4ed
+
 // NewDistributed builds a distributed execution from options. The arena is
-// sized automatically.
+// sized automatically. Scheduler randomness derives from Options.Seed:
+// equal options give identical sequences of runs.
 func NewDistributed(opts Options) (*Distributed, error) {
-	var cfg *psys.Config
-	var err error
-	layout := opts.Layout
-	if layout == 0 {
-		layout = LayoutSpiral
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
-	if opts.Separated {
-		cfg, err = core.InitialSeparated(opts.Counts)
-	} else {
-		cfg, err = core.Initial(layout, opts.Counts, opts.Seed)
-	}
+	cfg, err := initialConfig(opts)
 	if err != nil {
-		return nil, fmt.Errorf("sops: initial configuration: %w", err)
+		return nil, err
 	}
 	world, err := amoebot.NewWorld(cfg, core.Params{
 		Lambda:       opts.Lambda,
@@ -57,24 +58,47 @@ func NewDistributed(opts Options) (*Distributed, error) {
 	if opts.Thresholds != nil {
 		th = *opts.Thresholds
 	}
-	return &Distributed{world: world, th: th}, nil
+	return &Distributed{
+		world: world,
+		th:    th,
+		sched: rng.New(rng.SeedAt(opts.Seed, schedulerStream)),
+	}, nil
 }
 
-// Run executes the given number of activations across workers concurrent
-// activation sources (workers ≤ 1 runs sequentially) and returns the
-// accepted move and swap counts.
+// RunContext executes up to activations activations across workers
+// concurrent activation sources (workers ≤ 1 runs sequentially), stopping
+// early when ctx is cancelled. It returns the activations actually
+// performed and the accepted move and swap counts; err is ctx's error if
+// the run was cut short. Each call consumes the next seed of the
+// deterministic scheduler sequence derived from Options.Seed.
+func (d *Distributed) RunContext(ctx context.Context, activations uint64, workers int) (performed, moves, swaps uint64, err error) {
+	return d.run(ctx, activations, workers, d.sched.Uint64())
+}
+
+// Run executes the activation budget with an explicitly seeded scheduler
+// and returns the accepted move and swap counts.
+//
+// Deprecated: use RunContext, which derives scheduler seeds from
+// Options.Seed and supports cancellation.
 func (d *Distributed) Run(activations uint64, workers int, seed uint64) (moves, swaps uint64, err error) {
+	_, moves, swaps, err = d.run(context.Background(), activations, workers, seed)
+	return moves, swaps, err
+}
+
+// run dispatches to the sequential or concurrent scheduler and accounts
+// for the activations performed.
+func (d *Distributed) run(ctx context.Context, activations uint64, workers int, seed uint64) (performed, moves, swaps uint64, err error) {
+	var res amoebot.Result
 	if workers <= 1 {
-		res := amoebot.RunSequential(d.world, activations, seed)
-		d.done += activations
-		return res.Moves, res.Swaps, nil
+		res, err = amoebot.RunSequentialContext(ctx, d.world, activations, seed)
+	} else {
+		res, err = amoebot.RunConcurrentContext(ctx, d.world, activations, workers, seed)
 	}
-	res, err := amoebot.RunConcurrent(d.world, activations, workers, seed)
-	if err != nil {
-		return 0, 0, fmt.Errorf("sops: %w", err)
+	d.done += res.Activations
+	if err != nil && err != ctx.Err() {
+		return res.Activations, res.Moves, res.Swaps, fmt.Errorf("sops: %w", err)
 	}
-	d.done += activations
-	return res.Moves, res.Swaps, nil
+	return res.Activations, res.Moves, res.Swaps, err
 }
 
 // N returns the number of particles.
@@ -82,7 +106,7 @@ func (d *Distributed) N() int { return d.world.N() }
 
 // SetFrozen crash-stops (or revives) particle id: a frozen particle stops
 // acting but remains present and still participates passively in
-// neighbor-initiated swaps. Safe to call while a Run is in progress.
+// neighbor-initiated swaps. Safe to call while a run is in progress.
 func (d *Distributed) SetFrozen(id int, frozen bool) { d.world.SetFrozen(id, frozen) }
 
 // Frozen reports whether particle id is crash-stopped.

@@ -1,6 +1,7 @@
 package amoebot
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -16,14 +17,33 @@ type Result struct {
 	Swaps       uint64
 }
 
+// cancelCheckInterval is the number of activations each activation source
+// performs between polls of the context.
+const cancelCheckInterval = 4096
+
 // RunSequential activates uniformly random particles one at a time —
 // the standard asynchronous model's canonical sequential execution, and the
 // direct analogue of the centralized chain M.
 func RunSequential(w *World, activations uint64, seed uint64) Result {
+	res, _ := RunSequentialContext(context.Background(), w, activations, seed)
+	return res
+}
+
+// RunSequentialContext is RunSequential with cancellation: it polls ctx
+// every cancelCheckInterval activations and returns early with ctx's error
+// if the context is done. Result.Activations reports the activations
+// actually performed.
+func RunSequentialContext(ctx context.Context, w *World, activations uint64, seed uint64) (Result, error) {
 	r := rng.New(seed)
 	var res Result
 	n := w.N()
 	for i := uint64(0); i < activations; i++ {
+		if i%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				res.Activations = i
+				return res, err
+			}
+		}
 		switch w.Activate(r.Intn(n), r) {
 		case core.Moved:
 			res.Moves++
@@ -32,7 +52,7 @@ func RunSequential(w *World, activations uint64, seed uint64) Result {
 		}
 	}
 	res.Activations = activations
-	return res
+	return res, nil
 }
 
 // ErrNoWorkers is returned when RunConcurrent is invoked without workers.
@@ -44,11 +64,20 @@ var ErrNoWorkers = errors.New("amoebot: need at least one worker")
 // region locks, so any concurrent execution is equivalent to a sequential
 // activation order (§2.1).
 func RunConcurrent(w *World, activations uint64, workers int, seed uint64) (Result, error) {
+	return RunConcurrentContext(context.Background(), w, activations, workers, seed)
+}
+
+// RunConcurrentContext is RunConcurrent with cancellation: every worker
+// polls ctx between batches of activations, so cancelling returns promptly
+// with the activations performed so far and ctx's error. A cancelled run
+// leaves the world in a valid quiescent state — only fewer activations
+// happened.
+func RunConcurrentContext(ctx context.Context, w *World, activations uint64, workers int, seed uint64) (Result, error) {
 	if workers < 1 {
 		return Result{}, ErrNoWorkers
 	}
 	root := rng.New(seed)
-	var moves, swaps atomic.Uint64
+	var performed, moves, swaps atomic.Uint64
 	var wg sync.WaitGroup
 	n := w.N()
 	share := activations / uint64(workers)
@@ -63,19 +92,23 @@ func RunConcurrent(w *World, activations uint64, workers int, seed uint64) (Resu
 		go func(budget uint64, r *rng.Source) {
 			defer wg.Done()
 			for i := uint64(0); i < budget; i++ {
+				if i%cancelCheckInterval == 0 && ctx.Err() != nil {
+					return
+				}
 				switch w.Activate(r.Intn(n), r) {
 				case core.Moved:
 					moves.Add(1)
 				case core.Swapped:
 					swaps.Add(1)
 				}
+				performed.Add(1)
 			}
 		}(budget, stream)
 	}
 	wg.Wait()
 	return Result{
-		Activations: activations,
+		Activations: performed.Load(),
 		Moves:       moves.Load(),
 		Swaps:       swaps.Load(),
-	}, nil
+	}, ctx.Err()
 }

@@ -21,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -243,6 +244,34 @@ func (c *Chain) Run(steps uint64) {
 	for i := uint64(0); i < steps; i++ {
 		c.Step()
 	}
+}
+
+// cancelCheckInterval is the number of steps RunContext performs between
+// polls of the context: large enough that the poll is free relative to the
+// chain work, small enough that cancellation lands within microseconds.
+const cancelCheckInterval = 8192
+
+// RunContext performs up to steps iterations, polling ctx between batches
+// of cancelCheckInterval iterations. It returns the number of iterations
+// actually performed, together with ctx.Err() if the run was cut short.
+// Because the poll happens only at batch boundaries, a cancelled run leaves
+// the chain in a valid state from which it can be resumed or checkpointed.
+func (c *Chain) RunContext(ctx context.Context, steps uint64) (uint64, error) {
+	var done uint64
+	for done < steps {
+		if err := ctx.Err(); err != nil {
+			return done, err
+		}
+		batch := uint64(cancelCheckInterval)
+		if steps-done < batch {
+			batch = steps - done
+		}
+		for i := uint64(0); i < batch; i++ {
+			c.Step()
+		}
+		done += batch
+	}
+	return done, nil
 }
 
 // RunWith performs steps iterations, invoking observe every interval

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -470,5 +471,69 @@ func TestSetParamsAnnealing(t *testing.T) {
 	}
 	if err := ch.SetParams(Params{Lambda: 0, Gamma: 1}); err == nil {
 		t.Fatal("invalid params accepted by SetParams")
+	}
+}
+
+func TestRunContextCompletesLikeRun(t *testing.T) {
+	mk := func() *Chain {
+		ch, err := New(mustInitial(t, LayoutLine, []int{10, 10}, 21), Params{Lambda: 4, Gamma: 4, Seed: 21})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ch
+	}
+	plain, ctxed := mk(), mk()
+	plain.Run(30000)
+	done, err := ctxed.RunContext(context.Background(), 30000)
+	if err != nil || done != 30000 {
+		t.Fatalf("RunContext: done=%d err=%v", done, err)
+	}
+	if plain.Config().CanonicalKey() != ctxed.Config().CanonicalKey() {
+		t.Fatal("RunContext trajectory diverges from Run")
+	}
+	if plain.Stats() != ctxed.Stats() {
+		t.Fatal("RunContext statistics diverge from Run")
+	}
+}
+
+// cancelAfterPolls is a Context whose Err() starts failing after a fixed
+// number of polls — a deterministic, race-free way to land a cancellation
+// in the middle of a RunContext call.
+type cancelAfterPolls struct {
+	context.Context
+	remaining int
+}
+
+func (c *cancelAfterPolls) Err() error {
+	if c.remaining > 0 {
+		c.remaining--
+		return nil
+	}
+	return context.Canceled
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ch, err := New(mustInitial(t, LayoutSpiral, []int{8, 8}, 22), Params{Lambda: 2, Gamma: 2, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if done, err := ch.RunContext(pre, 1000); done != 0 || err == nil {
+		t.Fatalf("pre-cancelled: done=%d err=%v", done, err)
+	}
+	// Cancellation lands at the third poll: exactly two full batches run.
+	ctx := &cancelAfterPolls{Context: context.Background(), remaining: 2}
+	done, err := ch.RunContext(ctx, 1<<40)
+	if err != context.Canceled {
+		t.Fatalf("error %v", err)
+	}
+	if want := uint64(2 * cancelCheckInterval); done != want {
+		t.Fatalf("done=%d, want %d", done, want)
+	}
+	// The chain remains usable after cancellation.
+	ch.Run(100)
+	if ch.Stats().Steps != done+100 {
+		t.Fatalf("chain unusable after cancel: steps=%d", ch.Stats().Steps)
 	}
 }

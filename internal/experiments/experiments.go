@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -16,6 +17,7 @@ import (
 	"sops/internal/lattice"
 	"sops/internal/metrics"
 	"sops/internal/psys"
+	"sops/internal/runner"
 	"sops/internal/stats"
 	"sops/internal/viz"
 )
@@ -79,27 +81,47 @@ func DefaultPhaseGrid() (lambdas, gammas []float64) {
 
 // Figure3 reproduces the paper's Figure 3: from one fixed initial
 // configuration, run M for iters iterations at every (λ, γ) grid point and
-// classify the resulting configuration into one of the four phases.
+// classify the resulting configuration into one of the four phases. Cells
+// are computed in parallel across GOMAXPROCS workers; the output is
+// identical to a serial sweep.
 func Figure3(n int, lambdas, gammas []float64, iters uint64, seed uint64) ([]PhaseCell, error) {
+	return Figure3Context(context.Background(), n, lambdas, gammas, iters, seed, 0)
+}
+
+// Figure3Context is Figure3 on the parallel sweep engine: grid cells are
+// sharded across workers (values <= 0 use GOMAXPROCS) and the sweep stops
+// promptly when ctx is cancelled. Every cell runs its own chain seeded
+// with seed, so the result slice is byte-identical at any worker count.
+func Figure3Context(ctx context.Context, n int, lambdas, gammas []float64, iters uint64, seed uint64, workers int) ([]PhaseCell, error) {
 	th := metrics.DefaultThresholds()
-	var out []PhaseCell
+	type gridPoint struct{ lambda, gamma float64 }
+	cells := make([]gridPoint, 0, len(lambdas)*len(gammas))
 	for _, lambda := range lambdas {
 		for _, gamma := range gammas {
+			cells = append(cells, gridPoint{lambda, gamma})
+		}
+	}
+	results, err := runner.Sweep(ctx, cells, runner.Options{Workers: workers, Seed: seed},
+		func(ctx context.Context, c gridPoint, _ uint64) (metrics.Snapshot, error) {
 			cfg, err := core.Initial(core.LayoutLine, core.Bichromatic(n), seed)
 			if err != nil {
-				return nil, err
+				return metrics.Snapshot{}, err
 			}
-			ch, err := core.New(cfg, core.Params{Lambda: lambda, Gamma: gamma, Seed: seed})
+			ch, err := core.New(cfg, core.Params{Lambda: c.lambda, Gamma: c.gamma, Seed: seed})
 			if err != nil {
-				return nil, err
+				return metrics.Snapshot{}, err
 			}
-			ch.Run(iters)
-			out = append(out, PhaseCell{
-				Lambda: lambda,
-				Gamma:  gamma,
-				Snap:   metrics.Capture(ch.Config(), iters, th),
-			})
-		}
+			if _, err := ch.RunContext(ctx, iters); err != nil {
+				return metrics.Snapshot{}, err
+			}
+			return metrics.Capture(ch.Config(), iters, th), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PhaseCell, len(results))
+	for i, r := range results {
+		out[i] = PhaseCell{Lambda: cells[i].lambda, Gamma: cells[i].gamma, Snap: r.Value}
 	}
 	return out, nil
 }
@@ -175,9 +197,45 @@ type FrequencyResult struct {
 	Lo, Hi        float64
 }
 
+// sampleFrequency burns in a chain via run, then takes samples samples gap
+// steps apart, counting how many satisfy hit. Cancellation propagates from
+// run (pass a chain's RunContext).
+func sampleFrequency(ctx context.Context, run func(context.Context, uint64) (uint64, error), hit func() bool, burnin, gap uint64, samples int) (int, error) {
+	if _, err := run(ctx, burnin); err != nil {
+		return 0, err
+	}
+	hits := 0
+	for s := 0; s < samples; s++ {
+		if _, err := run(ctx, gap); err != nil {
+			return hits, err
+		}
+		if hit() {
+			hits++
+		}
+	}
+	return hits, nil
+}
+
+// frequencyResult assembles a FrequencyResult with its Wilson interval.
+func frequencyResult(lambda, gamma float64, hits, samples int) FrequencyResult {
+	lo, hi := stats.WilsonCI(hits, samples)
+	return FrequencyResult{
+		Lambda: lambda, Gamma: gamma,
+		Hits: hits, Samples: samples,
+		Freq: float64(hits) / float64(samples),
+		Lo:   lo, Hi: hi,
+	}
+}
+
 // CompressionFrequency estimates Pr[α-compressed] under the chain at
 // (λ, γ): burn in, then sample every gap iterations (E6, E8, E14).
 func CompressionFrequency(n int, lambda, gamma, alpha float64, burnin, gap uint64, samples int, seed uint64) (FrequencyResult, error) {
+	return CompressionFrequencyContext(context.Background(), n, lambda, gamma, alpha, burnin, gap, samples, seed)
+}
+
+// CompressionFrequencyContext is CompressionFrequency with cancellation:
+// the underlying chain polls ctx during both burn-in and sampling.
+func CompressionFrequencyContext(ctx context.Context, n int, lambda, gamma, alpha float64, burnin, gap uint64, samples int, seed uint64) (FrequencyResult, error) {
 	cfg, err := core.Initial(core.LayoutLine, core.Bichromatic(n), seed)
 	if err != nil {
 		return FrequencyResult{}, err
@@ -186,27 +244,25 @@ func CompressionFrequency(n int, lambda, gamma, alpha float64, burnin, gap uint6
 	if err != nil {
 		return FrequencyResult{}, err
 	}
-	ch.Run(burnin)
-	hits := 0
-	for s := 0; s < samples; s++ {
-		ch.Run(gap)
-		if metrics.IsCompressed(ch.Config(), alpha) {
-			hits++
-		}
+	hits, err := sampleFrequency(ctx, ch.RunContext,
+		func() bool { return metrics.IsCompressed(ch.Config(), alpha) },
+		burnin, gap, samples)
+	if err != nil {
+		return FrequencyResult{}, err
 	}
-	lo, hi := stats.WilsonCI(hits, samples)
-	return FrequencyResult{
-		Lambda: lambda, Gamma: gamma,
-		Hits: hits, Samples: samples,
-		Freq: float64(hits) / float64(samples),
-		Lo:   lo, Hi: hi,
-	}, nil
+	return frequencyResult(lambda, gamma, hits, samples), nil
 }
 
 // MonochromaticCompressionFrequency is the PODC '16 compression baseline:
 // a single color class, γ = 1, sweeping λ across the provable threshold
 // 2(2+√2) ≈ 6.83 (E14).
 func MonochromaticCompressionFrequency(n int, lambda, alpha float64, burnin, gap uint64, samples int, seed uint64) (FrequencyResult, error) {
+	return MonochromaticCompressionFrequencyContext(context.Background(), n, lambda, alpha, burnin, gap, samples, seed)
+}
+
+// MonochromaticCompressionFrequencyContext is
+// MonochromaticCompressionFrequency with cancellation.
+func MonochromaticCompressionFrequencyContext(ctx context.Context, n int, lambda, alpha float64, burnin, gap uint64, samples int, seed uint64) (FrequencyResult, error) {
 	cfg, err := core.Initial(core.LayoutLine, []int{n}, seed)
 	if err != nil {
 		return FrequencyResult{}, err
@@ -215,21 +271,13 @@ func MonochromaticCompressionFrequency(n int, lambda, alpha float64, burnin, gap
 	if err != nil {
 		return FrequencyResult{}, err
 	}
-	ch.Run(burnin)
-	hits := 0
-	for s := 0; s < samples; s++ {
-		ch.Run(gap)
-		if metrics.IsCompressed(ch.Config(), alpha) {
-			hits++
-		}
+	hits, err := sampleFrequency(ctx, ch.RunContext,
+		func() bool { return metrics.IsCompressed(ch.Config(), alpha) },
+		burnin, gap, samples)
+	if err != nil {
+		return FrequencyResult{}, err
 	}
-	lo, hi := stats.WilsonCI(hits, samples)
-	return FrequencyResult{
-		Lambda: lambda, Gamma: 1,
-		Hits: hits, Samples: samples,
-		Freq: float64(hits) / float64(samples),
-		Lo:   lo, Hi: hi,
-	}, nil
+	return frequencyResult(lambda, 1, hits, samples), nil
 }
 
 // FixedShapeSeparation estimates Pr[(β,δ)-separated] under the
@@ -237,6 +285,12 @@ func MonochromaticCompressionFrequency(n int, lambda, alpha float64, burnin, gap
 // a hexagonal shape — the setting of Theorems 14 (large γ) and 16 (γ near
 // one). The shape holds 3·radius²+3·radius+1 particles, half of each color.
 func FixedShapeSeparation(radius int, gamma, beta, delta float64, burnin, gap uint64, samples int, seed uint64) (FrequencyResult, error) {
+	return FixedShapeSeparationContext(context.Background(), radius, gamma, beta, delta, burnin, gap, samples, seed)
+}
+
+// FixedShapeSeparationContext is FixedShapeSeparation with cancellation:
+// the Kawasaki chain polls ctx during both burn-in and sampling.
+func FixedShapeSeparationContext(ctx context.Context, radius int, gamma, beta, delta float64, burnin, gap uint64, samples int, seed uint64) (FrequencyResult, error) {
 	pts := lattice.Hexagon(lattice.Point{}, radius)
 	lattice.SortPoints(pts)
 	cfg := psys.New()
@@ -253,21 +307,13 @@ func FixedShapeSeparation(radius int, gamma, beta, delta float64, burnin, gap ui
 	if err != nil {
 		return FrequencyResult{}, err
 	}
-	k.Run(burnin)
-	hits := 0
-	for s := 0; s < samples; s++ {
-		k.Run(gap)
-		if metrics.IsSeparated(k.Config(), beta, delta) {
-			hits++
-		}
+	hits, err := sampleFrequency(ctx, k.RunContext,
+		func() bool { return metrics.IsSeparated(k.Config(), beta, delta) },
+		burnin, gap, samples)
+	if err != nil {
+		return FrequencyResult{}, err
 	}
-	lo, hi := stats.WilsonCI(hits, samples)
-	return FrequencyResult{
-		Lambda: 0, Gamma: gamma,
-		Hits: hits, Samples: samples,
-		Freq: float64(hits) / float64(samples),
-		Lo:   lo, Hi: hi,
-	}, nil
+	return frequencyResult(0, gamma, hits, samples), nil
 }
 
 // MultiColorResult reports the k-color extension (E12, §5).
@@ -308,30 +354,36 @@ func MultiColor(k, perColor int, lambda, gamma float64, steps, seed uint64) (Mul
 // and pools the hit counts into one frequency estimate. Each replica must
 // be an independent chain; the pooled Wilson interval is then valid.
 func Replicated(replicas int, base uint64, fn func(seed uint64) (FrequencyResult, error)) (FrequencyResult, error) {
+	return ReplicatedContext(context.Background(), replicas, base, 0,
+		func(_ context.Context, seed uint64) (FrequencyResult, error) { return fn(seed) })
+}
+
+// ReplicatedContext runs fn over replicas independent seeds on the parallel
+// sweep engine — workers caps the concurrency (values <= 0 use GOMAXPROCS)
+// and cancelling ctx stops the remaining replicas — and pools the hit
+// counts into one frequency estimate. Replica seeds are base + i·1000003,
+// matching Replicated.
+func ReplicatedContext(ctx context.Context, replicas int, base uint64, workers int, fn func(ctx context.Context, seed uint64) (FrequencyResult, error)) (FrequencyResult, error) {
 	if replicas < 1 {
 		return FrequencyResult{}, fmt.Errorf("experiments: need at least one replica")
 	}
-	type outcome struct {
-		res FrequencyResult
-		err error
+	seeds := make([]uint64, replicas)
+	for i := range seeds {
+		seeds[i] = base + uint64(i)*1_000_003
 	}
-	results := make(chan outcome, replicas)
-	for i := 0; i < replicas; i++ {
-		go func(seed uint64) {
-			res, err := fn(seed)
-			results <- outcome{res, err}
-		}(base + uint64(i)*1_000_003)
+	results, err := runner.Sweep(ctx, seeds, runner.Options{Workers: workers, Seed: base},
+		func(ctx context.Context, seed uint64, _ uint64) (FrequencyResult, error) {
+			return fn(ctx, seed)
+		})
+	if err != nil {
+		return FrequencyResult{}, err
 	}
 	var pooled FrequencyResult
-	for i := 0; i < replicas; i++ {
-		o := <-results
-		if o.err != nil {
-			return FrequencyResult{}, o.err
-		}
-		pooled.Lambda = o.res.Lambda
-		pooled.Gamma = o.res.Gamma
-		pooled.Hits += o.res.Hits
-		pooled.Samples += o.res.Samples
+	for _, r := range results {
+		pooled.Lambda = r.Value.Lambda
+		pooled.Gamma = r.Value.Gamma
+		pooled.Hits += r.Value.Hits
+		pooled.Samples += r.Value.Samples
 	}
 	pooled.Freq = float64(pooled.Hits) / float64(pooled.Samples)
 	pooled.Lo, pooled.Hi = stats.WilsonCI(pooled.Hits, pooled.Samples)

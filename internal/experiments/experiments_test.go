@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"reflect"
 	"testing"
 
 	"sops/internal/metrics"
@@ -240,3 +243,65 @@ func TestReplicatedPropagatesError(t *testing.T) {
 }
 
 var errTest = fmt.Errorf("test error")
+
+func TestFigure3ContextMatchesAnyWorkerCount(t *testing.T) {
+	ls, gs := []float64{1.05, 4}, []float64{1, 4}
+	var base []PhaseCell
+	for _, workers := range []int{1, 4} {
+		cells, err := Figure3Context(context.Background(), 30, ls, gs, 50_000, 2, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cells) != 4 {
+			t.Fatalf("%d cells", len(cells))
+		}
+		if base == nil {
+			base = cells
+			continue
+		}
+		if !reflect.DeepEqual(cells, base) {
+			t.Fatalf("workers=%d diverges from workers=1", workers)
+		}
+	}
+	// Grid order: λ-major, γ-minor, as documented.
+	if base[0].Lambda != 1.05 || base[0].Gamma != 1 || base[1].Gamma != 4 || base[2].Lambda != 4 {
+		t.Fatalf("cell order %+v", base)
+	}
+}
+
+func TestFigure3ContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Figure3Context(ctx, 30, []float64{4}, []float64{4}, 1_000_000, 1, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v", err)
+	}
+}
+
+func TestReplicatedContextMatchesReplicated(t *testing.T) {
+	fn := func(seed uint64) (FrequencyResult, error) {
+		return FrequencyResult{Lambda: 2, Gamma: 3, Hits: int(seed % 5), Samples: 10}, nil
+	}
+	serial, err := Replicated(4, 100, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := ReplicatedContext(context.Background(), 4, 100, 4,
+		func(_ context.Context, seed uint64) (FrequencyResult, error) { return fn(seed) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		t.Fatalf("serial %+v != parallel %+v", serial, parallel)
+	}
+}
+
+func TestReplicatedContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ReplicatedContext(ctx, 3, 1, 2, func(ctx context.Context, seed uint64) (FrequencyResult, error) {
+		return CompressionFrequencyContext(ctx, 40, 4, 4, 3, 1<<40, 1, 1, seed)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v", err)
+	}
+}

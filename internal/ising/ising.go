@@ -16,6 +16,7 @@
 package ising
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -96,6 +97,31 @@ func (k *Kawasaki) Run(steps uint64) {
 	for i := uint64(0); i < steps; i++ {
 		k.Step()
 	}
+}
+
+// cancelCheckInterval is the number of proposals RunContext performs
+// between polls of the context (same rationale as core.Chain.RunContext).
+const cancelCheckInterval = 8192
+
+// RunContext performs up to steps proposals, polling ctx between batches of
+// cancelCheckInterval proposals. It returns the number of proposals made,
+// together with ctx.Err() if the run was cut short.
+func (k *Kawasaki) RunContext(ctx context.Context, steps uint64) (uint64, error) {
+	var done uint64
+	for done < steps {
+		if err := ctx.Err(); err != nil {
+			return done, err
+		}
+		batch := uint64(cancelCheckInterval)
+		if steps-done < batch {
+			batch = steps - done
+		}
+		for i := uint64(0); i < batch; i++ {
+			k.Step()
+		}
+		done += batch
+	}
+	return done, nil
 }
 
 // Config returns the live configuration (treat as read-only).

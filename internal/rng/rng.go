@@ -106,6 +106,22 @@ func (r *Source) NewStream() *Source {
 	return child
 }
 
+// SeedAt returns element i of a deterministic seed sequence rooted at root.
+// The mapping is a stateless splitmix64-style mix of (root, i), so any
+// element can be computed independently and in any order: parallel sweep
+// workers can derive the seed for cell i without coordinating, and the
+// derived seeds are identical regardless of how cells are scheduled.
+// Feeding the result to New yields a well-mixed, per-cell stream.
+func SeedAt(root, i uint64) uint64 {
+	z := root + (i+1)*0x9e3779b97f4a7c15
+	for round := 0; round < 2; round++ {
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	return z
+}
+
 // jump advances the state by 2^128 steps of Uint64.
 func (r *Source) jump() {
 	jumpPoly := [4]uint64{

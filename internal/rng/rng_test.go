@@ -209,3 +209,34 @@ func TestMarshalRoundTrip(t *testing.T) {
 		t.Fatal("short state accepted")
 	}
 }
+
+func TestSeedAtDeterministicAndDistinct(t *testing.T) {
+	seen := map[uint64]uint64{}
+	for i := uint64(0); i < 1000; i++ {
+		s := SeedAt(7, i)
+		if s != SeedAt(7, i) {
+			t.Fatalf("SeedAt(7, %d) not deterministic", i)
+		}
+		if j, dup := seen[s]; dup {
+			t.Fatalf("SeedAt(7, %d) == SeedAt(7, %d)", i, j)
+		}
+		seen[s] = i
+	}
+	if SeedAt(1, 0) == SeedAt(2, 0) {
+		t.Fatal("different roots give equal seeds")
+	}
+}
+
+func TestSeedAtStreamsDecorrelated(t *testing.T) {
+	// Streams seeded from adjacent indices must not track each other.
+	a, b := New(SeedAt(3, 0)), New(SeedAt(3, 1))
+	equal := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			equal++
+		}
+	}
+	if equal != 0 {
+		t.Fatalf("%d/64 outputs collide between adjacent streams", equal)
+	}
+}

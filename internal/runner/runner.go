@@ -1,0 +1,198 @@
+// Package runner is the shared parallel sweep engine: it shards an
+// arbitrary slice of cells (grid points, replicas, workloads) across a pool
+// of workers, with cancellation via context, deterministic per-cell seeds,
+// per-cell error aggregation, and progress reporting.
+//
+// Determinism is the engine's central guarantee: the seed handed to cell i
+// is rng.SeedAt(opts.Seed, i), a stateless function of the root seed and
+// the cell index only. Results are stored at their cell's index. A sweep
+// over the same cells with the same root seed therefore produces an
+// identical result slice at any worker count — workers only change
+// wall-clock time, never output.
+//
+// Failures stay local: a cell that returns an error (or panics) records the
+// failure in its Result and the sweep continues; Sweep reports the
+// collected failures as a single *SweepError afterwards. Cancelling the
+// context stops workers at the next cell boundary (cell functions receive
+// the context and should also poll it internally for long runs, e.g. via
+// core.Chain.RunContext), and the cells never executed are marked with the
+// context's error.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"sops/internal/rng"
+)
+
+// Func computes one cell of a sweep. It receives the sweep context (poll it
+// during long computations so cancellation is prompt), the cell value, and
+// the cell's deterministic seed. It must not depend on any state shared
+// with other cells; the engine may run cells in any order and concurrently.
+type Func[C, R any] func(ctx context.Context, cell C, seed uint64) (R, error)
+
+// Options configures a sweep.
+type Options struct {
+	// Workers is the number of concurrent workers; values <= 0 select
+	// runtime.GOMAXPROCS(0). The worker count never affects results, only
+	// wall-clock time.
+	Workers int
+	// Seed is the root seed; cell i receives rng.SeedAt(Seed, i).
+	Seed uint64
+	// Observe, if non-nil, is invoked after each cell completes. Calls are
+	// serialized by the engine, so the callback needs no locking of its own.
+	Observe func(Progress)
+}
+
+// Progress reports the completion of one cell to the sweep observer.
+type Progress struct {
+	Index int   // index of the cell that just finished
+	Done  int   // cells finished so far, including this one
+	Total int   // total cells in the sweep
+	Err   error // the finished cell's error, if any
+}
+
+// Result is the outcome of one cell.
+type Result[R any] struct {
+	Index int    // the cell's position in the input slice
+	Seed  uint64 // the deterministic seed the cell received
+	Value R      // the cell's return value (zero if Err != nil)
+	Err   error  // the cell's failure, or the context error if never run
+}
+
+// CellError records the failure of a single cell.
+type CellError struct {
+	Index int
+	Err   error
+}
+
+// Error implements the error interface.
+func (e *CellError) Error() string { return fmt.Sprintf("cell %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying cell failure to errors.Is/As.
+func (e *CellError) Unwrap() error { return e.Err }
+
+// SweepError aggregates the failures of a sweep whose context was not
+// cancelled: the sweep ran every cell, and these are the ones that failed.
+type SweepError struct {
+	Cells []*CellError
+}
+
+// Error implements the error interface.
+func (e *SweepError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "runner: %d of sweep's cells failed", len(e.Cells))
+	for i, ce := range e.Cells {
+		if i == 4 {
+			fmt.Fprintf(&b, "; ... (%d more)", len(e.Cells)-i)
+			break
+		}
+		fmt.Fprintf(&b, "; %v", ce)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the per-cell failures to errors.Is/As.
+func (e *SweepError) Unwrap() []error {
+	out := make([]error, len(e.Cells))
+	for i, ce := range e.Cells {
+		out[i] = ce
+	}
+	return out
+}
+
+// Sweep runs fn over every cell and returns one Result per cell, in cell
+// order. The returned slice always has len(cells) entries.
+//
+// If ctx is cancelled mid-sweep, Sweep returns promptly with ctx's error;
+// completed cells keep their results and cells never executed carry the
+// context error in their Err field. Otherwise, if any cells failed, Sweep
+// returns the full result slice together with a *SweepError aggregating
+// the failures; the error of cell i is also available as results[i].Err.
+func Sweep[C, R any](ctx context.Context, cells []C, opts Options, fn Func[C, R]) ([]Result[R], error) {
+	total := len(cells)
+	results := make([]Result[R], total)
+	for i := range results {
+		results[i].Index = i
+		results[i].Seed = rng.SeedAt(opts.Seed, uint64(i))
+	}
+	if total == 0 {
+		return results, ctx.Err()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+
+	var (
+		next     atomic.Int64 // next unclaimed cell index
+		finished = make([]bool, total)
+		mu       sync.Mutex // serializes progress accounting and Observe
+		done     int
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				value, err := runCell(ctx, fn, cells[i], results[i].Seed)
+				results[i].Value, results[i].Err = value, err
+				mu.Lock()
+				finished[i] = true
+				done++
+				if opts.Observe != nil {
+					opts.Observe(Progress{Index: i, Done: done, Total: total, Err: err})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			if !finished[i] {
+				results[i].Err = err
+			}
+		}
+		return results, err
+	}
+	var failed []*CellError
+	for i := range results {
+		if results[i].Err != nil {
+			failed = append(failed, &CellError{Index: i, Err: results[i].Err})
+		}
+	}
+	if len(failed) > 0 {
+		return results, &SweepError{Cells: failed}
+	}
+	return results, nil
+}
+
+// errCellPanic marks a cell failure caused by a recovered panic.
+var errCellPanic = errors.New("runner: cell panicked")
+
+// runCell invokes fn, converting a panic into an error so one bad cell
+// cannot take down the whole sweep.
+func runCell[C, R any](ctx context.Context, fn Func[C, R], cell C, seed uint64) (value R, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", errCellPanic, r)
+		}
+	}()
+	return fn(ctx, cell, seed)
+}

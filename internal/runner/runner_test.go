@@ -1,0 +1,229 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sops/internal/rng"
+)
+
+// collatzLen is a cheap, cell-dependent deterministic workload.
+func collatzLen(n uint64) int {
+	steps := 0
+	for n > 1 {
+		if n%2 == 0 {
+			n /= 2
+		} else {
+			n = 3*n + 1
+		}
+		steps++
+	}
+	return steps
+}
+
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	cells := make([]int, 64)
+	for i := range cells {
+		cells[i] = i
+	}
+	fn := func(_ context.Context, cell int, seed uint64) (string, error) {
+		// Depends on both the cell and its engine-derived seed.
+		return fmt.Sprintf("%d:%d", collatzLen(seed%1_000_000+2), cell), nil
+	}
+	var base []Result[string]
+	for _, workers := range []int{1, 4, 16} {
+		got, err := Sweep(context.Background(), cells, Options{Workers: workers, Seed: 42}, fn)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if base == nil {
+			base = got
+			continue
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("workers=%d produced different results", workers)
+		}
+	}
+	for i, r := range base {
+		if r.Index != i {
+			t.Fatalf("result %d has index %d", i, r.Index)
+		}
+		if r.Seed != rng.SeedAt(42, uint64(i)) {
+			t.Fatalf("cell %d seed %d not derived from root", i, r.Seed)
+		}
+	}
+}
+
+func TestSweepAggregatesCellErrors(t *testing.T) {
+	errBoom := errors.New("boom")
+	cells := []int{0, 1, 2, 3, 4, 5}
+	results, err := Sweep(context.Background(), cells, Options{Workers: 3},
+		func(_ context.Context, cell int, _ uint64) (int, error) {
+			if cell%2 == 1 {
+				return 0, fmt.Errorf("cell says: %w", errBoom)
+			}
+			return cell * 10, nil
+		})
+	if err == nil {
+		t.Fatal("failures not reported")
+	}
+	var sweepErr *SweepError
+	if !errors.As(err, &sweepErr) {
+		t.Fatalf("error type %T", err)
+	}
+	if len(sweepErr.Cells) != 3 {
+		t.Fatalf("%d cell errors", len(sweepErr.Cells))
+	}
+	if !errors.Is(err, errBoom) {
+		t.Fatal("errors.Is does not reach the cell failure")
+	}
+	for i, r := range results {
+		if i%2 == 0 && (r.Err != nil || r.Value != i*10) {
+			t.Fatalf("healthy cell %d: %+v", i, r)
+		}
+		if i%2 == 1 && r.Err == nil {
+			t.Fatalf("failed cell %d has no error", i)
+		}
+	}
+}
+
+func TestSweepRecoversPanics(t *testing.T) {
+	results, err := Sweep(context.Background(), []int{0, 1}, Options{Workers: 2},
+		func(_ context.Context, cell int, _ uint64) (int, error) {
+			if cell == 1 {
+				panic("kaboom")
+			}
+			return 7, nil
+		})
+	if err == nil {
+		t.Fatal("panic not reported as error")
+	}
+	if results[0].Err != nil || results[0].Value != 7 {
+		t.Fatalf("healthy cell: %+v", results[0])
+	}
+	if results[1].Err == nil || !errors.Is(results[1].Err, errCellPanic) {
+		t.Fatalf("panicked cell: %+v", results[1])
+	}
+}
+
+func TestSweepCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cells := make([]int, 100)
+	var started atomic.Int32
+	results, err := Sweep(ctx, cells, Options{Workers: 4},
+		func(ctx context.Context, cell int, _ uint64) (int, error) {
+			if started.Add(1) == 4 {
+				cancel()
+			}
+			<-ctx.Done() // a long-running cell that honors cancellation
+			return 0, ctx.Err()
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("sweep error %v", err)
+	}
+	if len(results) != 100 {
+		t.Fatalf("%d results", len(results))
+	}
+	unrun := 0
+	for _, r := range results {
+		if r.Err == nil {
+			t.Fatalf("cell %d reported success under cancellation", r.Index)
+		}
+		if errors.Is(r.Err, context.Canceled) {
+			unrun++
+		}
+	}
+	if unrun != 100 {
+		t.Fatalf("%d cells marked cancelled", unrun)
+	}
+	// All workers must exit promptly: no goroutine leaks.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines leaked: %d -> %d", before, n)
+	}
+}
+
+func TestSweepPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	results, err := Sweep(ctx, []int{1, 2, 3}, Options{},
+		func(context.Context, int, uint64) (int, error) {
+			ran = true
+			return 0, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v", err)
+	}
+	if ran {
+		t.Fatal("cells ran under a pre-cancelled context")
+	}
+	for _, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("cell %d err %v", r.Index, r.Err)
+		}
+	}
+}
+
+func TestSweepProgress(t *testing.T) {
+	var events []Progress
+	_, err := Sweep(context.Background(), []int{0, 1, 2, 3}, Options{
+		Workers: 2,
+		Observe: func(p Progress) { events = append(events, p) },
+	}, func(_ context.Context, cell int, _ uint64) (int, error) { return cell, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("%d progress events", len(events))
+	}
+	seen := map[int]bool{}
+	for i, p := range events {
+		if p.Done != i+1 || p.Total != 4 {
+			t.Fatalf("event %d: %+v", i, p)
+		}
+		if seen[p.Index] {
+			t.Fatalf("index %d reported twice", p.Index)
+		}
+		seen[p.Index] = true
+	}
+}
+
+func TestSweepEmptyAndDefaults(t *testing.T) {
+	results, err := Sweep(context.Background(), nil, Options{},
+		func(context.Context, int, uint64) (int, error) { return 0, nil })
+	if err != nil || len(results) != 0 {
+		t.Fatalf("empty sweep: %v, %d results", err, len(results))
+	}
+	// Workers <= 0 must still run everything (GOMAXPROCS default).
+	results, err = Sweep(context.Background(), []int{1, 2}, Options{Workers: -3},
+		func(_ context.Context, cell int, _ uint64) (int, error) { return cell, nil })
+	if err != nil || results[0].Value != 1 || results[1].Value != 2 {
+		t.Fatalf("default workers: %v %+v", err, results)
+	}
+}
+
+func TestSweepErrorFormatting(t *testing.T) {
+	cells := make([]*CellError, 7)
+	for i := range cells {
+		cells[i] = &CellError{Index: i, Err: errors.New("x")}
+	}
+	msg := (&SweepError{Cells: cells}).Error()
+	if want := "7 of sweep's cells failed"; !strings.Contains(msg, want) {
+		t.Fatalf("message %q lacks %q", msg, want)
+	}
+	if want := "(3 more)"; !strings.Contains(msg, want) {
+		t.Fatalf("message %q lacks truncation marker", msg)
+	}
+}

@@ -30,8 +30,11 @@
 package sops
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"sops/internal/core"
 	"sops/internal/metrics"
@@ -88,6 +91,22 @@ const (
 // paper's n ≈ 100 workloads.
 func DefaultThresholds() Thresholds { return metrics.DefaultThresholds() }
 
+// Bichromatic returns the color counts for the paper's standard workload:
+// n particles split as evenly as possible between two colors.
+func Bichromatic(n int) []int { return core.Bichromatic(n) }
+
+// Named validation errors. Constructors wrap these with detail, so test
+// them with errors.Is rather than string comparison.
+var (
+	// ErrNoCounts reports that Options.Counts describes no particles
+	// (missing, all zero, or containing a negative count).
+	ErrNoCounts = errors.New("sops: Counts must describe at least one particle")
+	// ErrBadLambda reports a non-positive or non-finite Options.Lambda.
+	ErrBadLambda = errors.New("sops: Lambda must be positive and finite")
+	// ErrBadGamma reports a non-positive or non-finite Options.Gamma.
+	ErrBadGamma = errors.New("sops: Gamma must be positive and finite")
+)
+
 // Options configures a System.
 type Options struct {
 	// Counts gives the number of particles of each color; Counts[i]
@@ -110,6 +129,54 @@ type Options struct {
 	Thresholds *Thresholds
 }
 
+// Validate checks the options, returning an error wrapping ErrNoCounts,
+// ErrBadLambda or ErrBadGamma on failure.
+func (o Options) Validate() error {
+	n := 0
+	for i, k := range o.Counts {
+		if k < 0 {
+			return fmt.Errorf("%w (negative count %d for color %d)", ErrNoCounts, k, i)
+		}
+		n += k
+	}
+	if n == 0 {
+		return ErrNoCounts
+	}
+	return o.validateParams()
+}
+
+// validateParams checks only the bias parameters, for constructors that
+// take a ready-made configuration and ignore Counts.
+func (o Options) validateParams() error {
+	if math.IsNaN(o.Lambda) || math.IsInf(o.Lambda, 0) || o.Lambda <= 0 {
+		return fmt.Errorf("%w (got %v)", ErrBadLambda, o.Lambda)
+	}
+	if math.IsNaN(o.Gamma) || math.IsInf(o.Gamma, 0) || o.Gamma <= 0 {
+		return fmt.Errorf("%w (got %v)", ErrBadGamma, o.Gamma)
+	}
+	return nil
+}
+
+// initialConfig builds the starting configuration described by opts — the
+// construction shared by New and NewDistributed.
+func initialConfig(opts Options) (*psys.Config, error) {
+	layout := opts.Layout
+	if layout == 0 {
+		layout = LayoutSpiral
+	}
+	var cfg *psys.Config
+	var err error
+	if opts.Separated {
+		cfg, err = core.InitialSeparated(opts.Counts)
+	} else {
+		cfg, err = core.Initial(layout, opts.Counts, opts.Seed)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sops: initial configuration: %w", err)
+	}
+	return cfg, nil
+}
+
 // System is a particle system evolving under the separation chain M.
 // It is not safe for concurrent use; for a concurrent distributed execution
 // see Distributed.
@@ -120,19 +187,12 @@ type System struct {
 
 // New builds a System from options.
 func New(opts Options) (*System, error) {
-	var cfg *psys.Config
-	var err error
-	layout := opts.Layout
-	if layout == 0 {
-		layout = LayoutSpiral
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
-	if opts.Separated {
-		cfg, err = core.InitialSeparated(opts.Counts)
-	} else {
-		cfg, err = core.Initial(layout, opts.Counts, opts.Seed)
-	}
+	cfg, err := initialConfig(opts)
 	if err != nil {
-		return nil, fmt.Errorf("sops: initial configuration: %w", err)
+		return nil, err
 	}
 	return NewFromConfig(cfg, opts)
 }
@@ -141,6 +201,9 @@ func New(opts Options) (*System, error) {
 // must be connected. The System takes ownership of cfg. Counts, Layout and
 // Separated in opts are ignored.
 func NewFromConfig(cfg *psys.Config, opts Options) (*System, error) {
+	if err := opts.validateParams(); err != nil {
+		return nil, err
+	}
 	chain, err := core.New(cfg, core.Params{
 		Lambda:       opts.Lambda,
 		Gamma:        opts.Gamma,
@@ -162,6 +225,42 @@ func (s *System) Step() Outcome { return s.chain.Step() }
 
 // Run performs steps iterations.
 func (s *System) Run(steps uint64) { s.chain.Run(steps) }
+
+// RunContext performs up to steps iterations, stopping early when ctx is
+// cancelled. It returns the number of iterations actually performed,
+// together with ctx's error if the run was cut short. The System remains
+// valid after a cancelled run: it can be resumed, measured or checkpointed.
+func (s *System) RunContext(ctx context.Context, steps uint64) (uint64, error) {
+	return s.chain.RunContext(ctx, steps)
+}
+
+// RunWithContext is RunWith with cancellation: it performs up to steps
+// iterations, invoking observe with a metrics snapshot every interval
+// iterations (and at the end), and stops early when observe returns false
+// or ctx is cancelled. Cancellation is polled inside each interval, so even
+// sparse observers cancel promptly. It returns the iterations performed and
+// ctx's error if the run was cut short.
+func (s *System) RunWithContext(ctx context.Context, steps, interval uint64, observe func(snap Snapshot) bool) (uint64, error) {
+	if interval == 0 {
+		interval = 1
+	}
+	var done uint64
+	for done < steps {
+		batch := interval
+		if steps-done < batch {
+			batch = steps - done
+		}
+		n, err := s.chain.RunContext(ctx, batch)
+		done += n
+		if err != nil {
+			return done, err
+		}
+		if !observe(s.Metrics()) {
+			return done, nil
+		}
+	}
+	return done, nil
+}
 
 // RunWith performs steps iterations, invoking observe with a metrics
 // snapshot every interval iterations (and at the end). Returning false

@@ -1,0 +1,127 @@
+package sops
+
+import (
+	"context"
+	"errors"
+
+	"sops/internal/runner"
+)
+
+// ErrEmptySweep reports a SweepSpec whose grid contains no cells.
+var ErrEmptySweep = errors.New("sops: sweep grid has no cells")
+
+// SweepSpec describes a parameter sweep: one independent System per
+// (λ, γ, seed) cell, run for Steps iterations from a common initial
+// arrangement, then measured. Cells are enumerated λ-major, then γ, then
+// seed — the order of the returned CellResult slice.
+type SweepSpec struct {
+	// Lambdas and Gammas are the grid axes; the sweep covers their cross
+	// product. Both required.
+	Lambdas []float64
+	Gammas  []float64
+	// Seeds lists the chain seeds run at every grid point (replicates).
+	// Empty means one replicate with Seed.
+	Seeds []uint64
+	// Seed is the seed used when Seeds is empty.
+	Seed uint64
+	// Counts gives the particles per color, as in Options (see Bichromatic
+	// for the paper's standard split). Required.
+	Counts []int
+	// Layout, Separated and DisableSwaps configure each cell's System
+	// exactly as in Options.
+	Layout       Layout
+	Separated    bool
+	DisableSwaps bool
+	// Steps is the number of chain iterations per cell.
+	Steps uint64
+	// Workers caps the sweep's concurrency; values <= 0 use GOMAXPROCS.
+	// Results are identical at any worker count — workers only change
+	// wall-clock time.
+	Workers int
+	// Thresholds overrides the phase-classification thresholds.
+	Thresholds *Thresholds
+	// Observe, if non-nil, is called after each cell completes with the
+	// number of finished cells and the total. Calls are serialized.
+	Observe func(done, total int)
+}
+
+// CellResult is the outcome of one sweep cell.
+type CellResult struct {
+	Lambda, Gamma float64
+	Seed          uint64
+	Snap          Snapshot // the final configuration's metrics (zero if Err != nil)
+	Err           error    // the cell's failure, or the context error if never run
+}
+
+// Sweep runs the spec's λ×γ×seed grid on the parallel sweep engine and
+// returns one CellResult per cell, in grid order.
+//
+// Each cell is fully deterministic given its (λ, γ, seed) coordinates, so
+// the result slice is identical regardless of Workers. Cancelling ctx
+// returns promptly with ctx's error: completed cells keep their results,
+// and cells that were interrupted or never ran carry the context error in
+// their Err field. Per-cell failures do not abort the sweep; they are
+// collected into the returned error while the other cells complete.
+func Sweep(ctx context.Context, spec SweepSpec) ([]CellResult, error) {
+	seeds := spec.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{spec.Seed}
+	}
+	type cell struct {
+		lambda, gamma float64
+		seed          uint64
+	}
+	cells := make([]cell, 0, len(spec.Lambdas)*len(spec.Gammas)*len(seeds))
+	for _, l := range spec.Lambdas {
+		for _, g := range spec.Gammas {
+			for _, s := range seeds {
+				cells = append(cells, cell{lambda: l, gamma: g, seed: s})
+			}
+		}
+	}
+	if len(cells) == 0 {
+		return nil, ErrEmptySweep
+	}
+
+	var observe func(runner.Progress)
+	if spec.Observe != nil {
+		observe = func(p runner.Progress) { spec.Observe(p.Done, p.Total) }
+	}
+	results, err := runner.Sweep(ctx, cells, runner.Options{
+		Workers: spec.Workers,
+		Seed:    spec.Seed,
+		Observe: observe,
+	}, func(ctx context.Context, c cell, _ uint64) (Snapshot, error) {
+		// The cell's own seed drives all randomness, not the engine-derived
+		// one, so results match a serial run of the same (λ, γ, seed) cell.
+		sys, err := New(Options{
+			Counts:       spec.Counts,
+			Layout:       spec.Layout,
+			Separated:    spec.Separated,
+			Lambda:       c.lambda,
+			Gamma:        c.gamma,
+			DisableSwaps: spec.DisableSwaps,
+			Seed:         c.seed,
+			Thresholds:   spec.Thresholds,
+		})
+		if err != nil {
+			return Snapshot{}, err
+		}
+		if _, err := sys.RunContext(ctx, spec.Steps); err != nil {
+			return Snapshot{}, err
+		}
+		return sys.Metrics(), nil
+	})
+
+	out := make([]CellResult, len(results))
+	for i, r := range results {
+		out[i] = CellResult{
+			Lambda: cells[i].lambda,
+			Gamma:  cells[i].gamma,
+			Seed:   cells[i].seed,
+			Snap:   r.Value,
+			Err:    r.Err,
+		}
+	}
+	return out, err
+}
