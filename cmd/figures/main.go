@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"sops"
+	"sops/internal/atomicio"
 	"sops/internal/core"
 	"sops/internal/enumerate"
 	"sops/internal/experiments"
@@ -107,7 +108,7 @@ func figure2(outDir string, scale, seed uint64) error {
 	for _, p := range points {
 		fmt.Fprintf(&b, "--- after %d iterations ---\n%s\n", p.Steps, p.ASCII)
 	}
-	if err := os.WriteFile(filepath.Join(outDir, "figure2.txt"), []byte(b.String()), 0o644); err != nil {
+	if err := atomicio.WriteFile(filepath.Join(outDir, "figure2.txt"), []byte(b.String()), 0o644); err != nil {
 		return err
 	}
 	// Re-run to emit SVG snapshots (cheap at scaled checkpoints).
@@ -122,15 +123,15 @@ func figure2(outDir string, scale, seed uint64) error {
 	for i, cp := range checkpoints {
 		sys.Run(cp - done)
 		done = cp
-		f, err := os.Create(filepath.Join(outDir, fmt.Sprintf("figure2_%d.svg", i)))
+		f, err := atomicio.Create(filepath.Join(outDir, fmt.Sprintf("figure2_%d.svg", i)))
 		if err != nil {
 			return err
 		}
 		if err := sys.RenderSVG(f); err != nil {
-			f.Close()
+			f.Abort()
 			return err
 		}
-		if err := f.Close(); err != nil {
+		if err := f.Commit(); err != nil {
 			return err
 		}
 	}
@@ -151,7 +152,7 @@ func figure3(ctx context.Context, outDir string, scale, seed uint64, workers int
 		fmt.Fprintf(&b, "%8.3g %8.3g %7.3f %7d %8.3f  %s\n",
 			c.Lambda, c.Gamma, c.Snap.Alpha, c.Snap.HetEdges, c.Snap.Segregation, c.Snap.Phase)
 	}
-	return os.WriteFile(filepath.Join(outDir, "figure3.txt"), []byte(b.String()), 0o644)
+	return atomicio.WriteFile(filepath.Join(outDir, "figure3.txt"), []byte(b.String()), 0o644)
 }
 
 func lemma2(outDir string) error {
@@ -163,7 +164,7 @@ func lemma2(outDir string) error {
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%8d %8d %10.2f\n", r.N, r.PMin, r.Bound)
 	}
-	return os.WriteFile(filepath.Join(outDir, "lemma2.txt"), []byte(b.String()), 0o644)
+	return atomicio.WriteFile(filepath.Join(outDir, "lemma2.txt"), []byte(b.String()), 0o644)
 }
 
 func ablation(outDir string, scale, seed uint64) error {
@@ -181,7 +182,7 @@ func ablation(outDir string, scale, seed uint64) error {
 		fmt.Fprintf(&b, "without swaps: reached at %d iterations (%.1fx slower)\n",
 			res.WithoutSwaps, float64(res.WithoutSwaps)/float64(res.WithSwaps))
 	}
-	return os.WriteFile(filepath.Join(outDir, "ablation.txt"), []byte(b.String()), 0o644)
+	return atomicio.WriteFile(filepath.Join(outDir, "ablation.txt"), []byte(b.String()), 0o644)
 }
 
 func theoremTables(ctx context.Context, outDir string, scale, seed uint64, workers int) error {
@@ -249,7 +250,7 @@ func theoremTables(ctx context.Context, outDir string, scale, seed uint64, worke
 		fmt.Fprintf(&b, "%4d %8.3f %12.3f\n", k, res.Snap.Segregation, mean)
 	}
 
-	return os.WriteFile(filepath.Join(outDir, "theorems.txt"), []byte(b.String()), 0o644)
+	return atomicio.WriteFile(filepath.Join(outDir, "theorems.txt"), []byte(b.String()), 0o644)
 }
 
 // analysis writes the theory-machinery artifacts: the Lemma 1 perimeter
@@ -348,7 +349,7 @@ func analysis(outDir string) error {
 		fmt.Fprintf(&b, "%10.4g %18.8g %18.8g %12.2e\n", gamma, brute, ht, math.Abs(brute-ht)/brute)
 	}
 
-	return os.WriteFile(filepath.Join(outDir, "analysis.txt"), []byte(b.String()), 0o644)
+	return atomicio.WriteFile(filepath.Join(outDir, "analysis.txt"), []byte(b.String()), 0o644)
 }
 
 // schellingBaseline writes the related-work baseline comparison: Schelling
@@ -386,5 +387,5 @@ func schellingBaseline(outDir string, seed uint64) error {
 	}
 	b.WriteString("\nSchelling relocates unhappy agents to random vacancies (shape not preserved);\n")
 	b.WriteString("the particle system separates under strictly local moves while staying connected.\n")
-	return os.WriteFile(filepath.Join(outDir, "schelling.txt"), []byte(b.String()), 0o644)
+	return atomicio.WriteFile(filepath.Join(outDir, "schelling.txt"), []byte(b.String()), 0o644)
 }

@@ -11,6 +11,12 @@
 // with Ctrl-C (or hitting -timeout) cancels the sweep promptly and prints
 // the cells that finished.
 //
+// Long sweeps survive crashes with -checkpoint: completed cells land in an
+// atomically-replaced manifest, and -resume continues an interrupted sweep
+// without recomputing them (byte-identical to the uninterrupted output).
+// Transient per-cell failures can be retried with -retries. With -o the
+// diagram is also written atomically to a file.
+//
 // The paper runs 5·10⁷ iterations per cell; the default here is smaller so
 // the sweep finishes in minutes. Pass -iters 50000000 for paper scale.
 package main
@@ -19,6 +25,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strconv"
@@ -26,6 +33,7 @@ import (
 	"time"
 
 	"sops"
+	"sops/internal/atomicio"
 	"sops/internal/experiments"
 )
 
@@ -46,8 +54,16 @@ func run() error {
 		workers  = flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 0, "cancel the sweep after this duration (0 = none)")
 		progress = flag.Bool("progress", false, "report per-cell completion on stderr")
+		output   = flag.String("o", "", "also write the diagram to this file (atomic replace)")
+		ckpt     = flag.String("checkpoint", "", "record completed cells in this manifest (crash-safe sweeps)")
+		ckptIter = flag.Uint64("checkpoint-steps", 0, "also checkpoint in-flight cells every this many steps (0 = off)")
+		resume   = flag.Bool("resume", false, "resume from the -checkpoint manifest instead of starting over")
+		retries  = flag.Int("retries", 0, "re-attempts granted to a failing cell")
 	)
 	flag.Parse()
+	if *resume && *ckpt == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
 
 	ls, gs := experiments.DefaultPhaseGrid()
 	var err error
@@ -71,13 +87,16 @@ func run() error {
 	}
 
 	spec := sops.SweepSpec{
-		Lambdas: ls,
-		Gammas:  gs,
-		Seed:    *seed,
-		Counts:  sops.Bichromatic(*n),
-		Layout:  sops.LayoutLine,
-		Steps:   *iters,
-		Workers: *workers,
+		Lambdas:         ls,
+		Gammas:          gs,
+		Seed:            *seed,
+		Counts:          sops.Bichromatic(*n),
+		Layout:          sops.LayoutLine,
+		Steps:           *iters,
+		Workers:         *workers,
+		Retries:         *retries,
+		CheckpointPath:  *ckpt,
+		CheckpointSteps: *ckptIter,
 	}
 	if *progress {
 		start := time.Now()
@@ -87,47 +106,63 @@ func run() error {
 	}
 
 	fmt.Printf("phase diagram: n=%d iters=%d seed=%d\n\n", *n, *iters, *seed)
-	cells, err := sops.Sweep(ctx, spec)
+	sweep := sops.Sweep
+	if *resume {
+		sweep = sops.ResumeSweep
+	}
+	cells, err := sweep(ctx, spec)
 	if ctxErr := ctx.Err(); ctxErr != nil {
 		// Partial sweep: print what finished, then report the interruption.
-		printCells(cells, ls, gs)
+		printCells(os.Stdout, cells, ls, gs)
+		if *ckpt != "" {
+			fmt.Fprintf(os.Stderr, "phase: completed cells are checkpointed; rerun with -resume to continue\n")
+		}
 		return fmt.Errorf("sweep interrupted (%v); results above are partial", ctxErr)
 	}
 	if err != nil {
 		return err
 	}
-	printCells(cells, ls, gs)
+	printCells(os.Stdout, cells, ls, gs)
+	if *output != "" {
+		var b strings.Builder
+		fmt.Fprintf(&b, "phase diagram: n=%d iters=%d seed=%d\n\n", *n, *iters, *seed)
+		printCells(&b, cells, ls, gs)
+		if err := atomicio.WriteFile(*output, []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *output)
+	}
 	return nil
 }
 
-// printCells prints the per-cell table and the compact grid view for every
+// printCells writes the per-cell table and the compact grid view for every
 // completed cell; cancelled or failed cells are skipped.
-func printCells(cells []sops.CellResult, ls, gs []float64) {
-	fmt.Printf("%8s %8s %7s %7s %8s  %s\n", "lambda", "gamma", "alpha", "het", "segr", "phase")
+func printCells(w io.Writer, cells []sops.CellResult, ls, gs []float64) {
+	fmt.Fprintf(w, "%8s %8s %7s %7s %8s  %s\n", "lambda", "gamma", "alpha", "het", "segr", "phase")
 	byKey := make(map[[2]float64]string, len(cells))
 	for _, c := range cells {
 		if c.Err != nil {
 			continue
 		}
-		fmt.Printf("%8.3g %8.3g %7.3f %7d %8.3f  %s\n",
+		fmt.Fprintf(w, "%8.3g %8.3g %7.3f %7d %8.3f  %s\n",
 			c.Lambda, c.Gamma, c.Snap.Alpha, c.Snap.HetEdges, c.Snap.Segregation, c.Snap.Phase)
 		byKey[[2]float64{c.Lambda, c.Gamma}] = shortPhase(c.Snap.Phase.String())
 	}
 
 	// Compact grid view (rows: γ descending; columns: λ ascending).
-	fmt.Printf("\n%8s", "γ \\ λ")
+	fmt.Fprintf(w, "\n%8s", "γ \\ λ")
 	for _, l := range ls {
-		fmt.Printf(" %6.3g", l)
+		fmt.Fprintf(w, " %6.3g", l)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	for i := len(gs) - 1; i >= 0; i-- {
-		fmt.Printf("%8.3g", gs[i])
+		fmt.Fprintf(w, "%8.3g", gs[i])
 		for _, l := range ls {
-			fmt.Printf(" %6s", byKey[[2]float64{l, gs[i]}])
+			fmt.Fprintf(w, " %6s", byKey[[2]float64{l, gs[i]}])
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
-	fmt.Println("\nCS=compressed-separated CI=compressed-integrated ES=expanded-separated EI=expanded-integrated")
+	fmt.Fprintln(w, "\nCS=compressed-separated CI=compressed-integrated ES=expanded-separated EI=expanded-integrated")
 }
 
 func shortPhase(name string) string {

@@ -8,16 +8,25 @@
 // Flags select the workload (particle count, color classes, initial
 // layout), the bias parameters, and the reporting (progress lines, final
 // ASCII art, optional SVG file).
+//
+// Long centralized runs survive crashes with -checkpoint: the chain state
+// is written atomically on an interval (and on Ctrl-C), and -resume
+// continues the exact trajectory. On the distributed runtime
+// (-workers > 0), -crash-prob/-drop-frac/-stall-prob inject deterministic
+// faults seeded by -fault-seed, and -audit-every verifies the model's
+// invariants while the run is in flight.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 
 	"sops"
+	"sops/internal/atomicio"
 )
 
 func main() {
@@ -42,6 +51,17 @@ func run() error {
 		ascii     = flag.Bool("ascii", true, "print final configuration as ASCII")
 		svgPath   = flag.String("svg", "", "write final configuration as SVG to this path")
 		workers   = flag.Int("workers", 0, "run on the distributed amoebot runtime with this many concurrent workers (0 = centralized chain)")
+
+		ckpt      = flag.String("checkpoint", "", "checkpoint the chain state to this file on an interval (atomic; centralized runs)")
+		ckptEvery = flag.Uint64("checkpoint-every", 1_000_000, "steps between checkpoint writes")
+		resume    = flag.Bool("resume", false, "resume the run from the -checkpoint file")
+
+		faultSeed  = flag.Uint64("fault-seed", 0, "fault-injection seed (distributed runs)")
+		crashProb  = flag.Float64("crash-prob", 0, "per-slot probability an activation source crash-stops")
+		crashLen   = flag.Uint64("crash-len", 0, "activation slots a crash lasts (0 = default)")
+		dropFrac   = flag.Float64("drop-frac", 0, "fraction of activation slots dropped")
+		stallProb  = flag.Float64("stall-prob", 0, "per-activation probability of a lock-boundary stall")
+		auditEvery = flag.Uint64("audit-every", 0, "verify invariants every this many activations (0 = off)")
 	)
 	flag.Parse()
 
@@ -57,19 +77,41 @@ func run() error {
 		layout = sops.LayoutLine
 	}
 	if *workers > 0 {
-		return runDistributed(counts, layout, *separated, *lambda, *gamma, *noswap, *seed, *iters, *workers, *ascii)
+		faults := sops.FaultOptions{
+			Seed:      *faultSeed,
+			CrashProb: *crashProb,
+			CrashLen:  *crashLen,
+			DropFrac:  *dropFrac,
+			StallProb: *stallProb,
+		}
+		return runDistributed(counts, layout, *separated, *lambda, *gamma, *noswap, *seed, *iters, *workers, *ascii, faults, *auditEvery)
 	}
-	sys, err := sops.New(sops.Options{
-		Counts:       counts,
-		Layout:       layout,
-		Separated:    *separated,
-		Lambda:       *lambda,
-		Gamma:        *gamma,
-		DisableSwaps: *noswap,
-		Seed:         *seed,
-	})
-	if err != nil {
-		return err
+	var sys *sops.System
+	var err error
+	if *resume {
+		if *ckpt == "" {
+			return fmt.Errorf("-resume requires -checkpoint")
+		}
+		if sys, err = sops.RestoreFile(*ckpt, nil); err != nil {
+			return err
+		}
+		fmt.Printf("resumed from %s at step %d\n", *ckpt, sys.Steps())
+	} else {
+		sys, err = sops.New(sops.Options{
+			Counts:       counts,
+			Layout:       layout,
+			Separated:    *separated,
+			Lambda:       *lambda,
+			Gamma:        *gamma,
+			DisableSwaps: *noswap,
+			Seed:         *seed,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if *ckpt != "" {
+		sys.SetAutoCheckpoint(*ckpt, *ckptEvery)
 	}
 
 	fmt.Printf("n=%d colors=%d λ=%g γ=%g iters=%d seed=%d\n", *n, *k, *lambda, *gamma, *iters, *seed)
@@ -81,18 +123,33 @@ func run() error {
 			m.Segregation, m.LargestFrac, m.Phase)
 	}
 	printRow(sys.Metrics())
-	if *progress > 0 && *iters > 0 {
-		interval := *iters / uint64(*progress)
-		if interval == 0 {
-			interval = 1
+	// Ctrl-C cancels the run; with -checkpoint the state at the moment of
+	// interruption is flushed, so -resume picks up exactly there.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	var remaining uint64
+	if sys.Steps() < *iters {
+		remaining = *iters - sys.Steps()
+	}
+	interval := remaining
+	if *progress > 0 {
+		interval = remaining / uint64(*progress)
+	}
+	if interval == 0 {
+		interval = 1
+	}
+	if _, err := sys.RunWithContext(ctx, remaining, interval, func(m sops.Snapshot) bool {
+		printRow(m)
+		return true
+	}); err != nil {
+		if !errors.Is(err, context.Canceled) {
+			return err
 		}
-		sys.RunWith(*iters, interval, func(m sops.Snapshot) bool {
-			printRow(m)
-			return true
-		})
-	} else {
-		sys.Run(*iters)
-		printRow(sys.Metrics())
+		msg := "interrupted"
+		if *ckpt != "" {
+			msg += "; state checkpointed to " + *ckpt + " (continue with -resume)"
+		}
+		fmt.Println(msg)
 	}
 
 	st := sys.Stats()
@@ -103,12 +160,15 @@ func run() error {
 		fmt.Println(sys.ASCII())
 	}
 	if *svgPath != "" {
-		f, err := os.Create(*svgPath)
+		f, err := atomicio.Create(*svgPath)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		if err := sys.RenderSVG(f); err != nil {
+			f.Abort()
+			return err
+		}
+		if err := f.Commit(); err != nil {
 			return err
 		}
 		fmt.Println("wrote", *svgPath)
@@ -116,8 +176,9 @@ func run() error {
 	return nil
 }
 
-// runDistributed executes the workload on the concurrent amoebot runtime.
-func runDistributed(counts []int, layout sops.Layout, separated bool, lambda, gamma float64, noswap bool, seed, iters uint64, workers int, ascii bool) error {
+// runDistributed executes the workload on the concurrent amoebot runtime,
+// optionally under deterministic fault injection and invariant auditing.
+func runDistributed(counts []int, layout sops.Layout, separated bool, lambda, gamma float64, noswap bool, seed, iters uint64, workers int, ascii bool, faults sops.FaultOptions, auditEvery uint64) error {
 	d, err := sops.NewDistributed(sops.Options{
 		Counts:       counts,
 		Layout:       layout,
@@ -130,18 +191,38 @@ func runDistributed(counts []int, layout sops.Layout, separated bool, lambda, ga
 	if err != nil {
 		return err
 	}
+	injecting := faults.CrashProb > 0 || faults.DropFrac > 0 || faults.StallProb > 0
+	if injecting {
+		if err := d.EnableFaults(faults); err != nil {
+			return err
+		}
+		fmt.Printf("fault injection armed: seed=%d crashProb=%g dropFrac=%g stallProb=%g\n",
+			faults.Seed, faults.CrashProb, faults.DropFrac, faults.StallProb)
+	}
+	d.SetAuditEvery(auditEvery)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	fmt.Printf("distributed runtime: %d workers, %d activations\n", workers, iters)
 	performed, moves, swaps, err := d.RunContext(ctx, iters, workers)
 	if err != nil {
+		if !errors.Is(err, context.Canceled) {
+			return err // an invariant audit failed: the run is not trustworthy
+		}
 		fmt.Printf("interrupted after %d activations (%v)\n", performed, err)
+	}
+	if injecting {
+		st := d.FaultStats()
+		fmt.Printf("faults: %d crashes, %d restarts, %d dropped slots, %d stalls\n",
+			st.Crashes, st.Restarts, st.Dropped, st.Stalls)
 	}
 	m := d.Metrics()
 	fmt.Printf("accepted %d moves, %d swaps; α=%.3f h=%d segregation=%.3f phase=%s\n",
 		moves, swaps, m.Alpha, m.HetEdges, m.Segregation, m.Phase)
+	if err := d.CheckInvariants(); err != nil {
+		return fmt.Errorf("final invariant audit: %w", err)
+	}
 	snap := d.Snapshot()
-	fmt.Printf("connected=%v holeFree=%v\n", snap.Connected(), snap.HoleFree())
+	fmt.Printf("connected=%v holeFree=%v (invariants verified)\n", snap.Connected(), snap.HoleFree())
 	if ascii {
 		fmt.Println(d.ASCII())
 	}

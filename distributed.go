@@ -7,9 +7,21 @@ import (
 
 	"sops/internal/amoebot"
 	"sops/internal/core"
+	"sops/internal/fault"
 	"sops/internal/metrics"
 	"sops/internal/rng"
 	"sops/internal/viz"
+)
+
+// Fault-injection types, re-exported so callers configure the injector
+// without importing internal packages.
+type (
+	// FaultOptions configures deterministic fault injection for a
+	// Distributed execution; see EnableFaults. The zero value injects
+	// nothing.
+	FaultOptions = fault.Options
+	// FaultStats counts the faults injected so far.
+	FaultStats = fault.Stats
 )
 
 // Distributed is the asynchronous amoebot-model execution of the
@@ -27,6 +39,7 @@ type Distributed struct {
 	th    metrics.Thresholds
 	done  uint64
 	sched *rng.Source // deterministic per-run scheduler seeds, from Options.Seed
+	inj   *fault.Injector
 }
 
 // schedulerStream is the rng.SeedAt index reserved for deriving the
@@ -90,9 +103,9 @@ func (d *Distributed) Run(activations uint64, workers int, seed uint64) (moves, 
 func (d *Distributed) run(ctx context.Context, activations uint64, workers int, seed uint64) (performed, moves, swaps uint64, err error) {
 	var res amoebot.Result
 	if workers <= 1 {
-		res, err = amoebot.RunSequentialContext(ctx, d.world, activations, seed)
+		res, err = amoebot.RunSequentialFault(ctx, d.world, activations, seed, d.inj)
 	} else {
-		res, err = amoebot.RunConcurrentContext(ctx, d.world, activations, workers, seed)
+		res, err = amoebot.RunConcurrentFault(ctx, d.world, activations, workers, seed, d.inj)
 	}
 	d.done += res.Activations
 	if err != nil && err != ctx.Err() {
@@ -100,6 +113,47 @@ func (d *Distributed) run(ctx context.Context, activations uint64, workers int, 
 	}
 	return res.Activations, res.Moves, res.Swaps, err
 }
+
+// EnableFaults arms deterministic fault injection for all subsequent runs:
+// activation sources crash-stop and restart, drop activation slots, and
+// stall at lock boundaries according to opts, all reproducibly from
+// opts.Seed. The world is audited after every injected recovery (and at
+// the SetAuditEvery cadence); an audit failure aborts the run with a
+// *psys.InvariantError. Passing the zero FaultOptions disables injection
+// again. Not safe to call while a run is in progress.
+func (d *Distributed) EnableFaults(opts FaultOptions) error {
+	if opts == (FaultOptions{}) {
+		d.inj = nil
+		return nil
+	}
+	inj, err := fault.New(opts)
+	if err != nil {
+		return fmt.Errorf("sops: %w", err)
+	}
+	d.inj = inj
+	return nil
+}
+
+// FaultStats reports the faults injected so far across all runs; the zero
+// value when EnableFaults was never armed.
+func (d *Distributed) FaultStats() FaultStats {
+	if d.inj == nil {
+		return FaultStats{}
+	}
+	return d.inj.Stats()
+}
+
+// SetAuditEvery configures the invariant-audit cadence: during runs the
+// world is audited after every n performed activations (0 disables). Safe
+// to call while a run is in progress.
+func (d *Distributed) SetAuditEvery(n uint64) { d.world.SetAuditEvery(n) }
+
+// CheckInvariants audits the world immediately: the particle registry and
+// grid must agree, and the quiescent configuration must satisfy every
+// chain invariant. It returns nil on a healthy world and a
+// *psys.InvariantError naming the violated property otherwise. Safe to
+// call while a run is in progress (it briefly excludes activations).
+func (d *Distributed) CheckInvariants() error { return d.world.Audit() }
 
 // N returns the number of particles.
 func (d *Distributed) N() int { return d.world.N() }

@@ -1,0 +1,51 @@
+package sops
+
+import (
+	"context"
+	"testing"
+)
+
+// TestDistributedFaultInjection exercises the public fault surface: armed
+// injection drops slots and crash-stops sources, audits run on cadence and
+// recovery, and the quiescent world still satisfies every invariant.
+func TestDistributedFaultInjection(t *testing.T) {
+	d, err := NewDistributed(Options{Counts: []int{15, 15}, Lambda: 4, Gamma: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EnableFaults(FaultOptions{CrashProb: 2}); err == nil {
+		t.Fatal("out-of-range fault options accepted")
+	}
+	if err := d.EnableFaults(FaultOptions{
+		Seed:      3,
+		CrashProb: 0.001,
+		CrashLen:  100,
+		DropFrac:  0.05,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d.SetAuditEvery(10_000)
+	performed, _, _, err := d.RunContext(context.Background(), 200_000, 4)
+	if err != nil {
+		t.Fatalf("faulty run failed: %v", err)
+	}
+	if performed == 0 || performed == 200_000 {
+		t.Fatalf("performed %d of 200000 — faults did not drop any slots", performed)
+	}
+	st := d.FaultStats()
+	if st.Dropped == 0 || st.Crashes == 0 {
+		t.Fatalf("no faults injected: %+v", st)
+	}
+	if performed+st.Dropped != 200_000 {
+		t.Fatalf("slots not conserved: %d performed + %d dropped", performed, st.Dropped)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatalf("invariants violated after faulty run: %v", err)
+	}
+	if err := d.EnableFaults(FaultOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if d.FaultStats() != (FaultStats{}) {
+		t.Fatal("disarmed injector still reports stats")
+	}
+}

@@ -1,6 +1,8 @@
 package sops_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -61,7 +63,7 @@ func ExampleNewDistributed() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, _, err := d.Run(500_000, 4, 7); err != nil {
+	if _, _, _, err := d.RunContext(context.Background(), 500_000, 4); err != nil {
 		log.Fatal(err)
 	}
 	snap := d.Snapshot()
@@ -70,4 +72,36 @@ func ExampleNewDistributed() {
 	// Output:
 	// connected: true
 	// hole-free: true
+}
+
+// ExampleSweep_errors takes apart a sweep failure: the returned error is a
+// *sops.SweepError whose cells unwrap all the way to their root causes, so
+// both errors.As (for the aggregate and per-cell structure) and errors.Is
+// (for sentinel causes like ErrBadLambda) work without importing internal
+// packages. Failed cells never abort the sweep — the healthy cells still
+// deliver results.
+func ExampleSweep_errors() {
+	results, err := sops.Sweep(context.Background(), sops.SweepSpec{
+		Lambdas: []float64{4, -1}, // -1 is invalid: that cell fails
+		Gammas:  []float64{4},
+		Counts:  []int{6, 6},
+		Steps:   1_000,
+		Workers: 2,
+	})
+	var sweepErr *sops.SweepError
+	if errors.As(err, &sweepErr) {
+		fmt.Println("failed cells:", len(sweepErr.Cells))
+		fmt.Println("first failed index:", sweepErr.Cells[0].Index)
+		fmt.Println("caused by bad lambda:", errors.Is(err, sops.ErrBadLambda))
+	}
+	for _, r := range results {
+		if r.Err == nil {
+			fmt.Printf("λ=%g finished with %d particles\n", r.Lambda, r.Snap.N)
+		}
+	}
+	// Output:
+	// failed cells: 1
+	// first failed index: 1
+	// caused by bad lambda: true
+	// λ=4 finished with 12 particles
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"runtime"
@@ -28,12 +29,17 @@ func main() {
 	if workers < 4 {
 		workers = 4 // concurrency is still exercised on few-core machines
 	}
+	// Audit the model's invariants every 500k activations while running.
+	d.SetAuditEvery(500_000)
 	fmt.Printf("running 2,000,000 activations across %d concurrent workers\n", workers)
-	moves, swaps, err := d.Run(2_000_000, workers, 11)
+	_, moves, swaps, err := d.RunContext(context.Background(), 2_000_000, workers)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("accepted %d moves and %d swaps\n\n", moves, swaps)
+	if err := d.CheckInvariants(); err != nil {
+		log.Fatal(err)
+	}
 
 	snap := d.Snapshot()
 	m := d.Metrics()

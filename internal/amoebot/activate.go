@@ -49,6 +49,11 @@ func (w *World) Activate(id int, r *rng.Source) core.Outcome {
 
 	unlock := w.lockRegion(l, lp)
 	defer unlock()
+	if f := w.lockDelay.Load(); f != nil {
+		// Fault-injection stall: hold the region locks longer so that
+		// conflicting activations contend on adverse schedules.
+		(*f)()
+	}
 
 	view := lockedView{w}
 	target := w.cellAt(lp)

@@ -7,14 +7,16 @@ import (
 	"sync/atomic"
 
 	"sops/internal/core"
+	"sops/internal/fault"
 	"sops/internal/rng"
 )
 
 // Result aggregates the outcomes of a scheduled run.
 type Result struct {
-	Activations uint64
+	Activations uint64 // activations actually performed (dropped slots excluded)
 	Moves       uint64
 	Swaps       uint64
+	Dropped     uint64 // activation slots consumed by injected faults
 }
 
 // cancelCheckInterval is the number of activations each activation source
@@ -34,14 +36,43 @@ func RunSequential(w *World, activations uint64, seed uint64) Result {
 // if the context is done. Result.Activations reports the activations
 // actually performed.
 func RunSequentialContext(ctx context.Context, w *World, activations uint64, seed uint64) (Result, error) {
+	return RunSequentialFault(ctx, w, activations, seed, nil)
+}
+
+// RunSequentialFault is RunSequentialContext under a fault injector: each
+// activation slot first consults the injector's stream 0, which may drop
+// the slot (crash-stopped or lossy source). The world is audited at its
+// configured cadence and after every injected crash-recovery; an audit
+// failure aborts the run with the *psys.InvariantError. inj may be nil.
+// A sequential faulty run is exactly reproducible from (seed, fault seed).
+func RunSequentialFault(ctx context.Context, w *World, activations uint64, seed uint64, inj *fault.Injector) (Result, error) {
 	r := rng.New(seed)
 	var res Result
+	var stream *fault.Stream
+	if inj != nil {
+		stream = inj.Stream(0)
+		if hook := inj.LockDelay(); hook != nil {
+			w.SetLockDelay(hook)
+			defer w.SetLockDelay(nil)
+		}
+	}
 	n := w.N()
 	for i := uint64(0); i < activations; i++ {
 		if i%cancelCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
-				res.Activations = i
 				return res, err
+			}
+		}
+		if stream != nil {
+			d := stream.Next()
+			if d.Recovered {
+				if err := w.Audit(); err != nil {
+					return res, err
+				}
+			}
+			if d.Drop {
+				res.Dropped++
+				continue
 			}
 		}
 		switch w.Activate(r.Intn(n), r) {
@@ -50,8 +81,11 @@ func RunSequentialContext(ctx context.Context, w *World, activations uint64, see
 		case core.Swapped:
 			res.Swaps++
 		}
+		res.Activations++
+		if err := w.maybeAudit(); err != nil {
+			return res, err
+		}
 	}
-	res.Activations = activations
 	return res, nil
 }
 
@@ -73,11 +107,30 @@ func RunConcurrent(w *World, activations uint64, workers int, seed uint64) (Resu
 // leaves the world in a valid quiescent state — only fewer activations
 // happened.
 func RunConcurrentContext(ctx context.Context, w *World, activations uint64, workers int, seed uint64) (Result, error) {
+	return RunConcurrentFault(ctx, w, activations, workers, seed, nil)
+}
+
+// RunConcurrentFault is RunConcurrentContext under a fault injector: worker
+// wi draws its fault schedule from the injector's stream wi, so sources
+// crash-stop, restart and drop activations deterministically per source
+// (only the interleaving varies across runs). Stalls are injected at the
+// activations' lock boundaries. The world is audited at its configured
+// cadence and after every crash-recovery; the first audit failure stops all
+// workers and is returned as a *psys.InvariantError. inj may be nil, which
+// is exactly RunConcurrentContext.
+func RunConcurrentFault(ctx context.Context, w *World, activations uint64, workers int, seed uint64, inj *fault.Injector) (Result, error) {
 	if workers < 1 {
 		return Result{}, ErrNoWorkers
 	}
+	if inj != nil {
+		if hook := inj.LockDelay(); hook != nil {
+			w.SetLockDelay(hook)
+			defer w.SetLockDelay(nil)
+		}
+	}
 	root := rng.New(seed)
-	var performed, moves, swaps atomic.Uint64
+	var performed, moves, swaps, dropped atomic.Uint64
+	var auditErr atomic.Pointer[error] // first audit failure, stops all workers
 	var wg sync.WaitGroup
 	n := w.N()
 	share := activations / uint64(workers)
@@ -88,12 +141,29 @@ func RunConcurrentContext(ctx context.Context, w *World, activations uint64, wor
 			budget++
 		}
 		stream := root.NewStream()
+		var faults *fault.Stream
+		if inj != nil {
+			faults = inj.Stream(wi)
+		}
 		wg.Add(1)
-		go func(budget uint64, r *rng.Source) {
+		go func(budget uint64, r *rng.Source, faults *fault.Stream) {
 			defer wg.Done()
 			for i := uint64(0); i < budget; i++ {
-				if i%cancelCheckInterval == 0 && ctx.Err() != nil {
+				if i%cancelCheckInterval == 0 && (ctx.Err() != nil || auditErr.Load() != nil) {
 					return
+				}
+				if faults != nil {
+					d := faults.Next()
+					if d.Recovered {
+						if err := w.Audit(); err != nil {
+							auditErr.CompareAndSwap(nil, &err)
+							return
+						}
+					}
+					if d.Drop {
+						dropped.Add(1)
+						continue
+					}
 				}
 				switch w.Activate(r.Intn(n), r) {
 				case core.Moved:
@@ -102,13 +172,22 @@ func RunConcurrentContext(ctx context.Context, w *World, activations uint64, wor
 					swaps.Add(1)
 				}
 				performed.Add(1)
+				if err := w.maybeAudit(); err != nil {
+					auditErr.CompareAndSwap(nil, &err)
+					return
+				}
 			}
-		}(budget, stream)
+		}(budget, stream, faults)
 	}
 	wg.Wait()
-	return Result{
+	res := Result{
 		Activations: performed.Load(),
 		Moves:       moves.Load(),
 		Swaps:       swaps.Load(),
-	}, ctx.Err()
+		Dropped:     dropped.Load(),
+	}
+	if perr := auditErr.Load(); perr != nil {
+		return res, *perr
+	}
+	return res, ctx.Err()
 }

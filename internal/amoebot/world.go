@@ -71,6 +71,16 @@ type World struct {
 
 	powLambda [25]float64 // λ^k, k ∈ [−12, 12]
 	powGamma  [25]float64
+
+	// lockDelay, when set, is invoked by every activation while it holds
+	// its region locks — the fault layer's stall-injection point.
+	lockDelay atomic.Pointer[func()]
+
+	// auditEvery configures the invariant-audit cadence: the schedulers
+	// audit after every auditEvery performed activations (0 = disabled).
+	auditEvery atomic.Uint64
+	auditCount atomic.Uint64
+	audits     atomic.Uint64
 }
 
 // ErrOutOfArena is returned when the initial configuration does not fit the
@@ -185,4 +195,76 @@ func (w *World) Snapshot() *psys.Config {
 		}
 	}
 	return cfg
+}
+
+// SetLockDelay installs (or, with nil, removes) a hook invoked by every
+// activation while its region locks are held. The fault injector uses it to
+// stretch lock-hold windows; the hook must not activate particles or take
+// world locks. Safe to call while a scheduler is running.
+func (w *World) SetLockDelay(f func()) {
+	if f == nil {
+		w.lockDelay.Store(nil)
+		return
+	}
+	w.lockDelay.Store(&f)
+}
+
+// SetAuditEvery configures the invariant-audit cadence: the schedulers call
+// Audit after every n performed activations (and after every injected
+// crash-recovery). n = 0 disables cadenced audits. Safe to call while a run
+// is in progress.
+func (w *World) SetAuditEvery(n uint64) { w.auditEvery.Store(n) }
+
+// Audits reports how many invariant audits have run so far.
+func (w *World) Audits() uint64 { return w.audits.Load() }
+
+// Audit excludes all activations and verifies the world's integrity: the
+// particle registry and the grid must agree exactly, and the quiescent
+// configuration must satisfy every chain invariant (counts, connectivity,
+// hole-freeness, the e = 3n − p − 3 identity) via psys.CheckInvariants.
+// It returns nil on a healthy world and a *psys.InvariantError otherwise.
+func (w *World) Audit() error {
+	cfg, err := w.auditSnapshot()
+	if err != nil {
+		return err
+	}
+	w.audits.Add(1)
+	return cfg.CheckInvariants()
+}
+
+// auditSnapshot takes a quiescent snapshot while cross-checking the
+// particle registry against the grid.
+func (w *World) auditSnapshot() (*psys.Config, error) {
+	w.global.Lock()
+	defer w.global.Unlock()
+	cfg := psys.New()
+	for _, p := range w.parts {
+		c := w.cellAt(p.pos)
+		if !c.occupied {
+			return nil, &psys.InvariantError{Property: "registry",
+				Detail: fmt.Sprintf("particle %d at %v sits on a vacant grid cell", p.id, p.pos)}
+		}
+		if c.particle != p.id {
+			return nil, &psys.InvariantError{Property: "registry",
+				Detail: fmt.Sprintf("grid cell %v claims particle %d, registry says %d", p.pos, c.particle, p.id)}
+		}
+		if err := cfg.Place(p.pos, c.color); err != nil {
+			return nil, &psys.InvariantError{Property: "registry",
+				Detail: fmt.Sprintf("particles %v share a cell: %v", p.pos, err)}
+		}
+	}
+	return cfg, nil
+}
+
+// maybeAudit runs a cadenced audit if the performed-activation counter just
+// crossed a multiple of the configured cadence.
+func (w *World) maybeAudit() error {
+	every := w.auditEvery.Load()
+	if every == 0 {
+		return nil
+	}
+	if w.auditCount.Add(1)%every != 0 {
+		return nil
+	}
+	return w.Audit()
 }

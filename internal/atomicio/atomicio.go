@@ -1,0 +1,97 @@
+// Package atomicio writes files atomically: content goes to a temporary
+// file in the destination directory, is flushed to stable storage, and is
+// then renamed over the destination. A reader (or a process resuming after
+// a crash) therefore observes either the previous complete file or the new
+// complete file — never a truncated or interleaved one. This is the write
+// discipline behind every checkpoint and output artifact in the repo:
+// cancellation or SIGKILL mid-write can lose at most the write in progress.
+package atomicio
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data: it writes a temporary file
+// in path's directory, fsyncs it, and renames it into place. On error the
+// destination is untouched and the temporary file is removed.
+func WriteFile(path string, data []byte, perm fs.FileMode) error {
+	w, err := Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Abort()
+		return err
+	}
+	if err := w.f.Chmod(perm); err != nil {
+		w.Abort()
+		return err
+	}
+	return w.Commit()
+}
+
+// File is a destination being written atomically: bytes accumulate in a
+// temporary file and appear at the destination only on Commit. Exactly one
+// of Commit or Abort must be called; Abort after Commit is a safe no-op, so
+// `defer w.Abort()` is the idiomatic cleanup.
+type File struct {
+	f    *os.File
+	path string
+	done bool
+}
+
+// Create opens an atomic writer for path. The temporary file is created in
+// path's directory so the final rename cannot cross filesystems.
+func Create(path string) (*File, error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return nil, fmt.Errorf("atomicio: create temp for %s: %w", path, err)
+	}
+	return &File{f: f, path: path}, nil
+}
+
+// Write appends to the pending temporary file.
+func (w *File) Write(p []byte) (int, error) { return w.f.Write(p) }
+
+// Commit flushes the temporary file to stable storage and renames it over
+// the destination. After Commit the File is spent.
+func (w *File) Commit() error {
+	if w.done {
+		return fmt.Errorf("atomicio: commit of finished write to %s", w.path)
+	}
+	w.done = true
+	tmp := w.f.Name()
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: sync %s: %w", w.path, err)
+	}
+	if err := w.f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: close %s: %w", w.path, err)
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: rename into %s: %w", w.path, err)
+	}
+	return nil
+}
+
+// Abort discards the pending write, leaving the destination untouched.
+// Calling Abort after Commit (or twice) is a no-op.
+func (w *File) Abort() {
+	if w.done {
+		return
+	}
+	w.done = true
+	tmp := w.f.Name()
+	w.f.Close()
+	os.Remove(tmp)
+}

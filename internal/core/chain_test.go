@@ -442,7 +442,7 @@ func TestResumeValidation(t *testing.T) {
 		t.Fatal("empty checkpoint accepted")
 	}
 	cfg := mustInitial(t, LayoutSpiral, []int{3, 3}, 1)
-	cp := &Checkpoint{Params: Params{Lambda: 2, Gamma: 2}, Rng: []byte{1}, Config: cfg}
+	cp := &Checkpoint{Params: Params{Lambda: 2, Gamma: 2}, Rng: "zz", Config: cfg}
 	if _, err := Resume(cp); err == nil {
 		t.Fatal("corrupt rng state accepted")
 	}

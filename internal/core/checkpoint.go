@@ -13,9 +13,11 @@ import (
 // parameters, statistics and the exact random-generator state, so a resumed
 // chain continues the identical trajectory.
 type Checkpoint struct {
-	Params Params       `json:"params"`
-	Stats  Stats        `json:"stats"`
-	Rng    []byte       `json:"rngState"`
+	Params Params `json:"params"`
+	Stats  Stats  `json:"stats"`
+	// Rng is the generator state in rng.Source's textual codec (64 hex
+	// digits), recording the exact stream position.
+	Rng    string       `json:"rngState"`
 	Config *psys.Config `json:"config"`
 	// Order is the chain's internal particle-selection order (positions
 	// slice). Uniform particle choice draws an index into this slice, so
@@ -25,7 +27,7 @@ type Checkpoint struct {
 
 // Checkpoint captures the chain's complete state.
 func (c *Chain) Checkpoint() (*Checkpoint, error) {
-	state, err := c.rand.MarshalBinary()
+	state, err := c.rand.MarshalText()
 	if err != nil {
 		return nil, fmt.Errorf("core: serialize rng: %w", err)
 	}
@@ -36,7 +38,7 @@ func (c *Chain) Checkpoint() (*Checkpoint, error) {
 	return &Checkpoint{
 		Params: c.params,
 		Stats:  c.stats,
-		Rng:    state,
+		Rng:    string(state),
 		Config: c.Snapshot(),
 		Order:  order,
 	}, nil
@@ -66,7 +68,7 @@ func Resume(cp *Checkpoint) (*Chain, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := ch.rand.UnmarshalBinary(cp.Rng); err != nil {
+	if err := ch.rand.UnmarshalText([]byte(cp.Rng)); err != nil {
 		return nil, fmt.Errorf("core: restore rng: %w", err)
 	}
 	if len(cp.Order) > 0 {

@@ -1,0 +1,205 @@
+// Package fault is a deterministic, seeded fault injector for the
+// distributed amoebot schedulers. It models three adverse behaviors of
+// asynchronous executions:
+//
+//   - crash-stop/restart: an activation source stops acting for a span of
+//     activation slots, then comes back (the crash-stop failure model for
+//     activation sources, complementing the per-particle crash-stops of
+//     World.SetFrozen);
+//   - activation drops: a configurable fraction of activation slots are
+//     consumed without activating anyone (lossy schedulers);
+//   - lock-boundary stalls: an activation sleeps while holding its region
+//     locks, stretching the window in which conflicting activations contend
+//     (adverse schedules for the §2.1 serializability argument).
+//
+// Every decision derives from a single fault seed: source i draws from the
+// stream seeded rng.SeedAt(Seed, i), so a sequential run with a given fault
+// seed is exactly reproducible, and a concurrent run replays the identical
+// per-source fault schedule (only the interleaving varies, which is the
+// point of the exercise — the invariants must hold under any interleaving).
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sops/internal/rng"
+)
+
+// ErrBadOptions reports out-of-range fault-injection options.
+var ErrBadOptions = errors.New("fault: options out of range")
+
+// Options configures an Injector. The zero value injects nothing.
+type Options struct {
+	// Seed roots every fault stream; equal seeds replay equal schedules.
+	Seed uint64
+	// CrashProb is the per-slot probability that a source crash-stops.
+	CrashProb float64
+	// CrashLen is the number of activation slots a crash lasts; the source
+	// restarts after dropping that many slots. Defaults to 1000.
+	CrashLen uint64
+	// DropFrac is the fraction of activation slots dropped outright.
+	DropFrac float64
+	// StallProb is the per-activation probability of sleeping at the lock
+	// boundary (while the activation's region locks are held).
+	StallProb float64
+	// Stall is the lock-boundary sleep duration. Defaults to 50µs.
+	Stall time.Duration
+}
+
+// Validate checks the probabilities and durations.
+func (o Options) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"CrashProb", o.CrashProb}, {"DropFrac", o.DropFrac}, {"StallProb", o.StallProb}} {
+		if p.v < 0 || p.v > 1 || p.v != p.v {
+			return fmt.Errorf("%w: %s = %v", ErrBadOptions, p.name, p.v)
+		}
+	}
+	if o.CrashProb+o.DropFrac > 1 {
+		return fmt.Errorf("%w: CrashProb+DropFrac = %v exceeds 1", ErrBadOptions, o.CrashProb+o.DropFrac)
+	}
+	if o.Stall < 0 {
+		return fmt.Errorf("%w: Stall = %v", ErrBadOptions, o.Stall)
+	}
+	return nil
+}
+
+// withDefaults fills the defaulted fields.
+func (o Options) withDefaults() Options {
+	if o.CrashLen == 0 {
+		o.CrashLen = 1000
+	}
+	if o.Stall == 0 {
+		o.Stall = 50 * time.Microsecond
+	}
+	return o
+}
+
+// Stats counts injected faults across all of an Injector's streams.
+type Stats struct {
+	Crashes  uint64 // crash-stops begun
+	Restarts uint64 // sources that came back after a crash
+	Dropped  uint64 // activation slots consumed without activating (incl. crashed spans)
+	Stalls   uint64 // lock-boundary sleeps performed
+}
+
+// Injector hands out per-source fault streams and aggregates their
+// statistics. Safe for concurrent use by multiple sources.
+type Injector struct {
+	opts Options
+
+	crashes  atomic.Uint64
+	restarts atomic.Uint64
+	dropped  atomic.Uint64
+	stalls   atomic.Uint64
+
+	// stallMu serializes the lock-boundary stall stream, which is shared by
+	// all sources (the stall decision happens inside World.Activate, where
+	// no per-source identity is available).
+	stallMu  sync.Mutex
+	stallRng *rng.Source
+}
+
+// New builds an Injector. An error is returned for out-of-range options.
+func New(opts Options) (*Injector, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	return &Injector{
+		opts:     opts,
+		stallRng: rng.New(rng.SeedAt(opts.Seed, 1<<40)), // disjoint from source streams
+	}, nil
+}
+
+// Options returns the injector's effective (default-filled) options.
+func (inj *Injector) Options() Options { return inj.opts }
+
+// Stats returns the faults injected so far.
+func (inj *Injector) Stats() Stats {
+	return Stats{
+		Crashes:  inj.crashes.Load(),
+		Restarts: inj.restarts.Load(),
+		Dropped:  inj.dropped.Load(),
+		Stalls:   inj.stalls.Load(),
+	}
+}
+
+// Decision is the injector's verdict for one activation slot.
+type Decision struct {
+	// Drop: consume the slot without activating (the source is crashed, or
+	// the slot was dropped).
+	Drop bool
+	// Recovered: the source just restarted after a crash-stop; the caller
+	// should audit the world before continuing.
+	Recovered bool
+}
+
+// Stream is the fault schedule of one activation source. Not safe for
+// concurrent use; each source owns its stream.
+type Stream struct {
+	inj       *Injector
+	r         *rng.Source
+	crashLeft uint64
+	recovered bool
+}
+
+// Stream returns the deterministic fault stream of source i.
+func (inj *Injector) Stream(i int) *Stream {
+	return &Stream{inj: inj, r: rng.New(rng.SeedAt(inj.opts.Seed, uint64(i)))}
+}
+
+// Next draws the verdict for the source's next activation slot.
+func (s *Stream) Next() Decision {
+	if s.crashLeft > 0 {
+		s.crashLeft--
+		if s.crashLeft == 0 {
+			s.recovered = true
+		}
+		s.inj.dropped.Add(1)
+		return Decision{Drop: true}
+	}
+	var d Decision
+	if s.recovered {
+		s.recovered = false
+		d.Recovered = true
+		s.inj.restarts.Add(1)
+	}
+	o := s.inj.opts
+	if o.CrashProb > 0 || o.DropFrac > 0 {
+		switch u := s.r.Float64(); {
+		case u < o.CrashProb:
+			s.crashLeft = o.CrashLen
+			s.inj.crashes.Add(1)
+			s.inj.dropped.Add(1)
+			d.Drop = true
+		case u < o.CrashProb+o.DropFrac:
+			s.inj.dropped.Add(1)
+			d.Drop = true
+		}
+	}
+	return d
+}
+
+// LockDelay returns the stall hook for World.SetLockDelay, or nil when
+// stalls are disabled. The hook is called while an activation holds its
+// region locks; with probability StallProb it sleeps for Stall.
+func (inj *Injector) LockDelay() func() {
+	if inj.opts.StallProb <= 0 {
+		return nil
+	}
+	return func() {
+		inj.stallMu.Lock()
+		stall := inj.stallRng.Float64() < inj.opts.StallProb
+		inj.stallMu.Unlock()
+		if stall {
+			inj.stalls.Add(1)
+			time.Sleep(inj.opts.Stall)
+		}
+	}
+}

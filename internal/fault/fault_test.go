@@ -1,0 +1,145 @@
+package fault
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestValidateRejectsBadOptions(t *testing.T) {
+	cases := []Options{
+		{CrashProb: -0.1},
+		{CrashProb: 1.5},
+		{DropFrac: math.NaN()},
+		{StallProb: 2},
+		{CrashProb: 0.7, DropFrac: 0.7},
+		{Stall: -time.Second},
+	}
+	for _, o := range cases {
+		if _, err := New(o); !errors.Is(err, ErrBadOptions) {
+			t.Fatalf("options %+v: error %v", o, err)
+		}
+	}
+	if _, err := New(Options{}); err != nil {
+		t.Fatalf("zero options rejected: %v", err)
+	}
+}
+
+func TestStreamsAreDeterministic(t *testing.T) {
+	mk := func() []Decision {
+		inj, err := New(Options{Seed: 9, CrashProb: 0.01, CrashLen: 5, DropFrac: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := inj.Stream(3)
+		out := make([]Decision, 500)
+		for i := range out {
+			out[i] = s.Next()
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStreamsDifferAcrossSourcesAndSeeds(t *testing.T) {
+	draw := func(seed uint64, src int) string {
+		inj, _ := New(Options{Seed: seed, DropFrac: 0.5})
+		s := inj.Stream(src)
+		out := make([]byte, 64)
+		for i := range out {
+			if s.Next().Drop {
+				out[i] = '1'
+			} else {
+				out[i] = '0'
+			}
+		}
+		return string(out)
+	}
+	if draw(1, 0) == draw(1, 1) {
+		t.Fatal("different sources share a fault schedule")
+	}
+	if draw(1, 0) == draw(2, 0) {
+		t.Fatal("different seeds share a fault schedule")
+	}
+}
+
+func TestCrashRestartCycle(t *testing.T) {
+	inj, err := New(Options{Seed: 4, CrashProb: 0.05, CrashLen: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := inj.Stream(0)
+	recoveries, crashSpans := 0, 0
+	dropRun := 0
+	for i := 0; i < 100000; i++ {
+		d := s.Next()
+		if d.Recovered {
+			recoveries++
+			// Recovery fires on the first slot after exactly CrashLen drops.
+			if dropRun < 7 {
+				t.Fatalf("recovered after %d dropped slots", dropRun)
+			}
+		}
+		if d.Drop {
+			dropRun++
+		} else {
+			if dropRun >= 7 {
+				crashSpans++
+			}
+			dropRun = 0
+		}
+	}
+	if recoveries == 0 {
+		t.Fatal("no recoveries in 100k slots at CrashProb=0.05")
+	}
+	st := inj.Stats()
+	if st.Crashes == 0 || st.Restarts == 0 || st.Dropped == 0 {
+		t.Fatalf("stats not recorded: %+v", st)
+	}
+	if st.Restarts > st.Crashes {
+		t.Fatalf("more restarts than crashes: %+v", st)
+	}
+}
+
+func TestDropFraction(t *testing.T) {
+	inj, _ := New(Options{Seed: 11, DropFrac: 0.25})
+	s := inj.Stream(0)
+	const slots = 200000
+	dropped := 0
+	for i := 0; i < slots; i++ {
+		if s.Next().Drop {
+			dropped++
+		}
+	}
+	frac := float64(dropped) / slots
+	if frac < 0.24 || frac > 0.26 {
+		t.Fatalf("drop fraction %.4f far from configured 0.25", frac)
+	}
+	if got := inj.Stats().Dropped; got != uint64(dropped) {
+		t.Fatalf("stats dropped %d, observed %d", got, dropped)
+	}
+}
+
+func TestLockDelay(t *testing.T) {
+	inj, _ := New(Options{Seed: 2, StallProb: 1, Stall: time.Microsecond})
+	hook := inj.LockDelay()
+	if hook == nil {
+		t.Fatal("no hook with StallProb=1")
+	}
+	for i := 0; i < 10; i++ {
+		hook()
+	}
+	if got := inj.Stats().Stalls; got != 10 {
+		t.Fatalf("%d stalls recorded", got)
+	}
+	inj2, _ := New(Options{Seed: 2})
+	if inj2.LockDelay() != nil {
+		t.Fatal("hook returned with stalls disabled")
+	}
+}

@@ -1,0 +1,79 @@
+package psys
+
+import (
+	"bytes"
+	"testing"
+
+	"sops/internal/lattice"
+)
+
+// FuzzConfigJSON fuzzes the Config JSON codec: any input that decodes must
+// yield a configuration whose internal bookkeeping audits clean, and whose
+// re-encoding round-trips to an equal configuration with byte-identical
+// canonical bytes. Inputs that must be rejected (duplicate positions,
+// out-of-range colors, malformed JSON) must leave the receiver unchanged.
+func FuzzConfigJSON(f *testing.F) {
+	f.Add([]byte(`{"particles":[]}`))
+	f.Add([]byte(`{"particles":[{"q":0,"r":0,"color":0}]}`))
+	f.Add([]byte(`{"particles":[{"q":0,"r":0,"color":0},{"q":1,"r":0,"color":1}]}`))
+	// Duplicate position: must be rejected.
+	f.Add([]byte(`{"particles":[{"q":2,"r":3,"color":0},{"q":2,"r":3,"color":1}]}`))
+	// Out-of-range color: must be rejected.
+	f.Add([]byte(`{"particles":[{"q":0,"r":0,"color":200}]}`))
+	// Disconnected but valid: accepted (connectivity is the chain's
+	// precondition, not the codec's).
+	f.Add([]byte(`{"particles":[{"q":0,"r":0,"color":0},{"q":9,"r":9,"color":0}]}`))
+	f.Add([]byte(`{"particles":[{"q":-2147483648,"r":2147483647,"color":15}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pristine := New()
+		if err := pristine.Place(lattice.Point{}, 3); err != nil {
+			t.Fatal(err)
+		}
+		before := pristine.CanonicalKey()
+
+		c := New()
+		if err := c.UnmarshalJSON(data); err != nil {
+			// Rejected input: the documented contract is that the receiver
+			// is left unchanged on error.
+			if c.N() != 0 || len(c.occ) != 0 {
+				t.Fatalf("failed decode mutated receiver: n=%d", c.N())
+			}
+			if err := pristine.UnmarshalJSON(data); err == nil {
+				t.Fatal("decode verdict differs between receivers")
+			}
+			if pristine.CanonicalKey() != before {
+				t.Fatal("failed decode mutated non-empty receiver")
+			}
+			return
+		}
+		// Accepted input: bookkeeping must audit clean without any repair.
+		if err := c.CheckCounts(); err != nil {
+			t.Fatalf("decoded config fails count audit: %v", err)
+		}
+		out, err := c.MarshalJSON()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		c2 := New()
+		if err := c2.UnmarshalJSON(out); err != nil {
+			t.Fatalf("round trip decode: %v", err)
+		}
+		if !c.Equal(c2) {
+			t.Fatal("round trip changed the configuration")
+		}
+		if c.Edges() != c2.Edges() || c.HomEdges() != c2.HomEdges() || c.N() != c2.N() {
+			t.Fatal("round trip changed derived statistics")
+		}
+		// Canonical ordering makes the second encoding byte-identical.
+		out2, err := c2.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("re-encoding is not canonical:\n%s\n%s", out, out2)
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package psys
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"sops/internal/lattice"
+	"sops/internal/rng"
+)
+
+// validSpiral builds a connected hole-free configuration of n bichromatic
+// particles along the spiral layout.
+func validSpiral(t *testing.T, n int) *Config {
+	t.Helper()
+	c := New()
+	for i, p := range lattice.Spiral(lattice.Point{}, n) {
+		if err := c.Place(p, Color(i%2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestCheckInvariantsValidConfigs(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 19, 37, 100} {
+		c := validSpiral(t, n)
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestCheckInvariantsDetectsDisconnection(t *testing.T) {
+	c := New()
+	if err := c.Place(lattice.Point{Q: 0, R: 0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Place(lattice.Point{Q: 5, R: 5}, 1); err != nil {
+		t.Fatal(err)
+	}
+	var ie *InvariantError
+	err := c.CheckInvariants()
+	if !errors.As(err, &ie) || ie.Property != InvConnected {
+		t.Fatalf("got %v, want connectivity violation", err)
+	}
+	if !strings.Contains(ie.Error(), InvConnected) {
+		t.Fatalf("message %q does not name the property", ie.Error())
+	}
+}
+
+func TestCheckInvariantsDetectsHole(t *testing.T) {
+	// A hexagonal ring around a vacant center is connected but has a hole.
+	c := New()
+	center := lattice.Point{}
+	for _, p := range center.Neighbors() {
+		if err := c.Place(p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ie *InvariantError
+	err := c.CheckInvariants()
+	if !errors.As(err, &ie) || ie.Property != InvHoleFree {
+		t.Fatalf("got %v, want hole-freeness violation", err)
+	}
+}
+
+func TestCheckCountsDetectsCorruptedCaches(t *testing.T) {
+	c := validSpiral(t, 19)
+
+	edges := c.edges
+	c.edges++
+	var ie *InvariantError
+	if err := c.CheckCounts(); !errors.As(err, &ie) || ie.Property != InvEdges {
+		t.Fatalf("corrupt edges: got %v", err)
+	}
+	c.edges = edges
+
+	hom := c.hom
+	c.hom--
+	if err := c.CheckCounts(); !errors.As(err, &ie) || ie.Property != InvEdges {
+		t.Fatalf("corrupt hom: got %v", err)
+	}
+	c.hom = hom
+
+	c.colorCount[0]++
+	if err := c.CheckCounts(); !errors.As(err, &ie) || ie.Property != InvOccupancy {
+		t.Fatalf("corrupt color count: got %v", err)
+	}
+	c.colorCount[0]--
+
+	c.n++
+	if err := c.CheckCounts(); !errors.As(err, &ie) || ie.Property != InvOccupancy {
+		t.Fatalf("corrupt n: got %v", err)
+	}
+	c.n--
+
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatalf("restored config fails audit: %v", err)
+	}
+}
+
+func TestCheckInvariantsSurvivesMoves(t *testing.T) {
+	// After bursts of random valid moves and swaps the audit must still
+	// pass — the property the fault layer's cadenced audits rely on.
+	c := validSpiral(t, 37)
+	r := rng.New(5)
+	for step := 0; step < 4000; step++ {
+		pts := c.Points()
+		l := pts[r.Intn(len(pts))]
+		lp := l.Neighbor(lattice.Direction(r.Intn(lattice.NumDirections)))
+		if c.Occupied(lp) {
+			if err := c.ApplySwap(l, lp); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		} else if c.MoveValid(l, lp) {
+			if err := c.ApplyMove(l, lp); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+		if step%500 == 0 {
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

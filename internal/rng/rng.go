@@ -143,6 +143,51 @@ func (r *Source) jump() {
 	r.s = [4]uint64{s0, s1, s2, s3}
 }
 
+// MarshalText encodes the generator state as 64 lowercase hex digits —
+// the textual state codec used by checkpoint files, chosen over raw bytes
+// so the stream position is greppable and diffable in serialized
+// checkpoints. The encoding is the hex form of MarshalBinary's output.
+func (r *Source) MarshalText() ([]byte, error) {
+	raw, _ := r.MarshalBinary()
+	const digits = "0123456789abcdef"
+	out := make([]byte, 64)
+	for i, b := range raw {
+		out[2*i] = digits[b>>4]
+		out[2*i+1] = digits[b&0xf]
+	}
+	return out, nil
+}
+
+// UnmarshalText restores a state written by MarshalText.
+func (r *Source) UnmarshalText(data []byte) error {
+	if len(data) != 64 {
+		return errInvalidState
+	}
+	raw := make([]byte, 32)
+	for i := range raw {
+		hi, ok1 := hexVal(data[2*i])
+		lo, ok2 := hexVal(data[2*i+1])
+		if !ok1 || !ok2 {
+			return errInvalidState
+		}
+		raw[i] = hi<<4 | lo
+	}
+	return r.UnmarshalBinary(raw)
+}
+
+// hexVal decodes one lowercase or uppercase hex digit.
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
 // MarshalBinary encodes the generator state (32 bytes, big endian).
 func (r *Source) MarshalBinary() ([]byte, error) {
 	out := make([]byte, 32)

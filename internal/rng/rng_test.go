@@ -2,6 +2,7 @@ package rng
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -238,5 +239,58 @@ func TestSeedAtStreamsDecorrelated(t *testing.T) {
 	}
 	if equal != 0 {
 		t.Fatalf("%d/64 outputs collide between adjacent streams", equal)
+	}
+}
+
+func TestTextCodecRoundTrip(t *testing.T) {
+	r := New(99)
+	for i := 0; i < 17; i++ {
+		r.Uint64() // advance to a mid-stream position
+	}
+	txt, err := r.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txt) != 64 {
+		t.Fatalf("text state has %d digits", len(txt))
+	}
+	for _, c := range txt {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			t.Fatalf("non-hex digit %q in state %s", c, txt)
+		}
+	}
+	var restored Source
+	if err := restored.UnmarshalText(txt); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if a, b := r.Uint64(), restored.Uint64(); a != b {
+			t.Fatalf("restored stream diverged at %d: %d vs %d", i, a, b)
+		}
+	}
+}
+
+func TestTextCodecRejectsMalformed(t *testing.T) {
+	var r Source
+	for _, bad := range []string{"", "abc", strings.Repeat("g", 64), strings.Repeat("0", 63)} {
+		if err := r.UnmarshalText([]byte(bad)); err == nil {
+			t.Fatalf("malformed state %q accepted", bad)
+		}
+	}
+}
+
+func TestTextAndBinaryCodecsAgree(t *testing.T) {
+	r := New(7)
+	raw, _ := r.MarshalBinary()
+	txt, _ := r.MarshalText()
+	var fromRaw, fromTxt Source
+	if err := fromRaw.UnmarshalBinary(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := fromTxt.UnmarshalText(txt); err != nil {
+		t.Fatal(err)
+	}
+	if fromRaw != fromTxt {
+		t.Fatal("binary and text codecs restore different states")
 	}
 }

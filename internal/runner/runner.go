@@ -12,7 +12,10 @@
 //
 // Failures stay local: a cell that returns an error (or panics) records the
 // failure in its Result and the sweep continues; Sweep reports the
-// collected failures as a single *SweepError afterwards. Cancelling the
+// collected failures as a single *SweepError afterwards. Transient failures
+// can be absorbed entirely with Options.Retries, which grants failed cells
+// bounded re-attempts with exponential backoff; the attempts consumed are
+// surfaced in each cell's Result. Cancelling the
 // context stops workers at the next cell boundary (cell functions receive
 // the context and should also poll it internally for long runs, e.g. via
 // core.Chain.RunContext), and the cells never executed are marked with the
@@ -27,6 +30,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sops/internal/rng"
 )
@@ -48,6 +52,14 @@ type Options struct {
 	// Observe, if non-nil, is invoked after each cell completes. Calls are
 	// serialized by the engine, so the callback needs no locking of its own.
 	Observe func(Progress)
+	// Retries is the number of additional attempts granted to a cell whose
+	// attempt fails with an error or panic. Context errors are never
+	// retried. 0 means one attempt only.
+	Retries int
+	// Backoff is the delay before the first retry, doubling on each
+	// further retry. The wait honors context cancellation. 0 retries
+	// immediately.
+	Backoff time.Duration
 }
 
 // Progress reports the completion of one cell to the sweep observer.
@@ -60,10 +72,11 @@ type Progress struct {
 
 // Result is the outcome of one cell.
 type Result[R any] struct {
-	Index int    // the cell's position in the input slice
-	Seed  uint64 // the deterministic seed the cell received
-	Value R      // the cell's return value (zero if Err != nil)
-	Err   error  // the cell's failure, or the context error if never run
+	Index    int    // the cell's position in the input slice
+	Seed     uint64 // the deterministic seed the cell received
+	Value    R      // the cell's return value (zero if Err != nil)
+	Err      error  // the cell's failure, or the context error if never run
+	Attempts int    // attempts consumed (1 = first try succeeded; 0 = never run)
 }
 
 // CellError records the failure of a single cell.
@@ -149,8 +162,8 @@ func Sweep[C, R any](ctx context.Context, cells []C, opts Options, fn Func[C, R]
 				if i >= total {
 					return
 				}
-				value, err := runCell(ctx, fn, cells[i], results[i].Seed)
-				results[i].Value, results[i].Err = value, err
+				value, attempts, err := runCell(ctx, fn, cells[i], results[i].Seed, opts)
+				results[i].Value, results[i].Err, results[i].Attempts = value, err, attempts
 				mu.Lock()
 				finished[i] = true
 				done++
@@ -186,9 +199,37 @@ func Sweep[C, R any](ctx context.Context, cells []C, opts Options, fn Func[C, R]
 // errCellPanic marks a cell failure caused by a recovered panic.
 var errCellPanic = errors.New("runner: cell panicked")
 
-// runCell invokes fn, converting a panic into an error so one bad cell
-// cannot take down the whole sweep.
-func runCell[C, R any](ctx context.Context, fn Func[C, R], cell C, seed uint64) (value R, err error) {
+// runCell runs one cell with bounded retry: up to 1+opts.Retries attempts,
+// backing off exponentially from opts.Backoff between attempts. Context
+// errors are returned immediately (a cancelled cell is not transient), and
+// the backoff wait itself honors cancellation. It reports the attempts
+// consumed alongside the final value or error.
+func runCell[C, R any](ctx context.Context, fn Func[C, R], cell C, seed uint64, opts Options) (value R, attempts int, err error) {
+	for {
+		value, err = runAttempt(ctx, fn, cell, seed)
+		attempts++
+		if err == nil || attempts > opts.Retries {
+			return value, attempts, err
+		}
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return value, attempts, err
+		}
+		if opts.Backoff > 0 {
+			delay := opts.Backoff << (attempts - 1)
+			timer := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return value, attempts, err
+			case <-timer.C:
+			}
+		}
+	}
+}
+
+// runAttempt invokes fn once, converting a panic into an error so one bad
+// cell cannot take down the whole sweep.
+func runAttempt[C, R any](ctx context.Context, fn Func[C, R], cell C, seed uint64) (value R, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("%w: %v", errCellPanic, r)

@@ -227,3 +227,121 @@ func TestSweepErrorFormatting(t *testing.T) {
 		t.Fatalf("message %q lacks truncation marker", msg)
 	}
 }
+
+func TestRetryAbsorbsTransientFailures(t *testing.T) {
+	var calls [4]atomic.Int32
+	results, err := Sweep(context.Background(), []int{0, 1, 2, 3},
+		Options{Workers: 2, Retries: 3},
+		func(_ context.Context, cell int, _ uint64) (int, error) {
+			// Cell i fails its first i attempts, then succeeds.
+			if int(calls[cell].Add(1)) <= cell {
+				if cell == 2 {
+					panic("transient panic")
+				}
+				return 0, errors.New("transient")
+			}
+			return cell * 10, nil
+		})
+	if err != nil {
+		t.Fatalf("transient failures not absorbed: %v", err)
+	}
+	for i, r := range results {
+		if r.Err != nil || r.Value != i*10 {
+			t.Fatalf("cell %d: %+v", i, r)
+		}
+		if r.Attempts != i+1 {
+			t.Fatalf("cell %d consumed %d attempts, want %d", i, r.Attempts, i+1)
+		}
+	}
+}
+
+func TestRetryExhaustionSurfacesLastError(t *testing.T) {
+	var calls atomic.Int32
+	results, err := Sweep(context.Background(), []int{0},
+		Options{Retries: 2},
+		func(context.Context, int, uint64) (int, error) {
+			calls.Add(1)
+			return 0, errors.New("permanent")
+		})
+	if err == nil {
+		t.Fatal("permanent failure absorbed")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("%d attempts, want 3", got)
+	}
+	if results[0].Attempts != 3 {
+		t.Fatalf("attempts %d recorded", results[0].Attempts)
+	}
+}
+
+func TestRetryDoesNotRetryContextErrors(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int32
+	_, err := Sweep(ctx, []int{0}, Options{Retries: 5},
+		func(ctx context.Context, _ int, _ uint64) (int, error) {
+			calls.Add(1)
+			cancel()
+			return 0, ctx.Err()
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("cancelled cell attempted %d times", got)
+	}
+}
+
+func TestRetryBackoffHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	start := time.Now()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := Sweep(ctx, []int{0}, Options{Retries: 10, Backoff: time.Hour},
+			func(context.Context, int, uint64) (int, error) {
+				return 0, errors.New("always")
+			})
+		if err == nil {
+			t.Error("expected failure")
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the cell fail and enter backoff
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("backoff wait ignored cancellation")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancellation was not prompt")
+	}
+}
+
+// TestNoGoroutineLeakUnderRepeatedPanics is the fault-layer leak check:
+// cells that panic on every attempt, across many cells and retries, must
+// leave no goroutines behind once the sweep returns.
+func TestNoGoroutineLeakUnderRepeatedPanics(t *testing.T) {
+	before := runtime.NumGoroutine()
+	cells := make([]int, 50)
+	results, err := Sweep(context.Background(), cells,
+		Options{Workers: 8, Retries: 4},
+		func(_ context.Context, cell int, _ uint64) (int, error) {
+			panic(fmt.Sprintf("cell %d always panics", cell))
+		})
+	var sweepErr *SweepError
+	if !errors.As(err, &sweepErr) || len(sweepErr.Cells) != 50 {
+		t.Fatalf("error %v", err)
+	}
+	for _, r := range results {
+		if !errors.Is(r.Err, errCellPanic) || r.Attempts != 5 {
+			t.Fatalf("cell %d: err=%v attempts=%d", r.Index, r.Err, r.Attempts)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines leaked: %d -> %d", before, n)
+	}
+}

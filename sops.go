@@ -35,7 +35,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 
+	"sops/internal/atomicio"
 	"sops/internal/core"
 	"sops/internal/metrics"
 	"sops/internal/psys"
@@ -183,6 +185,12 @@ func initialConfig(opts Options) (*psys.Config, error) {
 type System struct {
 	chain *core.Chain
 	th    metrics.Thresholds
+
+	// Auto-checkpointing, configured by SetAutoCheckpoint: during RunContext
+	// the chain state is written atomically to ckptPath every ckptEvery
+	// steps, so a killed process loses at most one interval of work.
+	ckptPath  string
+	ckptEvery uint64
 }
 
 // New builds a System from options.
@@ -223,15 +231,39 @@ func NewFromConfig(cfg *psys.Config, opts Options) (*System, error) {
 // Step performs one iteration of the chain.
 func (s *System) Step() Outcome { return s.chain.Step() }
 
-// Run performs steps iterations.
+// Run performs steps iterations. It never checkpoints; for crash-safe long
+// runs use RunContext with SetAutoCheckpoint.
 func (s *System) Run(steps uint64) { s.chain.Run(steps) }
 
 // RunContext performs up to steps iterations, stopping early when ctx is
 // cancelled. It returns the number of iterations actually performed,
 // together with ctx's error if the run was cut short. The System remains
 // valid after a cancelled run: it can be resumed, measured or checkpointed.
+//
+// If SetAutoCheckpoint configured a checkpoint file, the state is written
+// to it (atomically) after every checkpoint interval and once more when the
+// run stops, including on cancellation; a checkpoint write failure stops
+// the run and is returned.
 func (s *System) RunContext(ctx context.Context, steps uint64) (uint64, error) {
-	return s.chain.RunContext(ctx, steps)
+	if s.ckptEvery == 0 || s.ckptPath == "" {
+		return s.chain.RunContext(ctx, steps)
+	}
+	var done uint64
+	for done < steps {
+		batch := s.ckptEvery
+		if steps-done < batch {
+			batch = steps - done
+		}
+		n, err := s.chain.RunContext(ctx, batch)
+		done += n
+		if werr := s.WriteCheckpoint(s.ckptPath); werr != nil && err == nil {
+			err = werr
+		}
+		if err != nil {
+			return done, err
+		}
+	}
+	return done, nil
 }
 
 // RunWithContext is RunWith with cancellation: it performs up to steps
@@ -239,7 +271,8 @@ func (s *System) RunContext(ctx context.Context, steps uint64) (uint64, error) {
 // iterations (and at the end), and stops early when observe returns false
 // or ctx is cancelled. Cancellation is polled inside each interval, so even
 // sparse observers cancel promptly. It returns the iterations performed and
-// ctx's error if the run was cut short.
+// ctx's error if the run was cut short. Auto-checkpointing (see
+// SetAutoCheckpoint) applies exactly as in RunContext.
 func (s *System) RunWithContext(ctx context.Context, steps, interval uint64, observe func(snap Snapshot) bool) (uint64, error) {
 	if interval == 0 {
 		interval = 1
@@ -250,7 +283,7 @@ func (s *System) RunWithContext(ctx context.Context, steps, interval uint64, obs
 		if steps-done < batch {
 			batch = steps - done
 		}
-		n, err := s.chain.RunContext(ctx, batch)
+		n, err := s.RunContext(ctx, batch)
 		done += n
 		if err != nil {
 			return done, err
@@ -316,6 +349,50 @@ func IsCompressed(cfg *Config, alpha float64) bool { return metrics.IsCompressed
 // using the certificate regions described in the metrics package.
 func IsSeparated(cfg *Config, beta, delta float64) bool {
 	return metrics.IsSeparated(cfg, beta, delta)
+}
+
+// CheckInvariants audits the live configuration against every structural
+// invariant the chain maintains: internal count consistency, connectivity,
+// hole-freeness, and the edge/perimeter identity e = 3n − p − 3. It returns
+// nil on a healthy System and a *psys.InvariantError naming the violated
+// property otherwise. Intended as a cheap integrity check after restores
+// and long runs.
+func (s *System) CheckInvariants() error { return s.chain.Config().CheckInvariants() }
+
+// SetAutoCheckpoint configures crash-safe checkpointing for RunContext and
+// Run: the full chain state is written atomically (temp file + rename) to
+// path after every `every` steps, so a process killed mid-run loses at most
+// one interval of work and resumes with RestoreFile. every = 0 or an empty
+// path disables auto-checkpointing.
+func (s *System) SetAutoCheckpoint(path string, every uint64) {
+	s.ckptPath, s.ckptEvery = path, every
+}
+
+// WriteCheckpoint atomically writes the System's checkpoint (see
+// Checkpoint) to path: the state is staged in a temporary file in path's
+// directory, synced, and renamed into place, so a crash mid-write never
+// leaves a truncated checkpoint behind.
+func (s *System) WriteCheckpoint(path string) error {
+	data, err := s.Checkpoint()
+	if err != nil {
+		return err
+	}
+	if err := atomicio.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("sops: write checkpoint: %w", err)
+	}
+	return nil
+}
+
+// RestoreFile rebuilds a System from a checkpoint file written by
+// WriteCheckpoint or auto-checkpointing. th overrides the
+// phase-classification thresholds (nil for defaults). The restored System
+// continues the exact trajectory of the checkpointed one.
+func RestoreFile(path string, th *Thresholds) (*System, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("sops: read checkpoint: %w", err)
+	}
+	return Restore(data, th)
 }
 
 // Checkpoint serializes the System's complete state (configuration, bias

@@ -3,12 +3,30 @@ package sops
 import (
 	"context"
 	"errors"
+	"time"
 
+	"sops/internal/metrics"
 	"sops/internal/runner"
 )
 
 // ErrEmptySweep reports a SweepSpec whose grid contains no cells.
 var ErrEmptySweep = errors.New("sops: sweep grid has no cells")
+
+// ErrNoCheckpointPath reports a ResumeSweep call whose spec does not name a
+// checkpoint manifest to resume from.
+var ErrNoCheckpointPath = errors.New("sops: ResumeSweep requires CheckpointPath")
+
+// Sweep failure types, aliased from the sweep engine so callers can name
+// them in errors.As without importing internal packages. A failed sweep
+// returns a *SweepError whose Unwrap slice exposes one *CellError per
+// failed cell, so errors.Is also sees through to root causes; see
+// ExampleSweep_errors.
+type (
+	// SweepError aggregates every failed cell of a completed sweep.
+	SweepError = runner.SweepError
+	// CellError records the failure of a single sweep cell.
+	CellError = runner.CellError
+)
 
 // SweepSpec describes a parameter sweep: one independent System per
 // (λ, γ, seed) cell, run for Steps iterations from a common initial
@@ -41,8 +59,67 @@ type SweepSpec struct {
 	// Thresholds overrides the phase-classification thresholds.
 	Thresholds *Thresholds
 	// Observe, if non-nil, is called after each cell completes with the
-	// number of finished cells and the total. Calls are serialized.
+	// number of finished cells and the total. Calls are serialized. On a
+	// resumed sweep, done starts above the cells already completed.
 	Observe func(done, total int)
+	// Retries grants each cell bounded re-attempts after a failure or
+	// panic (context errors are never retried); Backoff is the delay
+	// before the first retry, doubling each time. The retries a cell
+	// consumed are surfaced in its CellResult.
+	Retries int
+	Backoff time.Duration
+	// CheckpointPath, when non-empty, makes the sweep crash-safe: a
+	// manifest of completed cells is written atomically to this path, and
+	// a process killed mid-sweep is continued with ResumeSweep under the
+	// same spec. See EXPERIMENTS.md for the on-disk format.
+	CheckpointPath string
+	// CheckpointEvery is the manifest write cadence in completed cells;
+	// values <= 1 write after every completion. A crash loses at most this
+	// many completed cells (they are recomputed on resume).
+	CheckpointEvery int
+	// CheckpointSteps additionally checkpoints each in-flight cell's chain
+	// state every CheckpointSteps steps to CheckpointPath + ".cellNNNN",
+	// so resuming restores partially-run cells mid-trajectory instead of
+	// restarting them. 0 restarts interrupted cells from scratch.
+	CheckpointSteps uint64
+}
+
+// resolveSeeds returns the per-grid-point replicate seeds.
+func (spec *SweepSpec) resolveSeeds() []uint64 {
+	if len(spec.Seeds) > 0 {
+		return spec.Seeds
+	}
+	return []uint64{spec.Seed}
+}
+
+// resolveThresholds returns the classification thresholds in effect.
+func (spec *SweepSpec) resolveThresholds() Thresholds {
+	if spec.Thresholds != nil {
+		return *spec.Thresholds
+	}
+	return metrics.DefaultThresholds()
+}
+
+// sweepCell is one (λ, γ, seed) grid cell; index is its position in the
+// full grid enumeration, stable across resumes.
+type sweepCell struct {
+	index         int
+	lambda, gamma float64
+	seed          uint64
+}
+
+// cells enumerates the spec's grid λ-major, then γ, then seed.
+func (spec *SweepSpec) cells() []sweepCell {
+	seeds := spec.resolveSeeds()
+	out := make([]sweepCell, 0, len(spec.Lambdas)*len(spec.Gammas)*len(seeds))
+	for _, l := range spec.Lambdas {
+		for _, g := range spec.Gammas {
+			for _, s := range seeds {
+				out = append(out, sweepCell{index: len(out), lambda: l, gamma: g, seed: s})
+			}
+		}
+	}
+	return out
 }
 
 // CellResult is the outcome of one sweep cell.
@@ -51,6 +128,7 @@ type CellResult struct {
 	Seed          uint64
 	Snap          Snapshot // the final configuration's metrics (zero if Err != nil)
 	Err           error    // the cell's failure, or the context error if never run
+	Retries       int      // re-attempts the cell consumed (0 = first try succeeded)
 }
 
 // Sweep runs the spec's λ×γ×seed grid on the parallel sweep engine and
@@ -62,39 +140,111 @@ type CellResult struct {
 // and cells that were interrupted or never ran carry the context error in
 // their Err field. Per-cell failures do not abort the sweep; they are
 // collected into the returned error while the other cells complete.
+//
+// With CheckpointPath set the sweep is additionally crash-safe: completed
+// cells are recorded in an atomically-written manifest (and, with
+// CheckpointSteps, in-flight cells checkpoint their chain state), so an
+// interrupted sweep is continued with ResumeSweep and produces the same
+// results it would have uninterrupted.
 func Sweep(ctx context.Context, spec SweepSpec) ([]CellResult, error) {
-	seeds := spec.Seeds
-	if len(seeds) == 0 {
-		seeds = []uint64{spec.Seed}
+	return runSweep(ctx, spec, false)
+}
+
+// ResumeSweep continues a sweep that a previous Sweep or ResumeSweep call
+// with the same spec left checkpointed at spec.CheckpointPath: cells
+// recorded in the manifest are returned without re-running, in-flight
+// cells resume from their chain checkpoints (when CheckpointSteps was
+// set), and the rest run normally. The combined result slice is identical
+// to what the uninterrupted sweep would have returned. A manifest written
+// under a different spec is rejected with ErrSweepCheckpointMismatch; a
+// missing manifest simply runs the whole sweep.
+func ResumeSweep(ctx context.Context, spec SweepSpec) ([]CellResult, error) {
+	if spec.CheckpointPath == "" {
+		return nil, ErrNoCheckpointPath
 	}
-	type cell struct {
-		lambda, gamma float64
-		seed          uint64
+	return runSweep(ctx, spec, true)
+}
+
+// runSweep is the shared engine behind Sweep and ResumeSweep.
+func runSweep(ctx context.Context, spec SweepSpec, resume bool) ([]CellResult, error) {
+	cells := spec.cells()
+	if len(cells) == 0 {
+		return nil, ErrEmptySweep
 	}
-	cells := make([]cell, 0, len(spec.Lambdas)*len(spec.Gammas)*len(seeds))
-	for _, l := range spec.Lambdas {
-		for _, g := range spec.Gammas {
-			for _, s := range seeds {
-				cells = append(cells, cell{lambda: l, gamma: g, seed: s})
+	th := spec.resolveThresholds()
+
+	ck, err := newSweepCheckpointer(spec)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CellResult, len(cells))
+	for i, c := range cells {
+		out[i] = CellResult{Lambda: c.lambda, Gamma: c.gamma, Seed: c.seed}
+	}
+	pending := cells
+	if resume {
+		completed, err := ck.load()
+		if err != nil {
+			return nil, err
+		}
+		pending = pending[:0:0]
+		for i, c := range cells {
+			if rec, ok := completed[i]; ok {
+				out[i].Snap = rec.Snap
+				out[i].Retries = rec.Retries
+			} else {
+				pending = append(pending, c)
 			}
 		}
 	}
-	if len(cells) == 0 {
-		return nil, ErrEmptySweep
+	if len(pending) == 0 {
+		return out, nil
 	}
 
 	var observe func(runner.Progress)
 	if spec.Observe != nil {
-		observe = func(p runner.Progress) { spec.Observe(p.Done, p.Total) }
+		base := len(cells) - len(pending)
+		observe = func(p runner.Progress) { spec.Observe(base+p.Done, len(cells)) }
 	}
-	results, err := runner.Sweep(ctx, cells, runner.Options{
+	results, err := runner.Sweep(ctx, pending, runner.Options{
 		Workers: spec.Workers,
 		Seed:    spec.Seed,
 		Observe: observe,
-	}, func(ctx context.Context, c cell, _ uint64) (Snapshot, error) {
-		// The cell's own seed drives all randomness, not the engine-derived
-		// one, so results match a serial run of the same (λ, γ, seed) cell.
-		sys, err := New(Options{
+		Retries: spec.Retries,
+		Backoff: spec.Backoff,
+	}, func(ctx context.Context, c sweepCell, _ uint64) (Snapshot, error) {
+		return runSweepCell(ctx, &spec, c, th, ck)
+	})
+
+	for j, r := range results {
+		i := pending[j].index
+		out[i].Snap = r.Value
+		out[i].Err = r.Err
+		if r.Attempts > 0 {
+			out[i].Retries = r.Attempts - 1
+		}
+	}
+	if ck != nil {
+		if ferr := ck.flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	return out, err
+}
+
+// runSweepCell computes one cell: build (or restore) its System, run the
+// remaining steps, measure, and record the completion in the sweep
+// checkpoint. The cell's own seed drives all randomness, not the
+// engine-derived one, so results match a serial run of the same
+// (λ, γ, seed) cell.
+func runSweepCell(ctx context.Context, spec *SweepSpec, c sweepCell, th Thresholds, ck *sweepCheckpointer) (Snapshot, error) {
+	if ck != nil {
+		ck.beginAttempt(c.index)
+	}
+	sys := ck.restoreCell(c, spec.Steps, th)
+	if sys == nil {
+		var err error
+		sys, err = New(Options{
 			Counts:       spec.Counts,
 			Layout:       spec.Layout,
 			Separated:    spec.Separated,
@@ -107,21 +257,18 @@ func Sweep(ctx context.Context, spec SweepSpec) ([]CellResult, error) {
 		if err != nil {
 			return Snapshot{}, err
 		}
-		if _, err := sys.RunContext(ctx, spec.Steps); err != nil {
+	}
+	if ck != nil && ck.steps > 0 {
+		sys.SetAutoCheckpoint(ck.cellPath(c.index), ck.steps)
+	}
+	if _, err := sys.RunContext(ctx, spec.Steps-sys.Steps()); err != nil {
+		return Snapshot{}, err
+	}
+	snap := sys.Metrics()
+	if ck != nil {
+		if err := ck.complete(c.index, snap); err != nil {
 			return Snapshot{}, err
 		}
-		return sys.Metrics(), nil
-	})
-
-	out := make([]CellResult, len(results))
-	for i, r := range results {
-		out[i] = CellResult{
-			Lambda: cells[i].lambda,
-			Gamma:  cells[i].gamma,
-			Seed:   cells[i].seed,
-			Snap:   r.Value,
-			Err:    r.Err,
-		}
 	}
-	return out, err
+	return snap, nil
 }

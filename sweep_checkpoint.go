@@ -1,0 +1,219 @@
+package sops
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+
+	"sops/internal/atomicio"
+)
+
+// ErrSweepCheckpointMismatch reports a sweep manifest that was written
+// under a different SweepSpec than the one trying to resume from it.
+var ErrSweepCheckpointMismatch = errors.New("sops: sweep checkpoint belongs to a different spec")
+
+// sweepKey is the determinism-relevant projection of a SweepSpec: two
+// specs with equal keys enumerate the same cells and produce the same
+// results, so a manifest may only be resumed under a spec with the key it
+// was written under. Concurrency, observation and checkpoint cadences are
+// deliberately excluded — they never affect results.
+type sweepKey struct {
+	Lambdas      []float64  `json:"lambdas"`
+	Gammas       []float64  `json:"gammas"`
+	Seeds        []uint64   `json:"seeds"`
+	Counts       []int      `json:"counts"`
+	Layout       Layout     `json:"layout"`
+	Separated    bool       `json:"separated"`
+	DisableSwaps bool       `json:"disableSwaps"`
+	Steps        uint64     `json:"steps"`
+	Thresholds   Thresholds `json:"thresholds"`
+}
+
+// sweepCellRecord is one completed cell in the manifest. The grid
+// coordinates are implied by the index — the spec's enumeration is stable.
+type sweepCellRecord struct {
+	Index   int      `json:"index"`
+	Retries int      `json:"retries,omitempty"`
+	Snap    Snapshot `json:"snap"`
+}
+
+// sweepManifest is the checkpoint file: the spec key it was written
+// under plus the cells completed so far, in completion order.
+type sweepManifest struct {
+	Key  json.RawMessage   `json:"spec"`
+	Done []sweepCellRecord `json:"done"`
+}
+
+// sweepCheckpointer persists sweep progress: an atomically-replaced JSON
+// manifest of completed cells at path, plus optional per-cell chain
+// checkpoints at path + ".cellNNNN" while cells are in flight. All methods
+// are safe for concurrent use by the sweep workers; a nil checkpointer is
+// valid and does nothing.
+type sweepCheckpointer struct {
+	path  string
+	every int    // manifest write cadence, in completed cells
+	steps uint64 // in-flight chain checkpoint interval, 0 = off
+	key   []byte // canonical JSON of the spec's sweepKey
+
+	mu         sync.Mutex
+	done       []sweepCellRecord
+	recorded   map[int]bool
+	attempts   map[int]int
+	sinceWrite int
+}
+
+// newSweepCheckpointer builds the checkpointer for spec, or nil when the
+// spec does not request checkpointing.
+func newSweepCheckpointer(spec SweepSpec) (*sweepCheckpointer, error) {
+	if spec.CheckpointPath == "" {
+		return nil, nil
+	}
+	key, err := json.Marshal(sweepKey{
+		Lambdas:      spec.Lambdas,
+		Gammas:       spec.Gammas,
+		Seeds:        spec.resolveSeeds(),
+		Counts:       spec.Counts,
+		Layout:       spec.Layout,
+		Separated:    spec.Separated,
+		DisableSwaps: spec.DisableSwaps,
+		Steps:        spec.Steps,
+		Thresholds:   spec.resolveThresholds(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sops: encode sweep key: %w", err)
+	}
+	every := spec.CheckpointEvery
+	if every < 1 {
+		every = 1
+	}
+	return &sweepCheckpointer{
+		path:     spec.CheckpointPath,
+		every:    every,
+		steps:    spec.CheckpointSteps,
+		key:      key,
+		recorded: make(map[int]bool),
+		attempts: make(map[int]int),
+	}, nil
+}
+
+// cellPath is the in-flight chain checkpoint file for cell i.
+func (ck *sweepCheckpointer) cellPath(i int) string {
+	return fmt.Sprintf("%s.cell%04d", ck.path, i)
+}
+
+// load reads the manifest and returns the completed cells by index. A
+// missing manifest is an empty (not failed) resume; a manifest written
+// under a different spec key is rejected with ErrSweepCheckpointMismatch.
+// Loaded records seed the checkpointer so later writes preserve them.
+func (ck *sweepCheckpointer) load() (map[int]sweepCellRecord, error) {
+	data, err := os.ReadFile(ck.path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sops: read sweep checkpoint: %w", err)
+	}
+	var m sweepManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("sops: decode sweep checkpoint: %w", err)
+	}
+	stored := new(bytes.Buffer)
+	if err := json.Compact(stored, m.Key); err != nil {
+		return nil, fmt.Errorf("sops: decode sweep checkpoint key: %w", err)
+	}
+	if !bytes.Equal(stored.Bytes(), ck.key) {
+		return nil, ErrSweepCheckpointMismatch
+	}
+	completed := make(map[int]sweepCellRecord, len(m.Done))
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	for _, rec := range m.Done {
+		if ck.recorded[rec.Index] {
+			continue
+		}
+		ck.recorded[rec.Index] = true
+		ck.done = append(ck.done, rec)
+		completed[rec.Index] = rec
+	}
+	return completed, nil
+}
+
+// beginAttempt counts an execution attempt of cell i, so the manifest can
+// record how many retries a completed cell consumed.
+func (ck *sweepCheckpointer) beginAttempt(i int) {
+	ck.mu.Lock()
+	ck.attempts[i]++
+	ck.mu.Unlock()
+}
+
+// restoreCell rebuilds cell c's System from its in-flight chain
+// checkpoint, or returns nil when the cell should start fresh (no
+// checkpointing, no usable file, or a file that does not match the cell).
+func (ck *sweepCheckpointer) restoreCell(c sweepCell, steps uint64, th Thresholds) *System {
+	if ck == nil || ck.steps == 0 {
+		return nil
+	}
+	sys, err := RestoreFile(ck.cellPath(c.index), &th)
+	if err != nil {
+		return nil
+	}
+	p := sys.Params()
+	if p.Lambda != c.lambda || p.Gamma != c.gamma || sys.Steps() > steps {
+		return nil
+	}
+	return sys
+}
+
+// complete records cell i's result, drops its in-flight checkpoint, and
+// rewrites the manifest if the cadence is due.
+func (ck *sweepCheckpointer) complete(i int, snap Snapshot) error {
+	ck.mu.Lock()
+	if !ck.recorded[i] {
+		ck.recorded[i] = true
+		ck.done = append(ck.done, sweepCellRecord{
+			Index:   i,
+			Retries: ck.attempts[i] - 1,
+			Snap:    snap,
+		})
+		ck.sinceWrite++
+	}
+	var err error
+	if ck.sinceWrite >= ck.every {
+		err = ck.writeLocked()
+	}
+	ck.mu.Unlock()
+	if ck.steps > 0 {
+		os.Remove(ck.cellPath(i))
+	}
+	return err
+}
+
+// flush writes the manifest if completions arrived since the last write.
+func (ck *sweepCheckpointer) flush() error {
+	if ck == nil {
+		return nil
+	}
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	if ck.sinceWrite == 0 {
+		return nil
+	}
+	return ck.writeLocked()
+}
+
+// writeLocked atomically replaces the manifest; ck.mu must be held.
+func (ck *sweepCheckpointer) writeLocked() error {
+	data, err := json.Marshal(sweepManifest{Key: ck.key, Done: ck.done})
+	if err != nil {
+		return fmt.Errorf("sops: encode sweep checkpoint: %w", err)
+	}
+	if err := atomicio.WriteFile(ck.path, data, 0o644); err != nil {
+		return fmt.Errorf("sops: write sweep checkpoint: %w", err)
+	}
+	ck.sinceWrite = 0
+	return nil
+}
