@@ -1,0 +1,48 @@
+// Steady-state allocation contracts for the public API: after burn-in, the
+// simulation and measurement hot paths must not touch the heap.
+package sops_test
+
+import (
+	"testing"
+
+	"sops"
+)
+
+func TestSystemStepAllocs(t *testing.T) {
+	sys, err := sops.New(sops.Options{
+		Counts: []int{50, 50},
+		Lambda: 4, Gamma: 4,
+		Layout: sops.LayoutLine,
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(200_000)
+	if avg := testing.AllocsPerRun(5000, func() {
+		sys.Step()
+	}); avg != 0 {
+		t.Fatalf("System.Step allocates %v times per step at steady state", avg)
+	}
+}
+
+func TestSystemMetricsAllocs(t *testing.T) {
+	sys, err := sops.New(sops.Options{
+		Counts: []int{50, 50},
+		Lambda: 4, Gamma: 4,
+		Layout: sops.LayoutLine,
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(100_000)
+	if avg := testing.AllocsPerRun(200, func() {
+		snap := sys.Metrics()
+		if snap.N != 100 {
+			t.Fatal("bad snapshot")
+		}
+	}); avg != 0 {
+		t.Fatalf("System.Metrics allocates %v times per run at steady state", avg)
+	}
+}

@@ -22,6 +22,70 @@ import (
 	"sops/internal/psys"
 )
 
+// E21 — the raw chain-step kernel: single iterations of Markov chain M on
+// the paper's standard n = 100 bichromatic workload at λ = γ = 4, after a
+// burn-in that reaches the compressed steady state. Every experiment in the
+// paper is bounded by this kernel; ns/op, allocs/op and steps/sec here are
+// the repo's primary performance trajectory, tracked across PRs by
+// internal/benchio against the committed BENCH_*.json baselines.
+func BenchmarkChainStep(b *testing.B) {
+	cfg, err := core.Initial(core.LayoutLine, core.Bichromatic(100), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := core.New(cfg, core.Params{Lambda: 4, Gamma: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch.Run(200_000) // burn in to the compressed steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Step()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/sec")
+}
+
+// E21 — the same kernel at n = 1000, exercising the dense occupancy window
+// well beyond the paper's n = 100 and the position-index update path under a
+// larger footprint.
+func BenchmarkChainStepN1000(b *testing.B) {
+	cfg, err := core.Initial(core.LayoutSpiral, core.Bichromatic(1000), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := core.New(cfg, core.Params{Lambda: 4, Gamma: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch.Run(200_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Step()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/sec")
+}
+
+// E21 — the metrics snapshot path: capturing a full Snapshot (perimeter,
+// compression, segregation, cluster structure, phase) of the live
+// configuration through the reusable zero-allocation Meter.
+func BenchmarkMetricsSnapshot(b *testing.B) {
+	sys, err := sops.New(sops.Options{Counts: core.Bichromatic(100), Lambda: 4, Gamma: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.Run(200_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := sys.Metrics()
+		if snap.N != 100 {
+			b.Fatal("snapshot lost particles")
+		}
+	}
+}
+
 // E1 — Figure 2: time evolution at λ = γ = 4 from a worst-case line.
 // Reports the final compression factor and segregation index; the paper's
 // shape (most progress in the first ~1/60 of the run) is asserted in

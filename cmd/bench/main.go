@@ -1,0 +1,63 @@
+// Command bench converts `go test -bench` output into a machine-readable
+// JSON report and optionally compares it against a committed baseline.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'ChainStep|MetricsSnapshot' . | bench -out BENCH.json
+//	go test -run '^$' -bench ChainStep . | bench -baseline BENCH_PR3.json
+//
+// With -baseline, regressions beyond -threshold (relative) are listed on
+// stderr and the exit status is 1, so CI can surface them; gate blocking
+// behavior with the workflow's continue-on-error instead of a flag here.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sops/internal/benchio"
+)
+
+func main() {
+	out := flag.String("out", "", "write the parsed report as JSON to this file")
+	baseline := flag.String("baseline", "", "compare against this committed report")
+	threshold := flag.Float64("threshold", 0.30, "relative degradation tolerated before reporting")
+	flag.Parse()
+
+	rep, err := benchio.Parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(rep.Results) == 0 {
+		fatal(fmt.Errorf("bench: no benchmark lines on stdin"))
+	}
+	if *out != "" {
+		if err := rep.WriteFile(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("bench: wrote %d results to %s\n", len(rep.Results), *out)
+	}
+	if *baseline != "" {
+		base, err := benchio.ReadFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		regs := benchio.Compare(base, rep, *threshold)
+		if len(regs) == 0 {
+			fmt.Printf("bench: no regressions against %s (threshold %.0f%%)\n",
+				*baseline, *threshold*100)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "bench: %d regression(s) against %s:\n", len(regs), *baseline)
+		for _, g := range regs {
+			fmt.Fprintf(os.Stderr, "  %s\n", g)
+		}
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

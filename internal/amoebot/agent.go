@@ -99,30 +99,42 @@ func (v *LocalView) TargetNeighborColor(move, j Port) (psys.Color, bool) {
 // relativeOccupancy materializes the 12-cell neighborhood in the agent's
 // private coordinate frame (own node at the origin, port p pointing at
 // lattice direction p), for the movement-property checks. It implements
-// psys.Occupancy over private coordinates only.
+// psys.Occupancy over private coordinates only. Every relevant cell lies
+// within lattice distance 2 of the origin, so axial coordinates stay in
+// [−2, 2]² and a 25-bit mask replaces the map the seed implementation
+// allocated per activation.
 type relativeOccupancy struct {
-	cells map[lattice.Point]bool
+	mask uint32 // bit (R+2)·5 + (Q+2) for Q, R ∈ [−2, 2]
 }
 
 // Occupied reports occupancy at a private-frame coordinate.
-func (r relativeOccupancy) Occupied(p lattice.Point) bool { return r.cells[p] }
+func (r *relativeOccupancy) Occupied(p lattice.Point) bool {
+	if p.Q < -2 || p.Q > 2 || p.R < -2 || p.R > 2 {
+		return false
+	}
+	return r.mask>>(uint(p.R+2)*5+uint(p.Q+2))&1 != 0
+}
+
+func (r *relativeOccupancy) set(p lattice.Point) {
+	r.mask |= 1 << (uint(p.R+2)*5 + uint(p.Q+2))
+}
 
 // relativeNeighborhood builds the private-frame occupancy around the agent
 // and its movement target from view reads alone.
 func relativeNeighborhood(v *LocalView, move Port) relativeOccupancy {
-	cells := make(map[lattice.Point]bool, 12)
+	var rel relativeOccupancy
 	origin := lattice.Point{}
 	target := origin.Neighbor(lattice.Direction(move))
-	cells[origin] = true
+	rel.set(origin)
 	for p := Port(0); p < lattice.NumDirections; p++ {
 		if v.Occupied(p) {
-			cells[origin.Neighbor(lattice.Direction(p))] = true
+			rel.set(origin.Neighbor(lattice.Direction(p)))
 		}
 		if v.TargetOccupied(move, p) {
-			cells[target.Neighbor(lattice.Direction(p))] = true
+			rel.set(target.Neighbor(lattice.Direction(p)))
 		}
 	}
-	return relativeOccupancy{cells: cells}
+	return rel
 }
 
 // agentDecision is the outcome of the pure agent program.
@@ -205,7 +217,7 @@ func runAgent(v *LocalView, params core.Params, pows *powers, r *rng.Source) age
 	rel := relativeNeighborhood(v, move)
 	origin := lattice.Point{}
 	target := origin.Neighbor(lattice.Direction(move))
-	if !psys.Property4On(rel, origin, target) && !psys.Property5On(rel, origin, target) {
+	if !psys.Property4On(&rel, origin, target) && !psys.Property5On(&rel, origin, target) {
 		return agentDecision{act: core.Rejected}
 	}
 	back := Port((int(move) + 3) % lattice.NumDirections)

@@ -1,0 +1,212 @@
+// Package benchio parses `go test -bench` output into machine-readable
+// reports and compares them against committed baselines, so benchmark
+// regressions on the chain's hot path surface in CI instead of silently
+// accumulating. It intentionally understands only the standard benchmark
+// line format (name, iterations, ns/op, optional B/op, allocs/op and custom
+// metrics) — no external dependencies.
+package benchio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurements. Metrics holds custom units
+// reported via b.ReportMetric (e.g. "steps/sec") alongside the standard
+// ns/op, B/op and allocs/op.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"nsPerOp"`
+	BytesPerOp  float64            `json:"bytesPerOp,omitempty"`
+	AllocsPerOp float64            `json:"allocsPerOp"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is a set of benchmark results with the environment lines go test
+// prints before them.
+type Report struct {
+	GoOS    string   `json:"goos,omitempty"`
+	GoArch  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// Parse reads `go test -bench` output and collects benchmark lines into a
+// Report. Unrecognized lines (test output, PASS/ok trailers) are skipped.
+// Benchmark names are stored without the parallelism suffix go test appends
+// (BenchmarkFoo-8 → BenchmarkFoo).
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchio: read: %w", err)
+	}
+	return rep, nil
+}
+
+// parseLine parses a single benchmark result line:
+//
+//	BenchmarkChainStep-8   5434675   399.6 ns/op   2502459 steps/sec   0 B/op   0 allocs/op
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: name, Iterations: iters}
+	seen := false
+	// The rest of the line is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+			seen = true
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		default:
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[unit] = v
+		}
+	}
+	return res, seen
+}
+
+// Find returns the named result, if present.
+func (r *Report) Find(name string) (Result, bool) {
+	for _, res := range r.Results {
+		if res.Name == name {
+			return res, true
+		}
+	}
+	return Result{}, false
+}
+
+// WriteFile writes the report as indented JSON, with results sorted by name
+// so the file is diff-stable.
+func (r *Report) WriteFile(path string) error {
+	sort.Slice(r.Results, func(i, j int) bool { return r.Results[i].Name < r.Results[j].Name })
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchio: encode: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a report written by WriteFile.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchio: %w", err)
+	}
+	rep := &Report{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("benchio: decode %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// Regression describes one benchmark quantity that degraded beyond the
+// comparison threshold relative to the baseline.
+type Regression struct {
+	Name     string  // benchmark name
+	Quantity string  // "ns/op", "allocs/op", or a custom metric unit
+	Baseline float64 // committed value
+	Current  float64 // measured value
+	Ratio    float64 // degradation factor (> 1 is worse)
+}
+
+// String formats the regression for CI logs.
+func (g Regression) String() string {
+	return fmt.Sprintf("%s %s: baseline %.4g, current %.4g (%.2fx worse)",
+		g.Name, g.Quantity, g.Baseline, g.Current, g.Ratio)
+}
+
+// Compare checks every baseline benchmark that also appears in cur against
+// a relative threshold (e.g. 0.30 tolerates 30% degradation before
+// reporting). ns/op degrades upward; custom metrics whose unit ends in
+// "/sec" are throughputs and degrade downward; allocs/op is compared
+// exactly — any increase from a zero-alloc baseline is a regression.
+// Benchmarks present in only one report are ignored, so baselines stay
+// valid while benchmarks come and go.
+func Compare(base, cur *Report, threshold float64) []Regression {
+	var out []Regression
+	for _, b := range base.Results {
+		c, ok := cur.Find(b.Name)
+		if !ok {
+			continue
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+threshold) {
+			out = append(out, Regression{b.Name, "ns/op", b.NsPerOp, c.NsPerOp, c.NsPerOp / b.NsPerOp})
+		}
+		if c.AllocsPerOp > b.AllocsPerOp {
+			ratio := c.AllocsPerOp
+			if b.AllocsPerOp > 0 {
+				ratio = c.AllocsPerOp / b.AllocsPerOp
+			}
+			out = append(out, Regression{b.Name, "allocs/op", b.AllocsPerOp, c.AllocsPerOp, ratio})
+		}
+		for unit, bv := range b.Metrics {
+			cv, ok := c.Metrics[unit]
+			if !ok || bv <= 0 {
+				continue
+			}
+			if strings.HasSuffix(unit, "/sec") && cv < bv*(1-threshold) {
+				out = append(out, Regression{b.Name, unit, bv, cv, bv / cv})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Quantity < out[j].Quantity
+	})
+	return out
+}

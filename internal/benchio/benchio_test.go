@@ -1,0 +1,119 @@
+package benchio
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: sops
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkChainStep-8      	 5434675	       399.6 ns/op	   2502459 steps/sec	       0 B/op	       0 allocs/op
+BenchmarkChainStepN1000-8 	10076239	       242.8 ns/op	   4119223 steps/sec	       0 B/op	       0 allocs/op
+BenchmarkMetricsSnapshot-8	   50000	     24017 ns/op	       0 B/op	       0 allocs/op
+some test chatter
+PASS
+ok  	sops	5.989s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("environment: %+v", rep)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(rep.Results))
+	}
+	r, ok := rep.Find("BenchmarkChainStep")
+	if !ok {
+		t.Fatal("BenchmarkChainStep not found (suffix not stripped?)")
+	}
+	if r.Iterations != 5434675 || r.NsPerOp != 399.6 || r.AllocsPerOp != 0 {
+		t.Fatalf("bad result %+v", r)
+	}
+	if r.Metrics["steps/sec"] != 2502459 {
+		t.Fatalf("custom metric not parsed: %+v", r.Metrics)
+	}
+	if _, ok := rep.Find("BenchmarkNope"); ok {
+		t.Fatal("found nonexistent benchmark")
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	rep, err := Parse(strings.NewReader("BenchmarkBad abc 12 ns/op\nBenchmarkNoUnit 100\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 {
+		t.Fatalf("malformed lines produced results: %+v", rep.Results)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != len(rep.Results) || got.CPU != rep.CPU {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, rep)
+	}
+	for _, want := range rep.Results {
+		r, ok := got.Find(want.Name)
+		if !ok || r.NsPerOp != want.NsPerOp || r.Metrics["steps/sec"] != want.Metrics["steps/sec"] {
+			t.Fatalf("round trip lost %q: %+v", want.Name, r)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := &Report{Results: []Result{
+		{Name: "BenchmarkA", NsPerOp: 100, Metrics: map[string]float64{"steps/sec": 1e6}},
+		{Name: "BenchmarkB", NsPerOp: 50, AllocsPerOp: 0},
+		{Name: "BenchmarkGone", NsPerOp: 10},
+	}}
+	cur := &Report{Results: []Result{
+		// 2x slower and half throughput: two regressions.
+		{Name: "BenchmarkA", NsPerOp: 200, Metrics: map[string]float64{"steps/sec": 5e5}},
+		// Within threshold on time, but now allocates: one regression.
+		{Name: "BenchmarkB", NsPerOp: 55, AllocsPerOp: 3},
+		{Name: "BenchmarkNew", NsPerOp: 1e9},
+	}}
+	regs := Compare(base, cur, 0.30)
+	if len(regs) != 3 {
+		t.Fatalf("got %d regressions, want 3: %v", len(regs), regs)
+	}
+	if regs[0].Name != "BenchmarkA" || regs[0].Quantity != "ns/op" || regs[0].Ratio != 2 {
+		t.Fatalf("regs[0] = %+v", regs[0])
+	}
+	if regs[1].Name != "BenchmarkA" || regs[1].Quantity != "steps/sec" || regs[1].Ratio != 2 {
+		t.Fatalf("regs[1] = %+v", regs[1])
+	}
+	if regs[2].Name != "BenchmarkB" || regs[2].Quantity != "allocs/op" || regs[2].Current != 3 {
+		t.Fatalf("regs[2] = %+v", regs[2])
+	}
+
+	// Identical reports: clean.
+	if regs := Compare(base, base, 0.30); len(regs) != 0 {
+		t.Fatalf("self-comparison regressed: %v", regs)
+	}
+	// Improvements are never regressions.
+	fast := &Report{Results: []Result{
+		{Name: "BenchmarkA", NsPerOp: 10, Metrics: map[string]float64{"steps/sec": 1e7}},
+	}}
+	if regs := Compare(base, fast, 0.30); len(regs) != 0 {
+		t.Fatalf("improvement reported as regression: %v", regs)
+	}
+}

@@ -102,9 +102,16 @@ type Chain struct {
 	rand   *rng.Source
 	stats  Stats
 
-	// positions and index implement O(1) uniform particle selection.
+	// positions and posIndex implement O(1) uniform particle selection.
+	// positions[i] is the location of particle slot i; posIndex mirrors the
+	// configuration's dense storage window (posWin) and holds the slot of
+	// the particle at each window vertex, or -1 when vacant. The chain's
+	// state space is connected configurations, which psys keeps fully dense,
+	// so every particle position always indexes into the window; posIndex is
+	// rebuilt on the rare steps where the window itself moves.
 	positions []lattice.Point
-	index     map[lattice.Point]int
+	posWin    lattice.Window
+	posIndex  []int32
 
 	powLambda [2*maxExp + 1]float64 // λ^k for k in [-maxExp, maxExp]
 	powGamma  [2*maxExp + 1]float64 // γ^k
@@ -133,17 +140,33 @@ func New(cfg *psys.Config, params Params) (*Chain, error) {
 		cfg:    cfg,
 		params: params,
 		rand:   rng.New(params.Seed),
-		index:  make(map[lattice.Point]int, cfg.N()),
 	}
 	c.positions = cfg.Points()
-	for i, p := range c.positions {
-		c.index[p] = i
-	}
+	c.reindex()
 	for k := -maxExp; k <= maxExp; k++ {
 		c.powLambda[k+maxExp] = math.Pow(params.Lambda, float64(k))
 		c.powGamma[k+maxExp] = math.Pow(params.Gamma, float64(k))
 	}
 	return c, nil
+}
+
+// reindex rebuilds posIndex over the configuration's current storage
+// window. Called at construction and whenever a move makes the window grow
+// or compact; the O(area) cost is amortized by the margin psys adds on every
+// regrow.
+func (c *Chain) reindex() {
+	c.posWin = c.cfg.Window()
+	need := c.posWin.Area()
+	if cap(c.posIndex) < need {
+		c.posIndex = make([]int32, need)
+	}
+	c.posIndex = c.posIndex[:need]
+	for i := range c.posIndex {
+		c.posIndex[i] = -1
+	}
+	for i, p := range c.positions {
+		c.posIndex[c.posWin.Index(p)] = int32(i)
+	}
 }
 
 // Params returns the chain's bias parameters.
@@ -203,13 +226,17 @@ func (c *Chain) tryMove(l, lp lattice.Point, ci psys.Color) Outcome {
 	if prob < 1 && c.rand.Float64() >= prob {
 		return Rejected // condition (iii)
 	}
+	idx := c.posIndex[c.posWin.Index(l)]
 	if err := c.cfg.ApplyMove(l, lp); err != nil {
 		panic("core: invariant violation applying validated move: " + err.Error())
 	}
-	idx := c.index[l]
-	delete(c.index, l)
 	c.positions[idx] = lp
-	c.index[lp] = idx
+	if c.cfg.Window() == c.posWin {
+		c.posIndex[c.posWin.Index(l)] = -1
+		c.posIndex[c.posWin.Index(lp)] = idx
+	} else {
+		c.reindex()
+	}
 	c.stats.Moves++
 	return Moved
 }

@@ -145,14 +145,24 @@ func TestChainInvariants(t *testing.T) {
 		if c.N() != 30 {
 			t.Fatalf("round %d: particle count changed", round)
 		}
-		// Index consistency: every indexed position occupied.
-		for _, p := range ch.positions {
+		// Index consistency: every indexed position occupied, and the dense
+		// position index agrees slot-for-slot with the positions slice.
+		for i, p := range ch.positions {
 			if !c.Occupied(p) {
 				t.Fatalf("round %d: stale position %v in index", round, p)
 			}
+			if got := ch.posIndex[ch.posWin.Index(p)]; got != int32(i) {
+				t.Fatalf("round %d: posIndex[%v] = %d, want %d", round, p, got, i)
+			}
 		}
-		if len(ch.index) != 30 {
-			t.Fatalf("round %d: index size %d", round, len(ch.index))
+		slots := 0
+		for _, s := range ch.posIndex {
+			if s >= 0 {
+				slots++
+			}
+		}
+		if slots != 30 {
+			t.Fatalf("round %d: index size %d", round, slots)
 		}
 	}
 	st := ch.Stats()

@@ -75,21 +75,26 @@ func Resume(cp *Checkpoint) (*Chain, error) {
 		if len(cp.Order) != ch.N() {
 			return nil, fmt.Errorf("core: checkpoint order has %d entries for %d particles", len(cp.Order), ch.N())
 		}
+		// The chain's configuration is connected (New verified it), so every
+		// occupied node indexes into the dense storage window; a window-sized
+		// bitmap detects duplicates without a map.
 		positions := make([]lattice.Point, len(cp.Order))
-		index := make(map[lattice.Point]int, len(cp.Order))
+		win := ch.cfg.Window()
+		seen := make([]bool, win.Area())
 		for i, qr := range cp.Order {
 			p := lattice.Point{Q: qr[0], R: qr[1]}
-			if !cp.Config.Occupied(p) {
+			if !ch.cfg.Occupied(p) {
 				return nil, fmt.Errorf("core: checkpoint order lists vacant node %v", p)
 			}
-			if _, dup := index[p]; dup {
+			if j := win.Index(p); seen[j] {
 				return nil, fmt.Errorf("core: checkpoint order repeats node %v", p)
+			} else {
+				seen[j] = true
 			}
 			positions[i] = p
-			index[p] = i
 		}
 		ch.positions = positions
-		ch.index = index
+		ch.reindex()
 	}
 	ch.stats = cp.Stats
 	return ch, nil

@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"sops/internal/psys"
+)
+
+// Meter computes Snapshots repeatedly over a live configuration without
+// allocating at steady state: the flood-fill scratch is reused across
+// captures (sized to the configuration's dense storage window) and the
+// p_min(n) spiral construction is memoized per particle count. One Meter
+// serves one chain; it is not safe for concurrent use.
+type Meter struct {
+	th Thresholds
+
+	minPerimN int // particle count the memo is valid for (-1 = none)
+	minPerimV int
+
+	visited []bool
+	stack   []int32
+}
+
+// NewMeter returns a Meter classifying with the given thresholds.
+func NewMeter(th Thresholds) *Meter {
+	return &Meter{th: th, minPerimN: -1}
+}
+
+// minPerimeter is psys.MinPerimeter memoized on n. Chains preserve the
+// particle count, so after the first capture this is a table lookup.
+func (m *Meter) minPerimeter(n int) int {
+	if n != m.minPerimN {
+		m.minPerimN, m.minPerimV = n, psys.MinPerimeter(n)
+	}
+	return m.minPerimV
+}
+
+// largestClusterSize returns the size of the largest connected
+// monochromatic cluster of color c, via a flood fill over the dense storage
+// window using reusable scratch. Configurations with overflow particles
+// (never produced by a chain) fall back to the allocating Clusters path.
+func (m *Meter) largestClusterSize(cfg *psys.Config, c psys.Color) int {
+	if !cfg.DenseOnly() {
+		cls := Clusters(cfg, c)
+		if len(cls) == 0 {
+			return 0
+		}
+		return len(cls[0])
+	}
+	win := cfg.Window()
+	area := win.Area()
+	if cap(m.visited) < area {
+		m.visited = make([]bool, area)
+	}
+	m.visited = m.visited[:area]
+	for i := range m.visited {
+		m.visited[i] = false
+	}
+	best := 0
+	for i := 0; i < area; i++ {
+		if m.visited[i] {
+			continue
+		}
+		p := win.PointAt(i)
+		if col, ok := cfg.At(p); !ok || col != c {
+			continue
+		}
+		m.visited[i] = true
+		m.stack = append(m.stack[:0], int32(i))
+		size := 0
+		for len(m.stack) > 0 {
+			j := int(m.stack[len(m.stack)-1])
+			m.stack = m.stack[:len(m.stack)-1]
+			size++
+			q := win.PointAt(j)
+			for _, nb := range q.Neighbors() {
+				if !win.Contains(nb) {
+					continue
+				}
+				k := win.Index(nb)
+				if m.visited[k] {
+					continue
+				}
+				if col, ok := cfg.At(nb); ok && col == c {
+					m.visited[k] = true
+					m.stack = append(m.stack, int32(k))
+				}
+			}
+		}
+		if size > best {
+			best = size
+		}
+	}
+	return best
+}
+
+// largestClusterFraction mirrors LargestClusterFraction on the reusable
+// scratch.
+func (m *Meter) largestClusterFraction(cfg *psys.Config, c psys.Color) float64 {
+	total := cfg.ColorCount(c)
+	if total == 0 {
+		return 0
+	}
+	return float64(m.largestClusterSize(cfg, c)) / float64(total)
+}
+
+// Capture computes the same Snapshot as the package-level Capture, without
+// allocating once the scratch has warmed up at a fixed particle count.
+func (m *Meter) Capture(cfg *psys.Config, steps uint64) Snapshot {
+	n := cfg.N()
+	perim := cfg.Perimeter()
+	pm := m.minPerimeter(n)
+	alpha := 1.0
+	if pm > 0 {
+		alpha = float64(perim) / float64(pm)
+	}
+	seg := SegregationIndex(cfg)
+	compressed := float64(perim) <= m.th.Alpha*float64(pm)
+	separated := seg >= m.th.MinSegregation
+	var phase Phase
+	switch {
+	case compressed && separated:
+		phase = CompressedSeparated
+	case compressed:
+		phase = CompressedIntegrated
+	case separated:
+		phase = ExpandedSeparated
+	default:
+		phase = ExpandedIntegrated
+	}
+	return Snapshot{
+		Steps:        steps,
+		N:            n,
+		Perimeter:    perim,
+		MinPerimeter: pm,
+		Alpha:        alpha,
+		Edges:        cfg.Edges(),
+		HomEdges:     cfg.HomEdges(),
+		HetEdges:     cfg.HetEdges(),
+		Segregation:  seg,
+		LargestFrac:  m.largestClusterFraction(cfg, 0),
+		Phase:        phase,
+	}
+}

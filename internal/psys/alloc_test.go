@@ -1,0 +1,53 @@
+package psys
+
+import (
+	"testing"
+
+	"sops/internal/lattice"
+)
+
+// TestApplyMoveAllocs: moving a particle between nodes inside the warmed
+// storage window allocates nothing — Remove and Place are pure array writes
+// plus incremental statistics.
+func TestApplyMoveAllocs(t *testing.T) {
+	c := New()
+	for q := 0; q < 3; q++ {
+		if err := c.Place(lattice.Point{Q: q}, Color(q%2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, lp := lattice.Point{Q: 2}, lattice.Point{Q: 1, R: 1}
+	if avg := testing.AllocsPerRun(1000, func() {
+		if err := c.ApplyMove(l, lp); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.ApplyMove(lp, l); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("ApplyMove allocates %v times per run at steady state", avg)
+	}
+}
+
+// TestApplySwapAllocs: swapping two adjacent particles of different colors
+// allocates nothing.
+func TestApplySwapAllocs(t *testing.T) {
+	c := New()
+	if err := c.Place(lattice.Point{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Place(lattice.Point{Q: 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	l, lp := lattice.Point{}, lattice.Point{Q: 1}
+	if avg := testing.AllocsPerRun(1000, func() {
+		if err := c.ApplySwap(l, lp); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.ApplySwap(lp, l); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("ApplySwap allocates %v times per run at steady state", avg)
+	}
+}

@@ -7,6 +7,23 @@ import "sops/internal/lattice"
 // visits cut vertices multiple times). The walk's length — the paper's
 // perimeter p(σ) for connected hole-free configurations — is
 // len(walk) for n ≥ 2, and 0 for n ≤ 1.
+func (c *Config) BoundaryWalk() []lattice.Point {
+	if c.n == 0 {
+		return nil
+	}
+	start, _ := c.minPoint()
+	if c.n == 1 {
+		return []lattice.Point{start}
+	}
+	return BoundaryWalkOn(c, start, c.Perimeter()+1)
+}
+
+// BoundaryWalkOn traverses the outer boundary of the connected component of
+// start over an arbitrary occupancy, where start must be the component's
+// lexicographically smallest occupied vertex (so its W, NW and SW neighbors
+// are vacant and exterior). sizeHint pre-sizes the returned walk (0 is
+// fine). It is the storage-independent traversal shared by Config and the
+// differential test layer's reference store.
 //
 // The traversal is Moore contour tracing adapted to the six-neighbor
 // triangular lattice: from each boundary vertex, the next boundary vertex is
@@ -15,15 +32,7 @@ import "sops/internal/lattice"
 // outside. The walk terminates when the initial directed edge repeats; the
 // transition on (vertex, direction) states is injective, so the initial
 // state provably recurs.
-func (c *Config) BoundaryWalk() []lattice.Point {
-	if c.n == 0 {
-		return nil
-	}
-	pts := c.Points()
-	start := pts[0] // lexicographic min: its W, NW, SW neighbors are vacant
-	if c.n == 1 {
-		return []lattice.Point{start}
-	}
+func BoundaryWalkOn(c Occupancy, start lattice.Point, sizeHint int) []lattice.Point {
 	// Find the first move: scan clockwise starting at NW. The start vertex
 	// is the lexicographic minimum, so its W, NW and SW neighbors are all
 	// vacant (and exterior); the scan therefore picks a genuine outer
@@ -42,7 +51,10 @@ func (c *Config) BoundaryWalk() []lattice.Point {
 		// Isolated particle in a disconnected configuration.
 		return []lattice.Point{start}
 	}
-	walk := make([]lattice.Point, 0, c.Perimeter()+1)
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	walk := make([]lattice.Point, 0, sizeHint)
 	v, d := start, d0
 	for {
 		walk = append(walk, v)

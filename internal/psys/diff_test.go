@@ -1,0 +1,277 @@
+package psys
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"sops/internal/lattice"
+)
+
+// This file is the differential layer between the dense-grid Config and the
+// seed's map-backed refConfig (ref_test.go): testing/quick drives both
+// through identical operation sequences and every observable must agree.
+
+// diffOp is a single randomized operation applied to both stores.
+type diffOp struct {
+	Kind byte // 0 place, 1 remove, 2 move, 3 swap
+	P    lattice.Point
+	D    lattice.Direction
+	Col  Color
+}
+
+// diffSeq generates operation sequences clustered on a small patch of the
+// lattice (so removes, moves and swaps actually hit particles) with a few
+// far-flung placements mixed in to cross window growth, compaction and
+// overflow-budget boundaries.
+type diffSeq []diffOp
+
+func (diffSeq) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 40 + r.Intn(160)
+	seq := make(diffSeq, n)
+	for i := range seq {
+		p := lattice.Point{Q: r.Intn(13) - 6, R: r.Intn(13) - 6}
+		switch r.Intn(40) {
+		case 0:
+			// Far placement: forces window growth well past the area
+			// budget, exercising the overflow spill and its release.
+			p.Q *= 1 << 20
+			p.R *= 1 << 20
+		case 1:
+			// Medium jump: forces a plain window regrow and reindex.
+			p.Q *= 37
+			p.R *= 37
+		}
+		seq[i] = diffOp{
+			Kind: byte(r.Intn(4)),
+			P:    p,
+			D:    lattice.Direction(r.Intn(lattice.NumDirections)),
+			Col:  Color(r.Intn(4)),
+		}
+	}
+	return reflect.ValueOf(seq)
+}
+
+// applyBoth applies op to both stores and checks the error verdicts agree.
+func applyBoth(c *Config, ref *refConfig, op diffOp) error {
+	var errC, errR error
+	switch op.Kind {
+	case 0:
+		errC = c.Place(op.P, op.Col)
+		errR = ref.Place(op.P, op.Col)
+	case 1:
+		errC = c.Remove(op.P)
+		errR = ref.Remove(op.P)
+	case 2:
+		errC = c.ApplyMove(op.P, op.P.Neighbor(op.D))
+		errR = ref.ApplyMove(op.P, op.P.Neighbor(op.D))
+	case 3:
+		errC = c.ApplySwap(op.P, op.P.Neighbor(op.D))
+		errR = ref.ApplySwap(op.P, op.P.Neighbor(op.D))
+	}
+	if (errC == nil) != (errR == nil) {
+		return fmt.Errorf("op %+v: dense err %v, reference err %v", op, errC, errR)
+	}
+	return nil
+}
+
+// compareStores checks every observable the two stores share.
+func compareStores(c *Config, ref *refConfig) error {
+	if c.N() != ref.N() {
+		return fmt.Errorf("n: dense %d, reference %d", c.N(), ref.N())
+	}
+	if c.Edges() != ref.Edges() || c.HomEdges() != ref.HomEdges() || c.HetEdges() != ref.HetEdges() {
+		return fmt.Errorf("edges: dense e=%d a=%d h=%d, reference e=%d a=%d h=%d",
+			c.Edges(), c.HomEdges(), c.HetEdges(), ref.Edges(), ref.HomEdges(), ref.HetEdges())
+	}
+	if c.Perimeter() != ref.Perimeter() {
+		return fmt.Errorf("perimeter: dense %d, reference %d", c.Perimeter(), ref.Perimeter())
+	}
+	for col := Color(0); col < MaxColors; col++ {
+		if c.ColorCount(col) != ref.colorCount[col] {
+			return fmt.Errorf("color %d count: dense %d, reference %d",
+				col, c.ColorCount(col), ref.colorCount[col])
+		}
+	}
+	cp, rp := c.Points(), ref.Points()
+	if len(cp) != len(rp) {
+		return fmt.Errorf("points: dense %d, reference %d", len(cp), len(rp))
+	}
+	for i := range cp {
+		if cp[i] != rp[i] {
+			return fmt.Errorf("points[%d]: dense %v, reference %v", i, cp[i], rp[i])
+		}
+		cc, _ := c.At(cp[i])
+		rc, ok := ref.At(cp[i])
+		if !ok || cc != rc {
+			return fmt.Errorf("color at %v: dense %d, reference %d (ok=%v)", cp[i], cc, rc, ok)
+		}
+	}
+	cw, rw := c.BoundaryWalk(), ref.BoundaryWalk()
+	if len(cw) != len(rw) {
+		return fmt.Errorf("boundary walk length: dense %d, reference %d", len(cw), len(rw))
+	}
+	for i := range cw {
+		if cw[i] != rw[i] {
+			return fmt.Errorf("boundary walk[%d]: dense %v, reference %v", i, cw[i], rw[i])
+		}
+	}
+	return nil
+}
+
+// TestDiffRandomOps: arbitrary operation sequences leave the dense store and
+// the map-backed reference observationally identical, and the dense store's
+// internal bookkeeping audits clean after every operation.
+func TestDiffRandomOps(t *testing.T) {
+	check := func(seq diffSeq) bool {
+		c, ref := New(), newRef()
+		for i, op := range seq {
+			if err := applyBoth(c, ref, op); err != nil {
+				t.Logf("step %d: %v", i, err)
+				return false
+			}
+			if err := c.CheckCounts(); err != nil {
+				t.Logf("step %d (%+v): %v", i, op, err)
+				return false
+			}
+		}
+		if err := compareStores(c, ref); err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Rand:     rand.New(rand.NewSource(1)),
+	}
+	if testing.Short() {
+		cfg.MaxCount = 15
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiffMoveValidAgreement: the locally checkable movement predicate gives
+// the same verdict over both stores, for every occupied node and direction of
+// a randomized connected configuration.
+func TestDiffMoveValidAgreement(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c, ref := New(), newRef()
+		// Random connected blob: repeatedly attach a particle to the
+		// neighborhood of an existing one.
+		pts := []lattice.Point{{}}
+		mustBoth(t, c, ref, lattice.Point{}, Color(r.Intn(3)))
+		for len(pts) < 40 {
+			base := pts[r.Intn(len(pts))]
+			p := base.Neighbor(lattice.Direction(r.Intn(lattice.NumDirections)))
+			if c.Occupied(p) {
+				continue
+			}
+			mustBoth(t, c, ref, p, Color(r.Intn(3)))
+			pts = append(pts, p)
+		}
+		for _, l := range pts {
+			for d := lattice.Direction(0); d < lattice.NumDirections; d++ {
+				lp := l.Neighbor(d)
+				if c.MoveValid(l, lp) != ref.MoveValid(l, lp) {
+					t.Logf("MoveValid(%v, %v): dense %v, reference %v",
+						l, lp, c.MoveValid(l, lp), ref.MoveValid(l, lp))
+					return false
+				}
+			}
+		}
+		return compareStores(c, ref) == nil
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustBoth(t *testing.T, c *Config, ref *refConfig, p lattice.Point, col Color) {
+	t.Helper()
+	if err := c.Place(p, col); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Place(p, col); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConnectedStaysDense: connected configurations — the chain's entire
+// state space — must never spill to the overflow map, even when their
+// bounding box sprawls far beyond their particle count (an L shape has
+// bounding-box area ~(n/2)² with only n occupied cells). The chain's dense
+// position index relies on this guarantee.
+func TestConnectedStaysDense(t *testing.T) {
+	c := New()
+	arm := 100
+	for i := 0; i <= arm; i++ {
+		if err := c.Place(lattice.Point{Q: i}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for j := 1; j <= arm; j++ {
+		if err := c.Place(lattice.Point{R: j}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.Connected() {
+		t.Fatal("L shape must be connected")
+	}
+	if !c.DenseOnly() {
+		t.Fatal("connected configuration spilled to the overflow map")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiffChainDynamics walks a connected configuration through a long
+// random sequence of valid moves and swaps — the chain's actual dynamics —
+// comparing boundary walks and full state at a fixed cadence.
+func TestDiffChainDynamics(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	c, ref := New(), newRef()
+	for i := 0; i < 60; i++ {
+		mustBoth(t, c, ref, lattice.Point{Q: i}, Color(i%2))
+	}
+	steps := 4000
+	if testing.Short() {
+		steps = 500
+	}
+	for i := 0; i < steps; i++ {
+		pts := c.Points()
+		l := pts[r.Intn(len(pts))]
+		d := lattice.Direction(r.Intn(lattice.NumDirections))
+		lp := l.Neighbor(d)
+		if c.Occupied(lp) {
+			if err := applyBoth(c, ref, diffOp{Kind: 3, P: l, D: d}); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		} else if c.MoveValid(l, lp) {
+			if !ref.MoveValid(l, lp) {
+				t.Fatalf("step %d: MoveValid(%v, %v) disagrees", i, l, lp)
+			}
+			if err := applyBoth(c, ref, diffOp{Kind: 2, P: l, D: d}); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+		if i%200 == 0 {
+			if err := compareStores(c, ref); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	}
+	if err := compareStores(c, ref); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -12,6 +12,58 @@ import (
 // re-encoding round-trips to an equal configuration with byte-identical
 // canonical bytes. Inputs that must be rejected (duplicate positions,
 // out-of-range colors, malformed JSON) must leave the receiver unchanged.
+// FuzzGridWindow fuzzes the dense store's window machinery: an arbitrary
+// byte string decodes to a stream of place/remove/move/swap operations whose
+// coordinates span several scales, so sequences repeatedly grow the window,
+// trigger reindexing copies and compaction, and cross the overflow-budget
+// boundary in both directions. Every operation is mirrored on the map-backed
+// reference store; verdicts and observables must agree, and the dense store's
+// raw-storage audit (CheckCounts) must stay clean throughout. Connected
+// hole-free end states must additionally pass the full invariant audit.
+func FuzzGridWindow(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	// Grow east, then far east (scale bits), then remove back.
+	f.Add([]byte{0, 0, 0, 0, 0, 1, 0, 0, 0x40, 3, 0, 0, 0xc0, 5, 5, 1, 1, 0, 0, 0})
+	// Place a line, move its head, swap the tail.
+	f.Add([]byte{0, 0, 0, 0, 0, 1, 0, 1, 0, 2, 0, 0, 2, 2, 0, 0, 3, 0, 0, 1})
+	// Pathological spread at three scales.
+	f.Add([]byte{0x40, 100, 100, 0, 0x80, 100, 100, 1, 0xc0, 100, 100, 2, 1, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, ref := New(), newRef()
+		for len(data) >= 4 {
+			b0, b1, b2, b3 := data[0], data[1], data[2], data[3]
+			data = data[4:]
+			// Bits 6–7 of b0 pick the coordinate scale: small patches keep
+			// operations colliding, large scales force regrows and spills.
+			scale := [4]int{1, 19, 1 << 11, 1 << 24}[b0>>6&3]
+			p := lattice.Point{Q: int(int8(b1)) * scale, R: int(int8(b2)) * scale}
+			op := diffOp{
+				Kind: b0 & 3,
+				P:    p,
+				D:    lattice.Direction(b3 % lattice.NumDirections),
+				// Occasionally out of range, to cover the rejection path.
+				Col: Color(b3 & 31),
+			}
+			if err := applyBoth(c, ref, op); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.CheckCounts(); err != nil {
+				t.Fatalf("after %+v: %v", op, err)
+			}
+		}
+		if err := compareStores(c, ref); err != nil {
+			t.Fatal(err)
+		}
+		if c.Connected() && c.HoleFree() {
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}
+
 func FuzzConfigJSON(f *testing.F) {
 	f.Add([]byte(`{"particles":[]}`))
 	f.Add([]byte(`{"particles":[{"q":0,"r":0,"color":0}]}`))
@@ -38,7 +90,7 @@ func FuzzConfigJSON(f *testing.F) {
 		if err := c.UnmarshalJSON(data); err != nil {
 			// Rejected input: the documented contract is that the receiver
 			// is left unchanged on error.
-			if c.N() != 0 || len(c.occ) != 0 {
+			if c.N() != 0 || len(c.Points()) != 0 {
 				t.Fatalf("failed decode mutated receiver: n=%d", c.N())
 			}
 			if err := pristine.UnmarshalJSON(data); err == nil {

@@ -1,11 +1,16 @@
 package psys
 
-import "fmt"
+import (
+	"fmt"
+
+	"sops/internal/lattice"
+)
 
 // Names of the auditable invariant properties, as reported in
 // InvariantError.Property.
 const (
-	InvOccupancy = "occupancy"     // particle/color counts agree with the occupancy map
+	InvStorage   = "storage"       // dense window / overflow layout invariants
+	InvOccupancy = "occupancy"     // particle/color counts agree with the stored occupancy
 	InvEdges     = "edges"         // cached e(σ) and a(σ) agree with a recount
 	InvConnected = "connectivity"  // the configuration is connected
 	InvHoleFree  = "hole-freeness" // the configuration has no holes
@@ -24,33 +29,68 @@ func (e *InvariantError) Error() string {
 	return fmt.Sprintf("psys: invariant %q violated: %s", e.Property, e.Detail)
 }
 
-// CheckCounts audits the configuration's internal bookkeeping: the particle
-// count, per-color counts and cached edge statistics must agree with a full
-// recount of the occupancy map. It applies to any configuration, connected
-// or not, and returns a structured *InvariantError naming the first
-// violated property.
+// CheckCounts audits the configuration's internal bookkeeping: the storage
+// layout invariants (every dense particle interior to the window, every
+// overflow particle outside the interior, no node stored twice), the
+// particle count, per-color counts, and cached edge statistics — all against
+// a full recount of the raw storage, deliberately not trusting any cached
+// field. It applies to any configuration, connected or not, and returns a
+// structured *InvariantError naming the first violated property.
 func (c *Config) CheckCounts() error {
-	if len(c.occ) != c.n {
-		return &InvariantError{InvOccupancy,
-			fmt.Sprintf("n=%d but occupancy map holds %d nodes", c.n, len(c.occ))}
-	}
 	var colors [MaxColors]int
-	edges, hom := 0, 0
-	for k, col := range c.occ {
+	stored, edges, hom := 0, 0, 0
+	audit := func(p lattice.Point, col Color) *InvariantError {
 		if col >= MaxColors {
 			return &InvariantError{InvOccupancy,
-				fmt.Sprintf("node %v has out-of-range color %d", unkey(k), col)}
+				fmt.Sprintf("node %v has out-of-range color %d", p, col)}
 		}
+		stored++
 		colors[col]++
-		p := unkey(k)
 		for _, nb := range p.Neighbors() {
-			if nc, ok := c.occ[key(nb)]; ok {
+			if nc, ok := c.colorAt(nb); ok {
 				edges++ // each edge visited from both endpoints
 				if nc == col {
 					hom++
 				}
 			}
 		}
+		return nil
+	}
+	// Raw scan of the dense window.
+	for i, v := range c.cells {
+		if v == 0 {
+			continue
+		}
+		p := c.win.PointAt(i)
+		if !c.win.Interior(p) {
+			return &InvariantError{InvStorage,
+				fmt.Sprintf("dense particle at %v on the window border ring", p)}
+		}
+		if err := audit(p, Color(v-1)); err != nil {
+			return err
+		}
+	}
+	// Raw scan of the overflow map.
+	if c.overflow != nil && len(c.overflow) == 0 {
+		return &InvariantError{InvStorage, "empty overflow map not released"}
+	}
+	for k, col := range c.overflow {
+		p := unkey(k)
+		if c.win.Interior(p) {
+			return &InvariantError{InvStorage,
+				fmt.Sprintf("overflow particle at %v inside the window interior", p)}
+		}
+		if c.win.Contains(p) && c.cells[c.win.Index(p)] != 0 {
+			return &InvariantError{InvStorage,
+				fmt.Sprintf("node %v stored both densely and in overflow", p)}
+		}
+		if err := audit(p, col); err != nil {
+			return err
+		}
+	}
+	if stored != c.n {
+		return &InvariantError{InvOccupancy,
+			fmt.Sprintf("n=%d but storage holds %d nodes", c.n, stored)}
 	}
 	if colors != c.colorCount {
 		return &InvariantError{InvOccupancy,
@@ -69,10 +109,10 @@ func (c *Config) CheckCounts() error {
 
 // CheckInvariants audits the full set of properties Markov chain M and the
 // distributed runtime preserve (Lemma 6 and the movement Properties 4/5):
-// internal count consistency, connectivity, hole-freeness, and the
-// edge/perimeter identity e = 3n − p − 3 with p computed independently by
-// the boundary walk. It returns nil for a valid quiescent configuration and
-// a structured *InvariantError naming the first violated property
+// internal count and storage consistency, connectivity, hole-freeness, and
+// the edge/perimeter identity e = 3n − p − 3 with p computed independently
+// by the boundary walk. It returns nil for a valid quiescent configuration
+// and a structured *InvariantError naming the first violated property
 // otherwise. Cost is O(n + area of the bounding box); intended for audit
 // cadences, not per-step use.
 func (c *Config) CheckInvariants() error {

@@ -16,6 +16,19 @@
 // and exposes the perimeter p(σ) through the identity e = 3n − p − 3, valid
 // for connected hole-free configurations, as well as through an independent
 // boundary-walk computation.
+//
+// # Storage
+//
+// Occupancy lives in a dense flat byte array indexed by a lattice.Window
+// over the configuration's bounding box (with slack for drift), so the
+// neighborhood queries on the Markov chain's hot path are plain array loads
+// instead of hash lookups. The window grows automatically as the
+// configuration expands, keeping a vacant border ring so that every stored
+// particle sits in the window's interior. Configurations whose bounding box
+// would be disproportionately large relative to their particle count
+// (possible only for disconnected point sets, e.g. two particles 2³¹ cells
+// apart) spill the remote particles into a small overflow map; connected
+// configurations — the chain's entire state space — are always fully dense.
 package psys
 
 import (
@@ -43,7 +56,17 @@ type Particle struct {
 // Config is a heterogeneous particle-system configuration. It is not safe
 // for concurrent mutation; the amoebot runtime provides synchronization.
 type Config struct {
-	occ        map[uint64]Color
+	// win and cells are the dense store: cells[win.Index(p)] is 0 for a
+	// vacant vertex and col+1 for a particle of color col. Invariants: every
+	// dense particle lies in win.Interior (the border ring is vacant), and
+	// the window never shrinks during a Config's lifetime.
+	win   lattice.Window
+	cells []uint8
+	// overflow holds particles whose window growth was refused by the area
+	// budget; nil until first needed. Overflow particles are never in
+	// win.Interior.
+	overflow map[uint64]Color
+
 	n          int
 	edges      int
 	hom        int
@@ -65,16 +88,20 @@ func key(p lattice.Point) uint64 {
 	return uint64(uint32(p.Q))<<32 | uint64(uint32(p.R))
 }
 
+func unkey(k uint64) lattice.Point {
+	return lattice.Point{Q: int(int32(k >> 32)), R: int(int32(k))}
+}
+
 // New returns an empty configuration.
 func New() *Config {
-	return &Config{occ: make(map[uint64]Color)}
+	return &Config{}
 }
 
 // NewFrom builds a configuration from particles. It fails if any two
 // particles share a location or a color is out of range. It does not require
 // connectivity; call Connected to check.
 func NewFrom(particles []Particle) (*Config, error) {
-	c := &Config{occ: make(map[uint64]Color, len(particles))}
+	c := New()
 	for _, pt := range particles {
 		if err := c.Place(pt.Pos, pt.Color); err != nil {
 			return nil, fmt.Errorf("particle at %v: %w", pt.Pos, err)
@@ -83,24 +110,186 @@ func NewFrom(particles []Particle) (*Config, error) {
 	return c, nil
 }
 
+// colorAt is the single read path over both stores.
+func (c *Config) colorAt(p lattice.Point) (Color, bool) {
+	if c.win.Contains(p) {
+		if v := c.cells[c.win.Index(p)]; v != 0 {
+			return Color(v - 1), true
+		}
+	}
+	if c.overflow != nil {
+		col, ok := c.overflow[key(p)]
+		return col, ok
+	}
+	return 0, false
+}
+
+// growMargin is the vacant slack added around the bounding box on every
+// window growth: large enough that a configuration must drift a while to
+// trigger the next O(area) reindex, small relative to the area budget.
+func growMargin(n int) int {
+	m := 8
+	for s := 1; s*s <= n; s++ { // + isqrt(n)
+		m = 8 + s
+	}
+	return m
+}
+
+// windowBudget caps the dense window's area (in cells, one byte each).
+// A connected configuration of n particles has per-axis span at most n
+// (its graph diameter bounds every coordinate difference), so the budget
+// (n + 2·margin)² admits every connected configuration — the chain's entire
+// state space stays dense unconditionally. Only adversarial sparse point
+// sets (far-apart disconnected particles) exceed it and spill to the
+// overflow map.
+func (c *Config) windowBudget() int {
+	s := c.n + 2*growMargin(c.n)
+	b := s * s
+	if b < 1024 {
+		b = 1024
+	}
+	return b
+}
+
+// spanWithin reports whether hi − lo + 1 + 2·margin ≤ limit without
+// overflowing on pathological coordinate spreads.
+func spanWithin(lo, hi, margin, limit int) bool {
+	if hi >= 0 && lo < 0 {
+		span := uint64(hi) + uint64(-(lo + 1)) + 1
+		return span <= uint64(limit) && int(span)+2*margin <= limit
+	}
+	return hi-lo < limit && hi-lo+1+2*margin <= limit
+}
+
+// coverWithin returns the margin-inflated window over the box [lo, hi] if
+// its area fits the budget.
+func coverWithin(lo, hi lattice.Point, margin, budget int) (lattice.Window, bool) {
+	if !spanWithin(lo.Q, hi.Q, margin, budget) || !spanWithin(lo.R, hi.R, margin, budget) {
+		return lattice.Window{}, false
+	}
+	w := lattice.WindowCovering(lo, hi, margin)
+	if w.Area() > budget {
+		return lattice.Window{}, false
+	}
+	return w, true
+}
+
+// grow re-homes the dense store onto a window covering both the current
+// window and p, with fresh margin, and migrates any overflow particles that
+// the new interior now covers. When extending the existing (never-shrunk)
+// window would exceed the area budget, it retries against the tight bounding
+// box of the actual occupation — so a compact configuration that has merely
+// drifted for a long time is compacted rather than spilled. It reports false
+// (leaving the store untouched) only when even the tight cover is over
+// budget.
+func (c *Config) grow(p lattice.Point) bool {
+	lo, hi := p, p
+	if !c.win.Empty() {
+		mn, mx := c.win.Min, c.win.Max()
+		if mn.Q < lo.Q {
+			lo.Q = mn.Q
+		}
+		if mn.R < lo.R {
+			lo.R = mn.R
+		}
+		if mx.Q > hi.Q {
+			hi.Q = mx.Q
+		}
+		if mx.R > hi.R {
+			hi.R = mx.R
+		}
+	}
+	margin := growMargin(c.n)
+	budget := c.windowBudget()
+	nw, ok := coverWithin(lo, hi, margin, budget)
+	if !ok {
+		// Retry against the tight occupied bounding box plus p.
+		lo, hi = p, p
+		c.ForEach(func(q lattice.Point, _ Color) {
+			if q.Q < lo.Q {
+				lo.Q = q.Q
+			}
+			if q.R < lo.R {
+				lo.R = q.R
+			}
+			if q.Q > hi.Q {
+				hi.Q = q.Q
+			}
+			if q.R > hi.R {
+				hi.R = q.R
+			}
+		})
+		if nw, ok = coverWithin(lo, hi, margin, budget); !ok {
+			return false
+		}
+	}
+	cells := make([]uint8, nw.Area())
+	if !c.win.Empty() {
+		// Copy the old window into the new layout, row by row, keeping only
+		// rows and columns the new window still covers (a tight-cover retry
+		// may drop vacant fringe).
+		for r := 0; r < c.win.H; r++ {
+			rowR := c.win.Min.R + r
+			if rowR < nw.Min.R || rowR > nw.Max().R {
+				continue
+			}
+			srcLo, dstLo := c.win.Min.Q, nw.Min.Q
+			if srcLo < dstLo {
+				srcLo = dstLo
+			}
+			srcHi, dstHi := c.win.Max().Q, nw.Max().Q
+			if srcHi > dstHi {
+				srcHi = dstHi
+			}
+			if srcHi < srcLo {
+				continue
+			}
+			src := c.cells[c.win.Index(lattice.Point{Q: srcLo, R: rowR}):]
+			src = src[:srcHi-srcLo+1]
+			dst := cells[nw.Index(lattice.Point{Q: srcLo, R: rowR}):]
+			copy(dst, src)
+		}
+	}
+	c.win, c.cells = nw, cells
+	// Migrate overflow particles that the grown interior now covers.
+	if c.overflow != nil {
+		for k, col := range c.overflow {
+			if q := unkey(k); c.win.Interior(q) {
+				c.cells[c.win.Index(q)] = uint8(col) + 1
+				delete(c.overflow, k)
+			}
+		}
+		if len(c.overflow) == 0 {
+			c.overflow = nil
+		}
+	}
+	return true
+}
+
 // Place adds a particle of color col at p, updating edge statistics.
 func (c *Config) Place(p lattice.Point, col Color) error {
 	if col >= MaxColors {
 		return ErrColorRange
 	}
-	k := key(p)
-	if _, ok := c.occ[k]; ok {
+	if _, ok := c.colorAt(p); ok {
 		return ErrOccupied
 	}
 	for _, nb := range p.Neighbors() {
-		if nc, ok := c.occ[key(nb)]; ok {
+		if nc, ok := c.colorAt(nb); ok {
 			c.edges++
 			if nc == col {
 				c.hom++
 			}
 		}
 	}
-	c.occ[k] = col
+	if c.win.Interior(p) || c.grow(p) {
+		c.cells[c.win.Index(p)] = uint8(col) + 1
+	} else {
+		if c.overflow == nil {
+			c.overflow = make(map[uint64]Color)
+		}
+		c.overflow[key(p)] = col
+	}
 	c.n++
 	c.colorCount[col]++
 	return nil
@@ -108,14 +297,20 @@ func (c *Config) Place(p lattice.Point, col Color) error {
 
 // Remove deletes the particle at p, updating edge statistics.
 func (c *Config) Remove(p lattice.Point) error {
-	k := key(p)
-	col, ok := c.occ[k]
+	col, ok := c.colorAt(p)
 	if !ok {
 		return ErrVacant
 	}
-	delete(c.occ, k)
+	if c.win.Contains(p) && c.cells[c.win.Index(p)] != 0 {
+		c.cells[c.win.Index(p)] = 0
+	} else {
+		delete(c.overflow, key(p))
+		if len(c.overflow) == 0 {
+			c.overflow = nil
+		}
+	}
 	for _, nb := range p.Neighbors() {
-		if nc, ok := c.occ[key(nb)]; ok {
+		if nc, ok := c.colorAt(nb); ok {
 			c.edges--
 			if nc == col {
 				c.hom--
@@ -129,15 +324,25 @@ func (c *Config) Remove(p lattice.Point) error {
 
 // At returns the color of the particle at p, if any.
 func (c *Config) At(p lattice.Point) (Color, bool) {
-	col, ok := c.occ[key(p)]
-	return col, ok
+	return c.colorAt(p)
 }
 
 // Occupied reports whether p is occupied.
 func (c *Config) Occupied(p lattice.Point) bool {
-	_, ok := c.occ[key(p)]
+	_, ok := c.colorAt(p)
 	return ok
 }
+
+// Window returns the dense store's current index window: a loose,
+// never-shrinking cover of the configuration (plus drift slack). Consumers
+// like the metrics meter use it to size flood-fill scratch without
+// allocating per capture. The window is empty until the first placement.
+func (c *Config) Window() lattice.Window { return c.win }
+
+// DenseOnly reports whether every particle lives in the dense window store
+// (true for all connected configurations). When false, window-bounded scans
+// miss the overflow particles and callers must fall back to point lists.
+func (c *Config) DenseOnly() bool { return c.overflow == nil }
 
 // N returns the number of particles.
 func (c *Config) N() int { return c.n }
@@ -182,7 +387,7 @@ func (c *Config) Perimeter() int {
 func (c *Config) Degree(p lattice.Point) int {
 	d := 0
 	for _, nb := range p.Neighbors() {
-		if _, ok := c.occ[key(nb)]; ok {
+		if _, ok := c.colorAt(nb); ok {
 			d++
 		}
 	}
@@ -196,7 +401,7 @@ func (c *Config) DegreeExcluding(p, ex lattice.Point) int {
 		if nb == ex {
 			continue
 		}
-		if _, ok := c.occ[key(nb)]; ok {
+		if _, ok := c.colorAt(nb); ok {
 			d++
 		}
 	}
@@ -208,7 +413,7 @@ func (c *Config) DegreeExcluding(p, ex lattice.Point) int {
 func (c *Config) ColorDegree(p lattice.Point, col Color) int {
 	d := 0
 	for _, nb := range p.Neighbors() {
-		if nc, ok := c.occ[key(nb)]; ok && nc == col {
+		if nc, ok := c.colorAt(nb); ok && nc == col {
 			d++
 		}
 	}
@@ -222,11 +427,34 @@ func (c *Config) ColorDegreeExcluding(p, ex lattice.Point, col Color) int {
 		if nb == ex {
 			continue
 		}
-		if nc, ok := c.occ[key(nb)]; ok && nc == col {
+		if nc, ok := c.colorAt(nb); ok && nc == col {
 			d++
 		}
 	}
 	return d
+}
+
+// ForEach invokes f for every particle in canonical point order. It
+// allocates nothing when the configuration is fully dense (the common case),
+// making it the preferred bulk-read path for meters and serializers.
+func (c *Config) ForEach(f func(p lattice.Point, col Color)) {
+	if c.overflow == nil {
+		// Column traversal of the row-major window visits vertices in
+		// canonical lexicographic (Q, R) order.
+		found := 0
+		for q := 0; q < c.win.W && found < c.n; q++ {
+			for i := q; i < len(c.cells); i += c.win.W {
+				if v := c.cells[i]; v != 0 {
+					f(c.win.PointAt(i), Color(v-1))
+					found++
+				}
+			}
+		}
+		return
+	}
+	for _, pt := range c.Particles() {
+		f(pt.Pos, pt.Color)
+	}
 }
 
 // Particles returns all particles in canonical point order.
@@ -243,23 +471,112 @@ func (c *Config) Particles() []Particle {
 // Points returns all occupied points in canonical point order.
 func (c *Config) Points() []lattice.Point {
 	out := make([]lattice.Point, 0, c.n)
-	for k := range c.occ {
-		out = append(out, unkey(k))
+	found := 0
+	for q := 0; q < c.win.W && found < c.n-len(c.overflow); q++ {
+		for i := q; i < len(c.cells); i += c.win.W {
+			if c.cells[i] != 0 {
+				out = append(out, c.win.PointAt(i))
+				found++
+			}
+		}
 	}
-	lattice.SortPoints(out)
-	return out
+	if c.overflow == nil {
+		return out
+	}
+	// Merge the (already sorted) dense points with the sorted overflow.
+	extra := make([]lattice.Point, 0, len(c.overflow))
+	for k := range c.overflow {
+		extra = append(extra, unkey(k))
+	}
+	lattice.SortPoints(extra)
+	merged := make([]lattice.Point, 0, len(out)+len(extra))
+	i, j := 0, 0
+	for i < len(out) && j < len(extra) {
+		if lattice.Less(out[i], extra[j]) {
+			merged = append(merged, out[i])
+			i++
+		} else {
+			merged = append(merged, extra[j])
+			j++
+		}
+	}
+	merged = append(merged, out[i:]...)
+	merged = append(merged, extra[j:]...)
+	return merged
 }
 
-func unkey(k uint64) lattice.Point {
-	return lattice.Point{Q: int(int32(k >> 32)), R: int(int32(k))}
+// minPoint returns the canonical (lexicographically) first occupied point;
+// ok is false for an empty configuration.
+func (c *Config) minPoint() (lattice.Point, bool) {
+	if c.n == 0 {
+		return lattice.Point{}, false
+	}
+	var denseMin lattice.Point
+	haveDense := false
+	for q := 0; q < c.win.W && !haveDense; q++ {
+		for i := q; i < len(c.cells); i += c.win.W {
+			if c.cells[i] != 0 {
+				denseMin = c.win.PointAt(i)
+				haveDense = true
+				break
+			}
+		}
+	}
+	if c.overflow == nil {
+		return denseMin, haveDense
+	}
+	best, haveBest := denseMin, haveDense
+	for k := range c.overflow {
+		if p := unkey(k); !haveBest || lattice.Less(p, best) {
+			best, haveBest = p, true
+		}
+	}
+	return best, haveBest
+}
+
+// Hash returns a 64-bit FNV-1a digest of the configuration up to lattice
+// translation, folding in relative positions and colors in canonical point
+// order. Two configurations have equal hashes iff they are (with negligible
+// collision probability) the same configuration in the paper's sense, making
+// the hash a compact trajectory fingerprint for golden tests and resume
+// verification. The digest is defined purely over the public API (canonical
+// point order and colors), so it is independent of the storage layout.
+func (c *Config) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	base, ok := c.minPoint()
+	if !ok {
+		return h
+	}
+	c.ForEach(func(p lattice.Point, col Color) {
+		d := p.Sub(base)
+		mix(uint64(int64(d.Q)))
+		mix(uint64(int64(d.R)))
+		mix(uint64(col))
+	})
+	return h
 }
 
 // Clone returns a deep copy of the configuration.
 func (c *Config) Clone() *Config {
 	cp := *c
-	cp.occ = make(map[uint64]Color, len(c.occ))
-	for k, v := range c.occ {
-		cp.occ[k] = v
+	cp.cells = make([]uint8, len(c.cells))
+	copy(cp.cells, c.cells)
+	if c.overflow != nil {
+		cp.overflow = make(map[uint64]Color, len(c.overflow))
+		for k, v := range c.overflow {
+			cp.overflow[k] = v
+		}
 	}
 	return &cp
 }
@@ -270,12 +587,16 @@ func (c *Config) Equal(o *Config) bool {
 	if c.n != o.n {
 		return false
 	}
-	for k, v := range c.occ {
-		if ov, ok := o.occ[k]; !ok || ov != v {
-			return false
+	equal := true
+	c.ForEach(func(p lattice.Point, col Color) {
+		if !equal {
+			return
 		}
-	}
-	return true
+		if oc, ok := o.colorAt(p); !ok || oc != col {
+			equal = false
+		}
+	})
+	return equal
 }
 
 // CanonicalKey returns a string identifying the configuration up to lattice
@@ -283,22 +604,20 @@ func (c *Config) Equal(o *Config) bool {
 // configuration in the paper's sense (equivalence class of arrangements) iff
 // their canonical keys are equal.
 func (c *Config) CanonicalKey() string {
-	pts := c.Points()
-	if len(pts) == 0 {
+	if c.n == 0 {
 		return ""
 	}
-	base := pts[0]
-	b := make([]byte, 0, len(pts)*10)
-	for _, p := range pts {
+	base, _ := c.minPoint()
+	b := make([]byte, 0, c.n*10)
+	c.ForEach(func(p lattice.Point, col Color) {
 		q := p.Sub(base)
-		col, _ := c.At(p)
 		b = appendInt(b, q.Q)
 		b = append(b, ',')
 		b = appendInt(b, q.R)
 		b = append(b, ':')
 		b = append(b, byte('0'+col))
 		b = append(b, ';')
-	}
+	})
 	return string(b)
 }
 
@@ -319,13 +638,43 @@ func (c *Config) Connected() bool {
 	if c.n <= 1 {
 		return true
 	}
-	var start lattice.Point
-	for k := range c.occ {
-		start = unkey(k)
-		break
+	if c.overflow != nil {
+		return c.connectedSparse()
 	}
-	visited := make(map[uint64]bool, c.n)
-	visited[key(start)] = true
+	// Dense flood fill over the window with constant index offsets; every
+	// particle is interior, so the offsets never escape the cell array.
+	start := -1
+	for i, v := range c.cells {
+		if v != 0 {
+			start = i
+			break
+		}
+	}
+	offs := c.win.NeighborOffsets()
+	visited := make([]bool, len(c.cells))
+	stack := make([]int32, 1, c.n)
+	visited[start] = true
+	stack[0] = int32(start)
+	count := 1
+	for len(stack) > 0 {
+		cur := int(stack[len(stack)-1])
+		stack = stack[:len(stack)-1]
+		for _, off := range offs {
+			if nb := cur + off; c.cells[nb] != 0 && !visited[nb] {
+				visited[nb] = true
+				count++
+				stack = append(stack, int32(nb))
+			}
+		}
+	}
+	return count == c.n
+}
+
+// connectedSparse is the map-based fallback for configurations with
+// overflow particles (whose coordinates may be arbitrarily far apart).
+func (c *Config) connectedSparse() bool {
+	start, _ := c.minPoint()
+	visited := map[uint64]bool{key(start): true}
 	stack := []lattice.Point{start}
 	count := 1
 	for len(stack) > 0 {
@@ -333,7 +682,7 @@ func (c *Config) Connected() bool {
 		stack = stack[:len(stack)-1]
 		for _, nb := range p.Neighbors() {
 			nk := key(nb)
-			if _, ok := c.occ[nk]; ok && !visited[nk] {
+			if !visited[nk] && c.Occupied(nb) {
 				visited[nk] = true
 				count++
 				stack = append(stack, nb)
@@ -356,6 +705,12 @@ func (c *Config) HoleFree() bool {
 	lo.R--
 	hi.Q++
 	hi.R++
+	if !spanWithin(lo.Q, hi.Q, 0, 1<<22) || !spanWithin(lo.R, hi.R, 0, 1<<22) {
+		// The bounding box is too spread out for a complement flood fill
+		// (possible only for disconnected point sets, e.g. two particles
+		// 2³¹ cells apart). Check per connected component instead.
+		return c.holeFreeSparse()
+	}
 	width := hi.Q - lo.Q + 1
 	height := hi.R - lo.R + 1
 	idx := func(p lattice.Point) int { return (p.R-lo.R)*width + (p.Q - lo.Q) }
@@ -404,6 +759,51 @@ func (c *Config) HoleFree() bool {
 			if !c.Occupied(p) && !visited[idx(p)] {
 				return false
 			}
+		}
+	}
+	return true
+}
+
+// holeFreeSparse handles point sets too spread out for a bounding-box flood
+// fill: it partitions the particles into connected components and checks
+// each component in isolation (translated near the origin). On a
+// triangulated lattice the external boundary of a finite vacant region is a
+// connected cycle of particles, so the union has a hole iff some single
+// component does. A single connected component with a multi-million-cell
+// span cannot arise from fewer particles than cells, so the recursion
+// terminates after one level; the panic guards the impossible case.
+func (c *Config) holeFreeSparse() bool {
+	remaining := make(map[uint64]Color, c.n)
+	c.ForEach(func(p lattice.Point, col Color) { remaining[key(p)] = col })
+	for len(remaining) > 0 {
+		// Extract one connected component.
+		var start lattice.Point
+		for k := range remaining {
+			start = unkey(k)
+			break
+		}
+		comp := []lattice.Point{start}
+		delete(remaining, key(start))
+		for i := 0; i < len(comp); i++ {
+			for _, nb := range comp[i].Neighbors() {
+				if _, ok := remaining[key(nb)]; ok {
+					delete(remaining, key(nb))
+					comp = append(comp, nb)
+				}
+			}
+		}
+		if len(comp) == c.n {
+			panic("psys: connected component wider than its particle count")
+		}
+		sub := New()
+		base := comp[0]
+		for _, p := range comp {
+			if err := sub.Place(p.Sub(base), 0); err != nil {
+				panic("psys: component re-placement failed: " + err.Error())
+			}
+		}
+		if !sub.HoleFree() {
+			return false
 		}
 	}
 	return true

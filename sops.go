@@ -185,6 +185,7 @@ func initialConfig(opts Options) (*psys.Config, error) {
 type System struct {
 	chain *core.Chain
 	th    metrics.Thresholds
+	meter *metrics.Meter
 
 	// Auto-checkpointing, configured by SetAutoCheckpoint: during RunContext
 	// the chain state is written atomically to ckptPath every ckptEvery
@@ -225,7 +226,7 @@ func NewFromConfig(cfg *psys.Config, opts Options) (*System, error) {
 	if opts.Thresholds != nil {
 		th = *opts.Thresholds
 	}
-	return &System{chain: chain, th: th}, nil
+	return &System{chain: chain, th: th, meter: metrics.NewMeter(th)}, nil
 }
 
 // Step performs one iteration of the chain.
@@ -323,9 +324,11 @@ func (s *System) Config() *Config { return s.chain.Config() }
 // Snapshot returns an independent copy of the current configuration.
 func (s *System) Snapshot() *Config { return s.chain.Snapshot() }
 
-// Metrics summarizes the current configuration.
+// Metrics summarizes the current configuration. Captures go through a
+// per-System metrics.Meter, so the snapshot path reuses its flood-fill
+// scratch and allocates nothing at steady state.
 func (s *System) Metrics() Snapshot {
-	return metrics.Capture(s.chain.Config(), s.chain.Stats().Steps, s.th)
+	return s.meter.Capture(s.chain.Config(), s.chain.Stats().Steps)
 }
 
 // ASCII renders the current configuration as text.
@@ -421,5 +424,5 @@ func Restore(data []byte, th *Thresholds) (*System, error) {
 	if th != nil {
 		thresholds = *th
 	}
-	return &System{chain: chain, th: thresholds}, nil
+	return &System{chain: chain, th: thresholds, meter: metrics.NewMeter(thresholds)}, nil
 }

@@ -102,6 +102,29 @@ func TestResumeSweepRestoresInFlightCell(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Execution identity, not just metric equality: a System restored from
+	// the planted checkpoint and run to the cell's full step count must land
+	// on the same configuration — compared by translation-invariant hash —
+	// as an uninterrupted system with the same parameters.
+	blob, err := os.ReadFile(cellFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(blob, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored.Run(spec.Steps - restored.Steps())
+	full, err := New(Options{Counts: spec.Counts, Lambda: 3, Gamma: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full.Run(spec.Steps)
+	if restored.Config().Hash() != full.Config().Hash() {
+		t.Fatalf("resumed trajectory hash %016x differs from uninterrupted %016x",
+			restored.Config().Hash(), full.Config().Hash())
+	}
+
 	got, err := ResumeSweep(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
