@@ -7,8 +7,10 @@
 package sops_test
 
 import (
+	"context"
 	"math"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 
 	"sops"
@@ -40,9 +42,7 @@ func BenchmarkChainStep(b *testing.B) {
 	ch.Run(200_000) // burn in to the compressed steady state
 	b.ReportAllocs()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		ch.Step()
-	}
+	stepLoop(b, ch)
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/sec")
 }
 
@@ -61,10 +61,43 @@ func BenchmarkChainStepN1000(b *testing.B) {
 	ch.Run(200_000)
 	b.ReportAllocs()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		ch.Step()
-	}
+	stepLoop(b, ch)
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/sec")
+}
+
+// E21 — the swap-dominated regime of the kernel: a compact spiral blob at
+// γ near 1 stays color-mixed, so most proposals land on occupied targets
+// and exercise the swap branch (SwapExponent, swap threshold table,
+// ApplySwap) rather than the move branch that dominates the λ = γ = 4
+// benchmarks above.
+func BenchmarkChainStepSwapPath(b *testing.B) {
+	cfg, err := core.Initial(core.LayoutSpiral, core.Bichromatic(100), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := core.New(cfg, core.Params{Lambda: 4, Gamma: 1.05, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch.Run(200_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	stepLoop(b, ch)
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/sec")
+	b.StopTimer()
+	st := ch.Stats()
+	b.ReportMetric(float64(st.Swaps)/float64(st.Steps), "swapFrac")
+}
+
+// stepLoop runs the timed portion of the chain-step benchmarks under a
+// pprof label, so `go test -cpuprofile` output can be filtered to one
+// benchmark's samples (`go tool pprof -tagfocus benchmark=...`).
+func stepLoop(b *testing.B, ch *core.Chain) {
+	pprof.Do(context.Background(), pprof.Labels("benchmark", b.Name()), func(context.Context) {
+		for i := 0; i < b.N; i++ {
+			ch.Step()
+		}
+	})
 }
 
 // E21 — the metrics snapshot path: capturing a full Snapshot (perimeter,

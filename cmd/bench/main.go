@@ -1,20 +1,33 @@
 // Command bench converts `go test -bench` output into a machine-readable
 // JSON report and optionally compares it against a committed baseline.
 //
-// Usage:
+// It has two modes. By default it parses benchmark output from stdin:
 //
 //	go test -run '^$' -bench 'ChainStep|MetricsSnapshot' . | bench -out BENCH.json
 //	go test -run '^$' -bench ChainStep . | bench -baseline BENCH_PR3.json
 //
-// With -baseline, regressions beyond -threshold (relative) are listed on
-// stderr and the exit status is 1, so CI can surface them; gate blocking
-// behavior with the workflow's continue-on-error instead of a flag here.
+// With -bench it runs `go test` itself, tees the raw output through, and
+// parses the result — the one-command path for profiling and baselines:
+//
+//	bench -bench 'ChainStep$|ChainStepSwapPath$' -count 5 -out BENCH.json
+//	bench -bench ChainStep$ -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// Repeated runs (-count > 1) are folded per benchmark by
+// benchio.AggregateMin — min ns/op, max throughput — so reports and
+// baseline comparisons see the least-noise estimate; the same folding
+// applies to stdin input carrying -count output. With -baseline,
+// regressions beyond -threshold (relative) are listed on stderr and the
+// exit status is 1, so CI can surface them; gate blocking behavior with
+// the workflow's continue-on-error instead of a flag here.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
+	"strings"
 
 	"sops/internal/benchio"
 )
@@ -23,15 +36,56 @@ func main() {
 	out := flag.String("out", "", "write the parsed report as JSON to this file")
 	baseline := flag.String("baseline", "", "compare against this committed report")
 	threshold := flag.Float64("threshold", 0.30, "relative degradation tolerated before reporting")
+	bench := flag.String("bench", "", "run `go test -bench` with this regexp instead of reading stdin")
+	pkg := flag.String("pkg", ".", "package to benchmark in runner mode")
+	count := flag.Int("count", 1, "runner mode: -count passed to go test; runs are folded min-of-N")
+	benchtime := flag.String("benchtime", "", "runner mode: -benchtime passed to go test (e.g. 2s, 100000x)")
+	cpuprofile := flag.String("cpuprofile", "", "runner mode: write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "runner mode: write an allocation profile to this file")
 	flag.Parse()
 
-	rep, err := benchio.Parse(os.Stdin)
+	var src io.Reader = os.Stdin
+	var cmd *exec.Cmd
+	if *bench != "" {
+		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-count", fmt.Sprint(*count)}
+		if *benchtime != "" {
+			args = append(args, "-benchtime", *benchtime)
+		}
+		if *cpuprofile != "" {
+			args = append(args, "-cpuprofile", *cpuprofile)
+		}
+		if *memprofile != "" {
+			args = append(args, "-memprofile", *memprofile)
+		}
+		args = append(args, *pkg)
+		fmt.Printf("bench: go %s\n", strings.Join(args, " "))
+		cmd = exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		pipe, err := cmd.StdoutPipe()
+		if err != nil {
+			fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			fatal(err)
+		}
+		// Tee the raw benchmark lines through so the run stays readable,
+		// while Parse consumes the same stream.
+		src = io.TeeReader(pipe, os.Stdout)
+	}
+
+	rep, err := benchio.Parse(src)
 	if err != nil {
 		fatal(err)
 	}
-	if len(rep.Results) == 0 {
-		fatal(fmt.Errorf("bench: no benchmark lines on stdin"))
+	if cmd != nil {
+		if err := cmd.Wait(); err != nil {
+			fatal(fmt.Errorf("bench: go test: %w", err))
+		}
 	}
+	if len(rep.Results) == 0 {
+		fatal(fmt.Errorf("bench: no benchmark lines in input"))
+	}
+	rep.AggregateMin()
 	if *out != "" {
 		if err := rep.WriteFile(*out); err != nil {
 			fatal(err)

@@ -118,6 +118,71 @@ func parseLine(line string) (Result, bool) {
 	return res, seen
 }
 
+// AggregateMin folds repeated results for the same benchmark — as emitted
+// by `go test -count N` — into one result per name, preserving first-seen
+// order. Timing quantities take the minimum across runs (the least-noise
+// estimate on a shared machine: external interference only ever slows a
+// run down), throughput metrics (unit ending in "/sec") take the maximum,
+// allocs/op takes the maximum so an intermittently-allocating benchmark
+// cannot hide behind one clean run, and remaining custom metrics (which
+// are experiment observables, deterministic across runs) are kept from
+// the fastest run. A report without duplicates is returned unchanged.
+func (r *Report) AggregateMin() {
+	var order []string
+	folded := make(map[string]*Result)
+	bestNs := make(map[string]float64)
+	for _, res := range r.Results {
+		cur, ok := folded[res.Name]
+		if !ok {
+			cp := res
+			if res.Metrics != nil {
+				cp.Metrics = make(map[string]float64, len(res.Metrics))
+				for k, v := range res.Metrics {
+					cp.Metrics[k] = v
+				}
+			}
+			folded[res.Name] = &cp
+			bestNs[res.Name] = res.NsPerOp
+			order = append(order, res.Name)
+			continue
+		}
+		if res.NsPerOp < cur.NsPerOp {
+			cur.NsPerOp = res.NsPerOp
+		}
+		if res.BytesPerOp < cur.BytesPerOp {
+			cur.BytesPerOp = res.BytesPerOp
+		}
+		if res.AllocsPerOp > cur.AllocsPerOp {
+			cur.AllocsPerOp = res.AllocsPerOp
+		}
+		if res.Iterations > cur.Iterations {
+			cur.Iterations = res.Iterations
+		}
+		fastest := res.NsPerOp < bestNs[res.Name]
+		if fastest {
+			bestNs[res.Name] = res.NsPerOp
+		}
+		for unit, v := range res.Metrics {
+			if cur.Metrics == nil {
+				cur.Metrics = make(map[string]float64)
+			}
+			switch {
+			case strings.HasSuffix(unit, "/sec"):
+				if v > cur.Metrics[unit] {
+					cur.Metrics[unit] = v
+				}
+			case fastest:
+				cur.Metrics[unit] = v
+			}
+		}
+	}
+	out := make([]Result, 0, len(order))
+	for _, name := range order {
+		out = append(out, *folded[name])
+	}
+	r.Results = out
+}
+
 // Find returns the named result, if present.
 func (r *Report) Find(name string) (Result, bool) {
 	for _, res := range r.Results {

@@ -78,6 +78,71 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+func TestAggregateMin(t *testing.T) {
+	rep := &Report{Results: []Result{
+		{Name: "BenchmarkA", Iterations: 100, NsPerOp: 120, BytesPerOp: 16, AllocsPerOp: 0,
+			Metrics: map[string]float64{"steps/sec": 8e6, "alpha": 0.91}},
+		{Name: "BenchmarkB", Iterations: 5, NsPerOp: 9000},
+		{Name: "BenchmarkA", Iterations: 130, NsPerOp: 100, BytesPerOp: 24, AllocsPerOp: 1,
+			Metrics: map[string]float64{"steps/sec": 1e7, "alpha": 0.93}},
+		{Name: "BenchmarkA", Iterations: 90, NsPerOp: 150, BytesPerOp: 8, AllocsPerOp: 0,
+			Metrics: map[string]float64{"steps/sec": 6e6, "alpha": 0.88}},
+	}}
+	rep.AggregateMin()
+	if len(rep.Results) != 2 {
+		t.Fatalf("folded to %d results, want 2: %+v", len(rep.Results), rep.Results)
+	}
+	// First-seen order preserved.
+	if rep.Results[0].Name != "BenchmarkA" || rep.Results[1].Name != "BenchmarkB" {
+		t.Fatalf("order not preserved: %+v", rep.Results)
+	}
+	a := rep.Results[0]
+	if a.NsPerOp != 100 {
+		t.Errorf("ns/op = %v, want min 100", a.NsPerOp)
+	}
+	if a.BytesPerOp != 8 {
+		t.Errorf("B/op = %v, want min 8", a.BytesPerOp)
+	}
+	if a.AllocsPerOp != 1 {
+		t.Errorf("allocs/op = %v, want max 1 (intermittent alloc must not hide)", a.AllocsPerOp)
+	}
+	if a.Iterations != 130 {
+		t.Errorf("iterations = %d, want max 130", a.Iterations)
+	}
+	if a.Metrics["steps/sec"] != 1e7 {
+		t.Errorf("steps/sec = %v, want max 1e7", a.Metrics["steps/sec"])
+	}
+	// Non-throughput metric comes from the fastest (100 ns/op) run.
+	if a.Metrics["alpha"] != 0.93 {
+		t.Errorf("alpha = %v, want 0.93 from the fastest run", a.Metrics["alpha"])
+	}
+	// Singleton untouched.
+	if b := rep.Results[1]; b.NsPerOp != 9000 || b.Iterations != 5 {
+		t.Errorf("singleton changed: %+v", b)
+	}
+	// Idempotent.
+	before := len(rep.Results)
+	rep.AggregateMin()
+	if len(rep.Results) != before || rep.Results[0].NsPerOp != 100 {
+		t.Fatalf("second aggregation changed the report: %+v", rep.Results)
+	}
+}
+
+func TestAggregateMinDoesNotAliasMetrics(t *testing.T) {
+	shared := map[string]float64{"steps/sec": 5e6}
+	rep := &Report{Results: []Result{
+		{Name: "BenchmarkA", NsPerOp: 100, Metrics: shared},
+		{Name: "BenchmarkA", NsPerOp: 90, Metrics: map[string]float64{"steps/sec": 6e6}},
+	}}
+	rep.AggregateMin()
+	if shared["steps/sec"] != 5e6 {
+		t.Fatalf("aggregation mutated the input's metrics map: %v", shared)
+	}
+	if rep.Results[0].Metrics["steps/sec"] != 6e6 {
+		t.Fatalf("steps/sec = %v, want 6e6", rep.Results[0].Metrics["steps/sec"])
+	}
+}
+
 func TestCompare(t *testing.T) {
 	base := &Report{Results: []Result{
 		{Name: "BenchmarkA", NsPerOp: 100, Metrics: map[string]float64{"steps/sec": 1e6}},

@@ -99,7 +99,7 @@ const maxExp = 12
 type Chain struct {
 	cfg    *psys.Config
 	params Params
-	rand   *rng.Source
+	rand   *rng.Buffered
 	stats  Stats
 
 	// positions and posIndex implement O(1) uniform particle selection.
@@ -115,6 +115,13 @@ type Chain struct {
 
 	powLambda [2*maxExp + 1]float64 // λ^k for k in [-maxExp, maxExp]
 	powGamma  [2*maxExp + 1]float64 // γ^k
+
+	// moveThresh and swapThresh are the precomputed integer acceptance
+	// thresholds of the Metropolis filters (see thresholds.go):
+	// moveThresh[(dλ+maxExp)·(2·maxExp+1) + dγ+maxExp] encodes
+	// min(1, λ^dλ·γ^dγ), swapThresh[k+maxExp] encodes min(1, γ^k).
+	moveThresh [(2*maxExp + 1) * (2*maxExp + 1)]uint64
+	swapThresh [2*maxExp + 1]uint64
 }
 
 // ErrEmptyConfig is returned when constructing a chain with no particles.
@@ -139,14 +146,11 @@ func New(cfg *psys.Config, params Params) (*Chain, error) {
 	c := &Chain{
 		cfg:    cfg,
 		params: params,
-		rand:   rng.New(params.Seed),
+		rand:   rng.NewBuffered(params.Seed),
 	}
 	c.positions = cfg.Points()
 	c.reindex()
-	for k := -maxExp; k <= maxExp; k++ {
-		c.powLambda[k+maxExp] = math.Pow(params.Lambda, float64(k))
-		c.powGamma[k+maxExp] = math.Pow(params.Gamma, float64(k))
-	}
+	c.rebuildTables()
 	return c, nil
 }
 
@@ -186,22 +190,28 @@ func (c *Chain) Stats() Stats { return c.stats }
 func (c *Chain) N() int { return len(c.positions) }
 
 // Step performs one iteration of Markov chain M (Algorithm 1) and reports
-// its outcome.
+// its outcome. The proposal is evaluated through the table-driven kernel:
+// one GatherPair reads the joint (l, lp) neighborhood from the dense store
+// into packed masks, movement validity is a single table probe, and the
+// Metropolis exponents are popcount differences indexing precomputed
+// integer acceptance thresholds. The kernel consumes the identical random
+// draws and makes the identical decisions as the reference call chain
+// (Degree/Property4/Property5/Float64), which the committed golden
+// trajectories and the psys differential fuzz targets enforce.
 func (c *Chain) Step() Outcome {
 	c.stats.Steps++
 	l := c.positions[c.rand.Intn(len(c.positions))]
 	dir := lattice.Direction(c.rand.Intn(lattice.NumDirections))
-	lp := l.Neighbor(dir)
-	ci, _ := c.cfg.At(l)
+	g := c.cfg.GatherPair(l, dir)
 
-	if cj, occupied := c.cfg.At(lp); occupied {
-		if o := c.trySwap(l, lp, ci, cj); o != Rejected {
+	if _, occupied := g.LpColor(); occupied {
+		if o := c.trySwap(l, l.Neighbor(dir), &g); o != Rejected {
 			return o
 		}
 		c.stats.Rejected++
 		return Rejected
 	}
-	if o := c.tryMove(l, lp, ci); o != Rejected {
+	if o := c.tryMove(l, l.Neighbor(dir), &g); o != Rejected {
 		return o
 	}
 	c.stats.Rejected++
@@ -211,19 +221,12 @@ func (c *Chain) Step() Outcome {
 // tryMove implements steps 3–8 of Algorithm 1: P expands toward the
 // unoccupied node lp and contracts there if the movement conditions and the
 // Metropolis filter allow, otherwise contracts back to l.
-func (c *Chain) tryMove(l, lp lattice.Point, ci psys.Color) Outcome {
-	e := c.cfg.Degree(l)
-	if e == 5 {
-		return Rejected // condition (i)
+func (c *Chain) tryMove(l, lp lattice.Point, g *psys.PairGather) Outcome {
+	if !g.MoveOK() {
+		return Rejected // conditions (i) e ≠ 5 and (ii) Property 4 or 5
 	}
-	if !c.cfg.Property4(l, lp) && !c.cfg.Property5(l, lp) {
-		return Rejected // condition (ii)
-	}
-	ep := c.cfg.DegreeExcluding(lp, l)
-	ei := c.cfg.ColorDegree(l, ci)
-	epi := c.cfg.ColorDegreeExcluding(lp, l, ci)
-	prob := c.powLambda[ep-e+maxExp] * c.powGamma[epi-ei+maxExp]
-	if prob < 1 && c.rand.Float64() >= prob {
+	dLambda, dGamma := g.MoveExponents()
+	if !c.accept(c.moveThresh[(dLambda+maxExp)*(2*maxExp+1)+dGamma+maxExp]) {
 		return Rejected // condition (iii)
 	}
 	idx := c.posIndex[c.posWin.Index(l)]
@@ -246,16 +249,15 @@ func (c *Chain) tryMove(l, lp lattice.Point, ci psys.Color) Outcome {
 // Swaps between same-colored particles are accepted with probability γ^{−2}
 // but have no effect on the configuration; they are counted as Rejected so
 // that Swaps counts configuration-changing events.
-func (c *Chain) trySwap(l, lp lattice.Point, ci, cj psys.Color) Outcome {
+func (c *Chain) trySwap(l, lp lattice.Point, g *psys.PairGather) Outcome {
 	if c.params.DisableSwaps {
 		return Rejected
 	}
-	exp := c.cfg.ColorDegreeExcluding(lp, l, ci) - c.cfg.ColorDegree(l, ci) +
-		c.cfg.ColorDegreeExcluding(l, lp, cj) - c.cfg.ColorDegree(lp, cj)
-	prob := c.powGamma[exp+maxExp]
-	if prob < 1 && c.rand.Float64() >= prob {
+	if !c.accept(c.swapThresh[g.SwapExponent()+maxExp]) {
 		return Rejected
 	}
+	ci, _ := g.LColor()
+	cj, _ := g.LpColor()
 	if ci == cj {
 		return Rejected // accepted but a no-op on the configuration
 	}

@@ -3,7 +3,6 @@ package core
 import (
 	"encoding/json"
 	"fmt"
-	"math"
 
 	"sops/internal/lattice"
 	"sops/internal/psys"
@@ -110,9 +109,6 @@ func (c *Chain) SetParams(params Params) error {
 		return err
 	}
 	c.params = params
-	for k := -maxExp; k <= maxExp; k++ {
-		c.powLambda[k+maxExp] = math.Pow(params.Lambda, float64(k))
-		c.powGamma[k+maxExp] = math.Pow(params.Gamma, float64(k))
-	}
+	c.rebuildTables()
 	return nil
 }

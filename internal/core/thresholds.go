@@ -1,0 +1,68 @@
+package core
+
+import "math"
+
+// The Metropolis filters of Algorithm 1 accept with probability
+// min(1, λ^dλ·γ^dγ); the seed implementation tested
+//
+//	prob < 1 && rand.Float64() >= prob   → reject.
+//
+// Float64 is (Uint64()>>11)/2^53, so with v = Uint64()>>11 the rejection
+// condition is float64(v)/2^53 >= prob. Both sides are exact: v < 2^53 is
+// exactly representable, the division by a power of two is exact, and
+// prob·2^53 is the float64 prob with its exponent shifted (no rounding).
+// Hence for integer v,
+//
+//	float64(v)/2^53 >= prob  ⟺  v >= ceil(prob·2^53),
+//
+// and the whole filter becomes one integer compare against a threshold
+// precomputed per exponent. prob >= 1 ⟺ ceil(prob·2^53) >= 2^53, and the
+// seed code consumed no random draw in that case, so the threshold is
+// clamped to the sentinel probScale = 2^53 (unreachable by v) and the
+// chain skips the draw — the same RNG stream, the same decisions, bit for
+// bit. TestAcceptThresholdEquivalence pins this argument independently of
+// the golden trajectories.
+
+// probScale is 2^53, the resolution of rng.Float64 and the sentinel
+// threshold meaning "accept without consuming a draw".
+const probScale = 1 << 53
+
+// acceptThreshold converts an acceptance probability into the integer
+// threshold: reject iff Uint64()>>11 >= threshold, except the sentinel
+// probScale which accepts without drawing.
+func acceptThreshold(prob float64) uint64 {
+	if prob >= 1 {
+		return probScale
+	}
+	return uint64(math.Ceil(prob * probScale))
+}
+
+// rebuildTables recomputes the power tables and the per-exponent
+// acceptance thresholds from the chain's current parameters. The move
+// thresholds are derived from the identical float64 product
+// powLambda[a]·powGamma[b] the seed implementation formed per step, so
+// the table-driven filter makes the identical decision for every state.
+func (c *Chain) rebuildTables() {
+	for k := -maxExp; k <= maxExp; k++ {
+		c.powLambda[k+maxExp] = math.Pow(c.params.Lambda, float64(k))
+		c.powGamma[k+maxExp] = math.Pow(c.params.Gamma, float64(k))
+	}
+	for a := 0; a < 2*maxExp+1; a++ {
+		for b := 0; b < 2*maxExp+1; b++ {
+			c.moveThresh[a*(2*maxExp+1)+b] = acceptThreshold(c.powLambda[a] * c.powGamma[b])
+		}
+	}
+	for b := 0; b < 2*maxExp+1; b++ {
+		c.swapThresh[b] = acceptThreshold(c.powGamma[b])
+	}
+}
+
+// accept runs a Metropolis filter against a precomputed threshold,
+// consuming one raw draw exactly when the seed implementation did
+// (prob < 1 ⟺ thresh < probScale).
+func (c *Chain) accept(thresh uint64) bool {
+	if thresh == probScale {
+		return true
+	}
+	return c.rand.Uint64()>>11 < thresh
+}

@@ -64,6 +64,50 @@ func FuzzGridWindow(f *testing.F) {
 	})
 }
 
+// FuzzGatherKernel fuzzes the packed-neighborhood proposal kernel: an
+// arbitrary byte string decodes to particle placements at mixed coordinate
+// scales (small patches for dense collisions, large spreads for window
+// growth and overflow spills) plus a set of probe anchors, and every
+// (anchor, direction) gather must agree with the readable reference
+// implementations — Degree/DegreeExcluding, ColorDegree*, Property4 and
+// Property5 — on occupancy bits, packed colors, move validity and both
+// Metropolis exponents. This holds the table-driven kernel to the
+// specification on states far outside the chain's reachable set.
+func FuzzGatherKernel(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 0, 1, 2, 1, 1})
+	// A small blob plus a remote particle (overflow / fallback path).
+	f.Add([]byte{0, 0, 0, 0, 1, 1, 1, 0, 2, 0xc0, 9, 9, 1})
+	// Line of alternating colors: swap-heavy neighborhoods.
+	f.Add([]byte{0, 0, 0, 0, 1, 0, 1, 0, 2, 0, 0, 3, 0, 1, 4, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := New()
+		var anchors []lattice.Point
+		for len(data) >= 3 {
+			b0, b1, b2 := data[0], data[1], data[2]
+			data = data[3:]
+			scale := [4]int{1, 7, 1 << 12, 1 << 27}[b0>>6&3]
+			p := lattice.Point{Q: int(int8(b1)) % 12 * scale, R: int(int8(b2)) % 12 * scale}
+			_ = c.Place(p, Color(b0&7)) // occupied nodes rejected, fine
+			anchors = append(anchors, p)
+			if len(anchors) >= 24 {
+				break
+			}
+		}
+		if err := c.CheckCounts(); err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range anchors {
+			for d := lattice.Direction(0); d < lattice.NumDirections; d++ {
+				checkGatherAgainstReference(t, c, l, d)
+				// Vacant-anchor gathers (lp occupied or not) via a neighbor.
+				checkGatherAgainstReference(t, c, l.Neighbor(d), d)
+			}
+		}
+	})
+}
+
 func FuzzConfigJSON(f *testing.F) {
 	f.Add([]byte(`{"particles":[]}`))
 	f.Add([]byte(`{"particles":[{"q":0,"r":0,"color":0}]}`))

@@ -1,0 +1,253 @@
+package psys
+
+import (
+	"math/bits"
+
+	"sops/internal/lattice"
+)
+
+// This file implements the table-driven proposal kernel for the Markov
+// chain's hot path. A chain step concerns exactly two cells — a particle
+// location l and an adjacent target lp — and every quantity Algorithm 1
+// needs (degrees, color degrees, Property 4/5 validity) is a function of
+// the 8 distinct lattice cells ringing the (l, lp) edge:
+//
+//	N(l) \ {lp} has 5 cells, N(lp) \ {l} has 5 cells, and on the
+//	triangular lattice they share the 2 common neighbors of l and lp,
+//	so |N(l) ∪ N(lp)| \ {l, lp}| = 8.
+//
+// GatherPair reads those 8 cells from the dense store once, packing the
+// raw cell bytes into one uint64 and occupancy into an 8-bit mask. The
+// movement conditions of Algorithm 1 (Degree(l) ≠ 5, Property 4 or 5)
+// collapse to a single probe of a 256-entry table built per direction at
+// init time from the readable reference implementations Property4On and
+// Property5On, and all degree quantities become popcounts of the packed
+// masks against per-direction adjacency masks. The reference methods
+// (Degree, ColorDegree*, Property4, Property5) remain the specification;
+// differential tests and FuzzGatherKernel hold the kernel to them.
+
+// pairRingSize is the number of distinct cells adjacent to either
+// endpoint of a lattice edge, excluding the endpoints themselves.
+const pairRingSize = 8
+
+// pairTable is the static, direction-specific geometry of the ring:
+// cell offsets relative to l, adjacency masks, and the movement-validity
+// table indexed by the ring occupancy mask.
+type pairTable struct {
+	// pts[k] is ring cell k as an offset from l. Cells 0..4 are
+	// N(l) \ {lp} in direction order; cells 5..7 are the remaining cells
+	// of N(lp) \ {l} in direction order.
+	pts [pairRingSize]lattice.Point
+	// adjL and adjLp mark the ring cells adjacent to l resp. lp. The two
+	// common neighbors of l and lp are in both masks.
+	adjL, adjLp uint8
+	// adjL64 and adjLp64 are the same masks expanded to the high bit of
+	// each byte lane (bit 8k+7 for ring cell k), matching the lane layout
+	// of PairGather.colorHi for direct 64-bit popcounts.
+	adjL64, adjLp64 uint64
+	// moveOK[m] reports, for ring occupancy mask m with lp vacant,
+	// conditions (i) and (ii) of Algorithm 1: Degree(l) ≠ 5 and the pair
+	// satisfies Property 4 or Property 5.
+	moveOK [1 << pairRingSize]bool
+}
+
+var pairTables [lattice.NumDirections]pairTable
+
+// maskOcc adapts a ring occupancy mask to the Occupancy interface so the
+// init-time table build can query the reference Property4On/Property5On.
+type maskOcc struct {
+	t    *pairTable
+	mask uint8
+}
+
+func (m maskOcc) Occupied(p lattice.Point) bool {
+	for k, q := range m.t.pts {
+		if q == p {
+			return m.mask>>k&1 == 1
+		}
+	}
+	return false
+}
+
+func init() {
+	l := lattice.Point{}
+	for d := lattice.Direction(0); d < lattice.NumDirections; d++ {
+		t := &pairTables[d]
+		lp := l.Neighbor(d)
+		n := 0
+		for _, nb := range l.Neighbors() {
+			if nb != lp {
+				t.pts[n] = nb
+				n++
+			}
+		}
+		for _, nb := range lp.Neighbors() {
+			if nb == l {
+				continue
+			}
+			dup := false
+			for k := 0; k < n; k++ {
+				if t.pts[k] == nb {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				t.pts[n] = nb
+				n++
+			}
+		}
+		if n != pairRingSize {
+			panic("psys: pair ring is not 8 cells")
+		}
+		for k, p := range t.pts {
+			if p.Adjacent(l) {
+				t.adjL |= 1 << k
+				t.adjL64 |= 0x80 << (8 * k)
+			}
+			if p.Adjacent(lp) {
+				t.adjLp |= 1 << k
+				t.adjLp64 |= 0x80 << (8 * k)
+			}
+		}
+		for m := 0; m < 1<<pairRingSize; m++ {
+			occ := maskOcc{t: t, mask: uint8(m)}
+			deg := bits.OnesCount8(uint8(m) & t.adjL)
+			t.moveOK[m] = deg != 5 && (Property4On(occ, l, lp) || Property5On(occ, l, lp))
+		}
+	}
+}
+
+// PairGather is the packed joint neighborhood of an (l, lp) edge pair:
+// the raw dense-store bytes of the 8 ring cells (byte lane k holds ring
+// cell k: 0 vacant, color+1 occupied), the ring occupancy mask, and the
+// raw bytes at l and lp themselves. It carries everything one proposal of
+// Algorithm 1 needs, read from the store in a single gather.
+type PairGather struct {
+	ring uint64
+	occ  uint8
+	cl   uint8
+	clp  uint8
+	dir  lattice.Direction
+}
+
+// rebuildPairOffsets recomputes the dense-store index deltas of the ring
+// cells (and of lp itself) for the current window width. Called whenever
+// the window is re-homed, so GatherPair itself never mutates the Config
+// and stays safe for concurrent readers.
+func (c *Config) rebuildPairOffsets() {
+	w := c.win.W
+	for d := range pairTables {
+		off := lattice.Direction(d).Offset()
+		c.pairNb[d] = int32(off.R*w + off.Q)
+		for k, p := range pairTables[d].pts {
+			c.pairOff[d][k] = int32(p.R*w + p.Q)
+		}
+	}
+}
+
+// GatherPair reads the joint neighborhood of l and lp = l.Neighbor(dir)
+// in one pass. For fully dense configurations with l at depth ≥ 2 in the
+// storage window — every step of a warmed-up chain — the 10 cells (ring,
+// l, lp) are 10 flat array loads at precomputed offsets; otherwise it
+// falls back to the general per-point read path, producing the identical
+// packed view.
+func (c *Config) GatherPair(l lattice.Point, dir lattice.Direction) PairGather {
+	g := PairGather{dir: dir}
+	if c.overflow == nil && c.win.Interior2(l) {
+		base := c.win.Index(l)
+		off := &c.pairOff[dir]
+		var ring uint64
+		var occ uint8
+		for k := 0; k < pairRingSize; k++ {
+			v := c.cells[base+int(off[k])]
+			ring |= uint64(v) << (8 * k)
+			if v != 0 {
+				occ |= 1 << k
+			}
+		}
+		g.ring, g.occ = ring, occ
+		g.cl = c.cells[base]
+		g.clp = c.cells[base+int(c.pairNb[dir])]
+		return g
+	}
+	t := &pairTables[dir]
+	var ring uint64
+	var occ uint8
+	for k, d := range t.pts {
+		if col, ok := c.colorAt(l.Add(d)); ok {
+			ring |= uint64(col+1) << (8 * k)
+			occ |= 1 << k
+		}
+	}
+	g.ring, g.occ = ring, occ
+	if col, ok := c.colorAt(l); ok {
+		g.cl = uint8(col) + 1
+	}
+	if col, ok := c.colorAt(l.Neighbor(dir)); ok {
+		g.clp = uint8(col) + 1
+	}
+	return g
+}
+
+// LColor returns the color of the particle at l, if any.
+func (g *PairGather) LColor() (Color, bool) {
+	return Color(g.cl - 1), g.cl != 0
+}
+
+// LpColor returns the color of the particle at lp, if any.
+func (g *PairGather) LpColor() (Color, bool) {
+	return Color(g.clp - 1), g.clp != 0
+}
+
+// MoveOK reports conditions (i) and (ii) of Algorithm 1 for moving the
+// particle at l to lp: Degree(l) ≠ 5 and Property 4 or Property 5 holds.
+// Meaningful only when lp is vacant.
+func (g *PairGather) MoveOK() bool {
+	return pairTables[g.dir].moveOK[g.occ]
+}
+
+// colorHi returns a mask with the high bit of byte lane k set iff ring
+// cell k holds a particle of color col: a SWAR zero-lane detection on the
+// XOR against the broadcast cell value. The (x | high) − ones form keeps
+// every lane ≥ 0x80 before the subtraction, so no borrow ever crosses a
+// lane boundary and the detection is exact per lane (the plain x − ones
+// variant miscounts a lane of value 1 sitting above a zero lane).
+func (g *PairGather) colorHi(col Color) uint64 {
+	const (
+		ones = 0x0101010101010101
+		high = 0x8080808080808080
+	)
+	x := g.ring ^ (uint64(col+1) * ones)
+	return high &^ (x | ((x | high) - ones))
+}
+
+// MoveExponents returns the Metropolis exponents of a move proposal,
+// dLambda = e′ − e and dGamma = e′_i − e_i, as popcount differences over
+// the packed ring. Meaningful only when l is occupied and lp vacant.
+// Both results are within ±5 by construction (each term counts at most
+// the 5 ring cells on one side).
+func (g *PairGather) MoveExponents() (dLambda, dGamma int) {
+	t := &pairTables[g.dir]
+	dLambda = bits.OnesCount8(g.occ&t.adjLp) - bits.OnesCount8(g.occ&t.adjL)
+	ci := g.colorHi(Color(g.cl - 1))
+	dGamma = bits.OnesCount64(ci&t.adjLp64) - bits.OnesCount64(ci&t.adjL64)
+	return dLambda, dGamma
+}
+
+// SwapExponent returns the Metropolis exponent of a swap proposal — the
+// change in same-color adjacencies when the particles at l and lp
+// exchange positions. Meaningful only when both l and lp are occupied.
+// The result is within ±10 (two ±5 popcount differences; exactly −2 for
+// same-colored pairs, whose only changed adjacencies are their own edge
+// counted once from each side).
+func (g *PairGather) SwapExponent() int {
+	if g.cl == g.clp {
+		return -2
+	}
+	t := &pairTables[g.dir]
+	ci := g.colorHi(Color(g.cl - 1))
+	cj := g.colorHi(Color(g.clp - 1))
+	return bits.OnesCount64(ci&t.adjLp64) - bits.OnesCount64(ci&t.adjL64) +
+		bits.OnesCount64(cj&t.adjL64) - bits.OnesCount64(cj&t.adjLp64)
+}

@@ -71,6 +71,14 @@ type Config struct {
 	edges      int
 	hom        int
 	colorCount [MaxColors]int
+
+	// pairOff and pairNb cache, per direction, the dense-store index
+	// deltas of the pair-neighborhood ring cells and of the neighbor cell
+	// itself, for GatherPair's single-gather fast path. They depend only
+	// on the window width and are rebuilt whenever the store is re-homed,
+	// so read paths never mutate the Config.
+	pairOff [lattice.NumDirections][pairRingSize]int32
+	pairNb  [lattice.NumDirections]int32
 }
 
 var (
@@ -251,6 +259,7 @@ func (c *Config) grow(p lattice.Point) bool {
 		}
 	}
 	c.win, c.cells = nw, cells
+	c.rebuildPairOffsets()
 	// Migrate overflow particles that the grown interior now covers.
 	if c.overflow != nil {
 		for k, col := range c.overflow {
