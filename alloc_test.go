@@ -3,6 +3,7 @@
 package sops_test
 
 import (
+	"context"
 	"testing"
 
 	"sops"
@@ -18,11 +19,41 @@ func TestSystemStepAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys.Run(200_000)
+	sys.RunSteps(200_000)
 	if avg := testing.AllocsPerRun(5000, func() {
 		sys.Step()
 	}); avg != 0 {
 		t.Fatalf("System.Step allocates %v times per step at steady state", avg)
+	}
+}
+
+// TestSystemStepProbeAllocs: attaching a telemetry probe must not put
+// allocations on the step hot path — publishing is an amortized batch of
+// plain atomic adds.
+func TestSystemStepProbeAllocs(t *testing.T) {
+	sys, err := sops.New(sops.Options{
+		Counts: []int{50, 50},
+		Lambda: 4, Gamma: 4,
+		Layout: sops.LayoutLine,
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := sops.NewProbe()
+	if _, err := sys.Run(context.Background(), sops.RunSpec{
+		Steps:     200_000,
+		Telemetry: &sops.Telemetry{Probe: probe},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(5000, func() {
+		sys.Step()
+	}); avg != 0 {
+		t.Fatalf("System.Step with probe allocates %v times per step", avg)
+	}
+	if probe.Counters().Steps == 0 {
+		t.Fatal("probe never published")
 	}
 }
 
@@ -36,7 +67,7 @@ func TestSystemMetricsAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys.Run(100_000)
+	sys.RunSteps(100_000)
 	if avg := testing.AllocsPerRun(200, func() {
 		snap := sys.Metrics()
 		if snap.N != 100 {

@@ -22,6 +22,7 @@ import (
 	"sops/internal/lattice"
 	"sops/internal/polymer"
 	"sops/internal/psys"
+	"sops/internal/telemetry"
 )
 
 // E21 — the raw chain-step kernel: single iterations of Markov chain M on
@@ -89,6 +90,28 @@ func BenchmarkChainStepSwapPath(b *testing.B) {
 	b.ReportMetric(float64(st.Swaps)/float64(st.Steps), "swapFrac")
 }
 
+// E21 — the telemetry overhead contract: BenchmarkChainStep with a live
+// probe attached. The probe batch check is a nil-test and a subtraction per
+// step, with four atomic adds amortized over each 1024-step batch, so
+// ns/op here must stay within 5% of BenchmarkChainStep (CI compares the
+// two against the committed baseline) and allocs/op must remain 0.
+func BenchmarkChainStepProbe(b *testing.B) {
+	cfg, err := core.Initial(core.LayoutLine, core.Bichromatic(100), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := core.New(cfg, core.Params{Lambda: 4, Gamma: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch.Run(200_000) // burn in to the compressed steady state
+	ch.SetProbe(telemetry.NewProbe())
+	b.ReportAllocs()
+	b.ResetTimer()
+	stepLoop(b, ch)
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/sec")
+}
+
 // stepLoop runs the timed portion of the chain-step benchmarks under a
 // pprof label, so `go test -cpuprofile` output can be filtered to one
 // benchmark's samples (`go tool pprof -tagfocus benchmark=...`).
@@ -108,7 +131,7 @@ func BenchmarkMetricsSnapshot(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sys.Run(200_000)
+	sys.RunSteps(200_000)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -15,7 +15,7 @@ func TestWriteCheckpointRestoreFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys.Run(40_000)
+	sys.RunSteps(40_000)
 	if err := sys.WriteCheckpoint(path); err != nil {
 		t.Fatal(err)
 	}
@@ -26,8 +26,8 @@ func TestWriteCheckpointRestoreFile(t *testing.T) {
 	if err := restored.CheckInvariants(); err != nil {
 		t.Fatalf("restored system violates invariants: %v", err)
 	}
-	sys.Run(40_000)
-	restored.Run(40_000)
+	sys.RunSteps(40_000)
+	restored.RunSteps(40_000)
 	if sys.Metrics() != restored.Metrics() {
 		t.Fatal("restored system diverged from the original")
 	}
@@ -54,9 +54,9 @@ func TestAutoCheckpoint(t *testing.T) {
 	if restored.Steps() != 25_000 {
 		t.Fatalf("checkpoint holds %d steps, want 25000", restored.Steps())
 	}
-	restored.Run(25_000)
+	restored.RunSteps(25_000)
 	sys.SetAutoCheckpoint("", 0)
-	sys.Run(25_000)
+	sys.RunSteps(25_000)
 	if sys.Metrics() != restored.Metrics() {
 		t.Fatal("resumed run diverged from the uninterrupted one")
 	}

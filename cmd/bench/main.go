@@ -19,6 +19,12 @@
 // regressions beyond -threshold (relative) are listed on stderr and the
 // exit status is 1, so CI can surface them; gate blocking behavior with
 // the workflow's continue-on-error instead of a flag here.
+//
+// -map renames results before the baseline comparison, so a variant
+// benchmark can be held against a different baseline entry — the telemetry
+// overhead gate compares the probe-attached kernel to the plain one:
+//
+//	bench -bench ChainStepProbe$ -map BenchmarkChainStepProbe=BenchmarkChainStep -baseline BENCH_PR4.json -threshold 0.05
 package main
 
 import (
@@ -42,7 +48,12 @@ func main() {
 	benchtime := flag.String("benchtime", "", "runner mode: -benchtime passed to go test (e.g. 2s, 100000x)")
 	cpuprofile := flag.String("cpuprofile", "", "runner mode: write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "runner mode: write an allocation profile to this file")
+	mapping := flag.String("map", "", "rename results before comparing: comma-separated old=new pairs")
 	flag.Parse()
+	renames, err := parseRenames(*mapping)
+	if err != nil {
+		fatal(err)
+	}
 
 	var src io.Reader = os.Stdin
 	var cmd *exec.Cmd
@@ -86,6 +97,11 @@ func main() {
 		fatal(fmt.Errorf("bench: no benchmark lines in input"))
 	}
 	rep.AggregateMin()
+	for i, r := range rep.Results {
+		if to, ok := renames[r.Name]; ok {
+			rep.Results[i].Name = to
+		}
+	}
 	if *out != "" {
 		if err := rep.WriteFile(*out); err != nil {
 			fatal(err)
@@ -109,6 +125,23 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// parseRenames parses the -map value ("old=new,old2=new2") into a rename
+// table.
+func parseRenames(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		from, to, ok := strings.Cut(pair, "=")
+		if !ok || from == "" || to == "" {
+			return nil, fmt.Errorf("bench: bad -map entry %q (want old=new)", pair)
+		}
+		out[from] = to
+	}
+	return out, nil
 }
 
 func fatal(err error) {

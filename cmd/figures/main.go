@@ -111,7 +111,10 @@ func figure2(outDir string, scale, seed uint64) error {
 	if err := atomicio.WriteFile(filepath.Join(outDir, "figure2.txt"), []byte(b.String()), 0o644); err != nil {
 		return err
 	}
-	// Re-run to emit SVG snapshots (cheap at scaled checkpoints).
+	// Re-run to emit SVG snapshots (cheap at scaled checkpoints). The same
+	// pass records the checkpoint states into a machine-readable trace: each
+	// segment samples once at its end (SampleEvery 0), so the recorder holds
+	// exactly the figure's time series.
 	sys, err := sops.New(sops.Options{
 		Counts: []int{50, 50}, Layout: sops.LayoutLine,
 		Lambda: 4, Gamma: 4, Seed: seed,
@@ -119,9 +122,15 @@ func figure2(outDir string, scale, seed uint64) error {
 	if err != nil {
 		return err
 	}
+	rec := sops.NewRecorder(len(checkpoints), 0)
 	var done uint64
 	for i, cp := range checkpoints {
-		sys.Run(cp - done)
+		if _, err := sys.Run(context.Background(), sops.RunSpec{
+			Steps:     cp - done,
+			Telemetry: &sops.Telemetry{Recorder: rec},
+		}); err != nil {
+			return err
+		}
 		done = cp
 		f, err := atomicio.Create(filepath.Join(outDir, fmt.Sprintf("figure2_%d.svg", i)))
 		if err != nil {
@@ -135,7 +144,7 @@ func figure2(outDir string, scale, seed uint64) error {
 			return err
 		}
 	}
-	return nil
+	return rec.WriteFile(filepath.Join(outDir, "figure2_trace.csv"))
 }
 
 func figure3(ctx context.Context, outDir string, scale, seed uint64, workers int) error {

@@ -17,6 +17,11 @@
 // Transient per-cell failures can be retried with -retries. With -o the
 // diagram is also written atomically to a file.
 //
+// -listen starts a local debug server while the sweep runs: /debug/sops
+// reports live done/running/failed cell counts, retries and an ETA,
+// /debug/vars serves the same via expvar, and /debug/pprof/ profiles the
+// sweep in flight.
+//
 // The paper runs 5·10⁷ iterations per cell; the default here is smaller so
 // the sweep finishes in minutes. Pass -iters 50000000 for paper scale.
 package main
@@ -35,6 +40,7 @@ import (
 	"sops"
 	"sops/internal/atomicio"
 	"sops/internal/experiments"
+	"sops/internal/telemetry"
 )
 
 func main() {
@@ -59,6 +65,7 @@ func run() error {
 		ckptIter = flag.Uint64("checkpoint-steps", 0, "also checkpoint in-flight cells every this many steps (0 = off)")
 		resume   = flag.Bool("resume", false, "resume from the -checkpoint manifest instead of starting over")
 		retries  = flag.Int("retries", 0, "re-attempts granted to a failing cell")
+		listen   = flag.String("listen", "", "serve live sweep progress, expvar and pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if *resume && *ckpt == "" {
@@ -103,6 +110,23 @@ func run() error {
 		spec.Observe = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "phase: %d/%d cells (%.1fs)\n", done, total, time.Since(start).Seconds())
 		}
+	}
+	if *listen != "" {
+		spec.Tracker = new(sops.SweepTracker)
+		srv := telemetry.NewServer(telemetry.Sources{
+			Sweep: spec.Tracker,
+			Info: map[string]any{
+				"workload": "phase diagram sweep",
+				"n":        *n, "iters": *iters, "seed": *seed,
+				"grid": fmt.Sprintf("%dx%d", len(ls), len(gs)),
+			},
+		})
+		addr, err := srv.Start(*listen)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "phase: debug server on http://%s/debug/sops (also /debug/vars, /debug/pprof/)\n", addr)
 	}
 
 	fmt.Printf("phase diagram: n=%d iters=%d seed=%d\n\n", *n, *iters, *seed)

@@ -15,6 +15,11 @@
 // (-workers > 0), -crash-prob/-drop-frac/-stall-prob inject deterministic
 // faults seeded by -fault-seed, and -audit-every verifies the model's
 // invariants while the run is in flight.
+//
+// Runs are observable while in flight: -listen starts a local debug server
+// with live counters (/debug/sops), expvar (/debug/vars) and pprof
+// (/debug/pprof/), and -trace records the trajectory to a CSV or JSONL
+// file on the -trace-every cadence.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 
 	"sops"
 	"sops/internal/atomicio"
+	"sops/internal/telemetry"
 )
 
 func main() {
@@ -56,6 +62,10 @@ func run() error {
 		ckptEvery = flag.Uint64("checkpoint-every", 1_000_000, "steps between checkpoint writes")
 		resume    = flag.Bool("resume", false, "resume the run from the -checkpoint file")
 
+		listen     = flag.String("listen", "", "serve live status, expvar and pprof on this address (e.g. localhost:6060)")
+		trace      = flag.String("trace", "", "record the trajectory to this file (.csv, or .jsonl/.ndjson for JSON lines)")
+		traceEvery = flag.Uint64("trace-every", 100_000, "steps between trace samples")
+
 		faultSeed  = flag.Uint64("fault-seed", 0, "fault-injection seed (distributed runs)")
 		crashProb  = flag.Float64("crash-prob", 0, "per-slot probability an activation source crash-stops")
 		crashLen   = flag.Uint64("crash-len", 0, "activation slots a crash lasts (0 = default)")
@@ -84,7 +94,7 @@ func run() error {
 			DropFrac:  *dropFrac,
 			StallProb: *stallProb,
 		}
-		return runDistributed(counts, layout, *separated, *lambda, *gamma, *noswap, *seed, *iters, *workers, *ascii, faults, *auditEvery)
+		return runDistributed(counts, layout, *separated, *lambda, *gamma, *noswap, *seed, *iters, *workers, *ascii, faults, *auditEvery, *listen)
 	}
 	var sys *sops.System
 	var err error
@@ -114,6 +124,29 @@ func run() error {
 		sys.SetAutoCheckpoint(*ckpt, *ckptEvery)
 	}
 
+	probe := sops.NewProbe()
+	var rec *sops.Recorder
+	if *trace != "" {
+		rec = sops.NewRecorder(1<<16, *traceEvery)
+	}
+	if *listen != "" {
+		srv := telemetry.NewServer(telemetry.Sources{
+			Probe:    probe,
+			Recorder: rec,
+			Info: map[string]any{
+				"workload": "centralized chain",
+				"n":        *n, "colors": *k, "lambda": *lambda, "gamma": *gamma,
+				"iters": *iters, "seed": *seed,
+			},
+		})
+		addr, err := srv.Start(*listen)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("debug server on http://%s/debug/sops (also /debug/vars, /debug/pprof/)\n", addr)
+	}
+
 	fmt.Printf("n=%d colors=%d λ=%g γ=%g iters=%d seed=%d\n", *n, *k, *lambda, *gamma, *iters, *seed)
 	fmt.Printf("%12s %6s %6s %7s %5s %5s %8s %8s  %s\n",
 		"steps", "perim", "p_min", "alpha", "edges", "het", "segr", "cluster", "phase")
@@ -138,9 +171,22 @@ func run() error {
 	if interval == 0 {
 		interval = 1
 	}
-	if _, err := sys.RunWithContext(ctx, remaining, interval, func(m sops.Snapshot) bool {
-		printRow(m)
-		return true
+	// The run samples at the finer of the progress and trace cadences; the
+	// observer prints only the progress rows, the recorder keeps its own.
+	sample := interval
+	if rec != nil && *traceEvery > 0 && *traceEvery < sample {
+		sample = *traceEvery
+	}
+	if _, err := sys.Run(ctx, sops.RunSpec{
+		Steps:       remaining,
+		SampleEvery: sample,
+		Observer: func(m sops.Snapshot) bool {
+			if sample == interval || m.Steps%interval == 0 || m.Steps >= *iters {
+				printRow(m)
+			}
+			return true
+		},
+		Telemetry: &sops.Telemetry{Probe: probe, Recorder: rec},
 	}); err != nil {
 		if !errors.Is(err, context.Canceled) {
 			return err
@@ -150,6 +196,12 @@ func run() error {
 			msg += "; state checkpointed to " + *ckpt + " (continue with -resume)"
 		}
 		fmt.Println(msg)
+	}
+	if rec != nil {
+		if err := rec.WriteFile(*trace); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d trace samples to %s\n", rec.Len(), *trace)
 	}
 
 	st := sys.Stats()
@@ -178,7 +230,7 @@ func run() error {
 
 // runDistributed executes the workload on the concurrent amoebot runtime,
 // optionally under deterministic fault injection and invariant auditing.
-func runDistributed(counts []int, layout sops.Layout, separated bool, lambda, gamma float64, noswap bool, seed, iters uint64, workers int, ascii bool, faults sops.FaultOptions, auditEvery uint64) error {
+func runDistributed(counts []int, layout sops.Layout, separated bool, lambda, gamma float64, noswap bool, seed, iters uint64, workers int, ascii bool, faults sops.FaultOptions, auditEvery uint64, listen string) error {
 	d, err := sops.NewDistributed(sops.Options{
 		Counts:       counts,
 		Layout:       layout,
@@ -190,6 +242,24 @@ func runDistributed(counts []int, layout sops.Layout, separated bool, lambda, ga
 	})
 	if err != nil {
 		return err
+	}
+	probe := sops.NewProbe()
+	d.SetProbe(probe)
+	if listen != "" {
+		srv := telemetry.NewServer(telemetry.Sources{
+			Probe: probe,
+			Info: map[string]any{
+				"workload": "distributed amoebot runtime",
+				"workers":  workers, "lambda": lambda, "gamma": gamma,
+				"activations": iters, "seed": seed,
+			},
+		})
+		addr, err := srv.Start(listen)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("debug server on http://%s/debug/sops (also /debug/vars, /debug/pprof/)\n", addr)
 	}
 	injecting := faults.CrashProb > 0 || faults.DropFrac > 0 || faults.StallProb > 0
 	if injecting {

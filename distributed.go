@@ -166,6 +166,22 @@ func (d *Distributed) SetFrozen(id int, frozen bool) { d.world.SetFrozen(id, fro
 // Frozen reports whether particle id is crash-stopped.
 func (d *Distributed) Frozen(id int) bool { return d.world.Frozen(id) }
 
+// SetProbe attaches a telemetry probe: subsequent runs publish live
+// activation counts into it in per-source batches — performed activations
+// as steps, accepted moves and swaps, and the remainder (rejected
+// proposals) as rejected. Slots dropped by fault injection are excluded;
+// see FaultStats for those. Passing nil detaches. Safe to call while a run
+// is in progress; sources notice at their next batch boundary. The same
+// probe may be shared with a System or a debug server.
+func (d *Distributed) SetProbe(p *Probe) { d.world.SetProbe(p) }
+
+// Energy returns the Hamiltonian of a quiescent snapshot under the
+// execution's bias parameters — comparable with System.Energy on equal
+// configurations.
+func (d *Distributed) Energy() float64 {
+	return core.Energy(d.world.Snapshot(), d.world.Params())
+}
+
 // Snapshot returns a quiescent copy of the configuration.
 func (d *Distributed) Snapshot() *Config { return d.world.Snapshot() }
 

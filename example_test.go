@@ -21,7 +21,7 @@ func ExampleNew() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys.Run(2_000_000)
+	sys.RunSteps(2_000_000)
 	m := sys.Metrics()
 	fmt.Println("particles:", m.N)
 	fmt.Println("phase:", m.Phase)
@@ -44,7 +44,7 @@ func ExampleOptions_integration() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys.Run(2_000_000)
+	sys.RunSteps(2_000_000)
 	fmt.Println("phase:", sys.Metrics().Phase)
 	// Output:
 	// phase: compressed-integrated

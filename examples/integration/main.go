@@ -31,7 +31,7 @@ func run(label string, gamma float64) {
 		log.Fatal(err)
 	}
 	start := sys.Metrics()
-	sys.Run(3_000_000)
+	sys.RunSteps(3_000_000)
 	end := sys.Metrics()
 	fmt.Printf("=== %s ===\n", label)
 	fmt.Printf("start: h=%3d segregation=%.2f phase=%s\n", start.HetEdges, start.Segregation, start.Phase)

@@ -24,7 +24,7 @@ func main() {
 	fmt.Println("initial (random 4-coloring):")
 	fmt.Println(sys.ASCII())
 
-	sys.Run(6_000_000)
+	sys.RunSteps(6_000_000)
 
 	m := sys.Metrics()
 	fmt.Printf("after %d steps: α=%.2f, heterogeneous edges=%d, segregation=%.2f\n\n",

@@ -27,7 +27,7 @@ func main() {
 	checkpoints := []uint64{0, 50_000, 200_000, 1_000_000, 5_000_000}
 	var done uint64
 	for _, cp := range checkpoints {
-		sys.Run(cp - done)
+		sys.RunSteps(cp - done)
 		done = cp
 		m := sys.Metrics()
 		fmt.Printf("=== after %d iterations: α=%.2f, h=%d, segregation=%.2f, phase=%s ===\n",

@@ -56,9 +56,24 @@ func RunSequentialFault(ctx context.Context, w *World, activations uint64, seed 
 			defer w.SetLockDelay(nil)
 		}
 	}
+	// Publish progress into the world's probe (if any) at every cancel-poll
+	// boundary and on exit, so the run is observable in flight — dropped
+	// slots included, which is what makes fault injection visible live.
+	var pub Result
+	flushProbe := func() {
+		p := w.probe.Load()
+		if p == nil || res == pub {
+			return
+		}
+		da, dm, ds := res.Activations-pub.Activations, res.Moves-pub.Moves, res.Swaps-pub.Swaps
+		p.Add(da, dm, ds, da-dm-ds)
+		pub = res
+	}
+	defer flushProbe()
 	n := w.N()
 	for i := uint64(0); i < activations; i++ {
 		if i%cancelCheckInterval == 0 {
+			flushProbe()
 			if err := ctx.Err(); err != nil {
 				return res, err
 			}
@@ -148,9 +163,24 @@ func RunConcurrentFault(ctx context.Context, w *World, activations uint64, worke
 		wg.Add(1)
 		go func(budget uint64, r *rng.Source, faults *fault.Stream) {
 			defer wg.Done()
+			// Each source batches its own probe publishes: cache-line
+			// padded counters absorb the concurrent Adds without
+			// false sharing, and the flush cadence matches the cancel
+			// polls so live readers lag one batch at most.
+			var bActs, bMoves, bSwaps uint64
+			flushProbe := func() {
+				if p := w.probe.Load(); p != nil && bActs > 0 {
+					p.Add(bActs, bMoves, bSwaps, bActs-bMoves-bSwaps)
+				}
+				bActs, bMoves, bSwaps = 0, 0, 0
+			}
+			defer flushProbe()
 			for i := uint64(0); i < budget; i++ {
-				if i%cancelCheckInterval == 0 && (ctx.Err() != nil || auditErr.Load() != nil) {
-					return
+				if i%cancelCheckInterval == 0 {
+					flushProbe()
+					if ctx.Err() != nil || auditErr.Load() != nil {
+						return
+					}
 				}
 				if faults != nil {
 					d := faults.Next()
@@ -168,10 +198,13 @@ func RunConcurrentFault(ctx context.Context, w *World, activations uint64, worke
 				switch w.Activate(r.Intn(n), r) {
 				case core.Moved:
 					moves.Add(1)
+					bMoves++
 				case core.Swapped:
 					swaps.Add(1)
+					bSwaps++
 				}
 				performed.Add(1)
+				bActs++
 				if err := w.maybeAudit(); err != nil {
 					auditErr.CompareAndSwap(nil, &err)
 					return

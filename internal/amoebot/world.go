@@ -29,6 +29,7 @@ import (
 	"sops/internal/lattice"
 	"sops/internal/psys"
 	"sops/internal/rng"
+	"sops/internal/telemetry"
 )
 
 // numStripes is the number of region locks; activations whose cell sets
@@ -81,6 +82,11 @@ type World struct {
 	auditEvery atomic.Uint64
 	auditCount atomic.Uint64
 	audits     atomic.Uint64
+
+	// probe, when set, receives activation statistics from the schedulers
+	// in per-source batches, making progress observable while a (possibly
+	// faulty) run is in flight.
+	probe atomic.Pointer[telemetry.Probe]
 }
 
 // ErrOutOfArena is returned when the initial configuration does not fit the
@@ -214,6 +220,12 @@ func (w *World) SetLockDelay(f func()) {
 // crash-recovery). n = 0 disables cadenced audits. Safe to call while a run
 // is in progress.
 func (w *World) SetAuditEvery(n uint64) { w.auditEvery.Store(n) }
+
+// SetProbe attaches a telemetry probe: subsequent runs publish activation
+// counts (performed, moves, swaps, and dropped-or-rejected slots) into it
+// in per-source batches. Passing nil detaches. Safe to call while a run is
+// in progress; sources pick the change up at their next batch boundary.
+func (w *World) SetProbe(p *telemetry.Probe) { w.probe.Store(p) }
 
 // Audits reports how many invariant audits have run so far.
 func (w *World) Audits() uint64 { return w.audits.Load() }

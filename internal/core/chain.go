@@ -113,6 +113,13 @@ type Chain struct {
 	posWin    lattice.Window
 	posIndex  []int32
 
+	// probe, when set, receives the chain's statistics in amortized
+	// batches: Step publishes the delta since probeBase every probeBatch
+	// steps, and the run loops flush on exit, so live readers lag by less
+	// than a batch while the hot path pays only a nil-check.
+	probe     Probe
+	probeBase Stats
+
 	powLambda [2*maxExp + 1]float64 // λ^k for k in [-maxExp, maxExp]
 	powGamma  [2*maxExp + 1]float64 // γ^k
 
@@ -186,6 +193,48 @@ func (c *Chain) Snapshot() *psys.Config { return c.cfg.Clone() }
 // Stats returns the cumulative step statistics.
 func (c *Chain) Stats() Stats { return c.stats }
 
+// probeBatch is the number of steps between probe publishes on the Step hot
+// path: large enough that the four atomic adds and the batch check are
+// invisible next to the step kernel, small enough that a live reader is at
+// most a fraction of a millisecond stale.
+const probeBatch = 1024
+
+// Probe receives step statistics in amortized batches. It is satisfied by
+// *telemetry.Probe; core declares only the interface so it stays below the
+// telemetry layer in the dependency graph.
+type Probe interface {
+	// Add accumulates steps performed and their outcome split. Implementations
+	// must be safe for concurrent use; steps >= moves+swaps+rejected.
+	Add(steps, moves, swaps, rejected uint64)
+}
+
+// SetProbe attaches a telemetry probe: from now on the chain publishes its
+// step statistics into p in amortized batches, and the run methods flush the
+// remainder when they return, after which the probe's counters match the
+// delta of Stats() since attachment exactly. Attaching nil detaches (after a
+// final flush). The probe may be shared with concurrent readers and other
+// writers; the chain itself remains single-threaded.
+func (c *Chain) SetProbe(p Probe) {
+	c.FlushProbe()
+	c.probe = p
+	c.probeBase = c.stats
+}
+
+// FlushProbe publishes any statistics not yet visible on the attached
+// probe. No-op without a probe; the run loops call it on exit so callers
+// only need it around bare Step loops.
+func (c *Chain) FlushProbe() {
+	if c.probe == nil {
+		return
+	}
+	d, b := c.stats, c.probeBase
+	if d.Steps == b.Steps {
+		return
+	}
+	c.probe.Add(d.Steps-b.Steps, d.Moves-b.Moves, d.Swaps-b.Swaps, d.Rejected-b.Rejected)
+	c.probeBase = d
+}
+
 // N returns the number of particles.
 func (c *Chain) N() int { return len(c.positions) }
 
@@ -200,6 +249,9 @@ func (c *Chain) N() int { return len(c.positions) }
 // trajectories and the psys differential fuzz targets enforce.
 func (c *Chain) Step() Outcome {
 	c.stats.Steps++
+	if c.probe != nil && c.stats.Steps-c.probeBase.Steps >= probeBatch {
+		c.FlushProbe()
+	}
 	l := c.positions[c.rand.Intn(len(c.positions))]
 	dir := lattice.Direction(c.rand.Intn(lattice.NumDirections))
 	g := c.cfg.GatherPair(l, dir)
@@ -273,6 +325,7 @@ func (c *Chain) Run(steps uint64) {
 	for i := uint64(0); i < steps; i++ {
 		c.Step()
 	}
+	c.FlushProbe()
 }
 
 // cancelCheckInterval is the number of steps RunContext performs between
@@ -289,6 +342,7 @@ func (c *Chain) RunContext(ctx context.Context, steps uint64) (uint64, error) {
 	var done uint64
 	for done < steps {
 		if err := ctx.Err(); err != nil {
+			c.FlushProbe()
 			return done, err
 		}
 		batch := uint64(cancelCheckInterval)
@@ -299,6 +353,7 @@ func (c *Chain) RunContext(ctx context.Context, steps uint64) (uint64, error) {
 			c.Step()
 		}
 		done += batch
+		c.FlushProbe()
 	}
 	return done, nil
 }
@@ -321,6 +376,7 @@ func (c *Chain) RunWith(steps, interval uint64, observe func(done uint64) bool) 
 			c.Step()
 		}
 		done += batch
+		c.FlushProbe()
 		if !observe(done) {
 			return
 		}

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"sops/internal/rng"
+	"sops/internal/telemetry"
 )
 
 // Func computes one cell of a sweep. It receives the sweep context (poll it
@@ -60,6 +61,12 @@ type Options struct {
 	// further retry. The wait honors context cancellation. 0 retries
 	// immediately.
 	Backoff time.Duration
+	// Track, if non-nil, receives live per-cell lifecycle events: the
+	// engine calls CellStarted when a worker claims a cell and
+	// CellFinished when it completes, so the tracker's Progress is
+	// readable at any moment from any goroutine (e.g. a debug endpoint).
+	// The caller is responsible for Begin; see telemetry.SweepTracker.
+	Track *telemetry.SweepTracker
 }
 
 // Progress reports the completion of one cell to the sweep observer.
@@ -162,11 +169,17 @@ func Sweep[C, R any](ctx context.Context, cells []C, opts Options, fn Func[C, R]
 				if i >= total {
 					return
 				}
+				if opts.Track != nil {
+					opts.Track.CellStarted()
+				}
 				value, attempts, err := runCell(ctx, fn, cells[i], results[i].Seed, opts)
 				results[i].Value, results[i].Err, results[i].Attempts = value, err, attempts
 				mu.Lock()
 				finished[i] = true
 				done++
+				if opts.Track != nil {
+					opts.Track.CellFinished(err != nil, attempts-1)
+				}
 				if opts.Observe != nil {
 					opts.Observe(Progress{Index: i, Done: done, Total: total, Err: err})
 				}

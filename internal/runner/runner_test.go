@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"sops/internal/rng"
+	"sops/internal/telemetry"
 )
 
 // collatzLen is a cheap, cell-dependent deterministic workload.
@@ -343,5 +344,37 @@ func TestNoGoroutineLeakUnderRepeatedPanics(t *testing.T) {
 	}
 	if n := runtime.NumGoroutine(); n > before {
 		t.Fatalf("goroutines leaked: %d -> %d", before, n)
+	}
+}
+
+// TestSweepTrack publishes cell lifecycle events into a SweepTracker: after
+// the sweep every cell is done, the failure and its retries are counted,
+// and nothing reads as still running.
+func TestSweepTrack(t *testing.T) {
+	track := new(telemetry.SweepTracker)
+	track.Begin(4, 0)
+	_, err := Sweep(context.Background(), []int{1, 2, 3, 4}, Options{
+		Workers: 2,
+		Retries: 1,
+		Track:   track,
+		// Reading the tracker while cells are in flight is the endpoint's
+		// access pattern; exercised here under -race.
+		Observe: func(Progress) { track.Progress() },
+	}, func(_ context.Context, cell int, _ uint64) (int, error) {
+		if cell == 3 {
+			return 0, errors.New("boom")
+		}
+		return collatzLen(uint64(cell)), nil
+	})
+	var serr *SweepError
+	if !errors.As(err, &serr) {
+		t.Fatalf("expected SweepError, got %v", err)
+	}
+	p := track.Progress()
+	if p.Total != 4 || p.Done != 4 || p.Running != 0 {
+		t.Fatalf("final progress %+v", p)
+	}
+	if p.Failed != 1 || p.Retries != 1 {
+		t.Fatalf("failed=%d retries=%d, want 1/1", p.Failed, p.Retries)
 	}
 }

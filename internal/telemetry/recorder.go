@@ -1,0 +1,204 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+
+	"sops/internal/atomicio"
+	"sops/internal/metrics"
+)
+
+// Sample is one point of a recorded trajectory: the configuration's metric
+// snapshot and the chain's Hamiltonian at a step count. Samples are what
+// the paper's time-series figures plot (perimeter, energy and separation
+// observables along a run of chain M).
+type Sample struct {
+	Snap   metrics.Snapshot
+	Energy float64
+}
+
+// Recorder accumulates trajectory samples into a bounded ring buffer: when
+// the ring is full the oldest sample is evicted, so the newest sample is
+// always retained and memory stays constant on arbitrarily long runs. A
+// step cadence filters offered samples, letting one recorder follow a run
+// at a fixed resolution regardless of how often the runner samples.
+//
+// Recorders are external to the System they observe: the same recorder can
+// span a checkpoint/resume boundary, and the flushed trace is identical to
+// the uninterrupted run's (the trajectory is; see the resume tests).
+// Safe for concurrent use.
+type Recorder struct {
+	mu      sync.Mutex
+	every   uint64 // minimum step spacing between recorded samples
+	next    uint64 // step count at which the next offer is due
+	ring    []Sample
+	start   int // index of the oldest sample
+	n       int // samples currently held
+	dropped uint64
+}
+
+// NewRecorder returns a recorder holding at most capacity samples (minimum
+// 1), recording offered samples at least every steps apart; every = 0
+// records every offer. The first offer is always recorded.
+func NewRecorder(capacity int, every uint64) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{every: every, ring: make([]Sample, capacity)}
+}
+
+// Every returns the recorder's step cadence.
+func (r *Recorder) Every() uint64 { return r.every }
+
+// Offer records s if it is due under the cadence — the first offer, and
+// thereafter any offer at least Every steps after the last recorded one —
+// and reports whether it was recorded. Offers are expected in nondecreasing
+// step order (a trajectory).
+func (r *Recorder) Offer(s Sample) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n > 0 && s.Snap.Steps < r.next {
+		return false
+	}
+	r.record(s)
+	return true
+}
+
+// Record appends s unconditionally, bypassing the cadence (endpoints of a
+// run are worth keeping even when off-cadence).
+func (r *Recorder) Record(s Sample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.record(s)
+}
+
+// record pushes s, evicting the oldest sample when full. Callers hold mu.
+func (r *Recorder) record(s Sample) {
+	if r.n == len(r.ring) {
+		r.ring[r.start] = s
+		r.start = (r.start + 1) % len(r.ring)
+		r.dropped++
+	} else {
+		r.ring[(r.start+r.n)%len(r.ring)] = s
+		r.n++
+	}
+	r.next = s.Snap.Steps + r.every
+}
+
+// Len returns the number of samples held.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Cap returns the ring capacity.
+func (r *Recorder) Cap() int { return len(r.ring) }
+
+// Dropped returns the number of samples evicted to bound memory.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Samples returns an independent copy of the held samples, oldest first.
+func (r *Recorder) Samples() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Sample, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.ring[(r.start+i)%len(r.ring)]
+	}
+	return out
+}
+
+// traceColumns is the CSV header, one column per Snapshot field plus
+// energy. The schema is documented in the README's Observability section;
+// extend it only by appending columns.
+const traceColumns = "steps,n,perimeter,min_perimeter,alpha,edges,hom_edges,het_edges,segregation,largest_frac,phase,energy"
+
+// appendCSV formats one sample as a trace row.
+func appendCSV(b []byte, s Sample) []byte {
+	m := s.Snap
+	b = fmt.Appendf(b, "%d,%d,%d,%d,%.6f,%d,%d,%d,%.6f,%.6f,%s,%.6f\n",
+		m.Steps, m.N, m.Perimeter, m.MinPerimeter, m.Alpha,
+		m.Edges, m.HomEdges, m.HetEdges, m.Segregation, m.LargestFrac,
+		m.Phase, s.Energy)
+	return b
+}
+
+// jsonSample is the JSONL wire form of a Sample, with stable lower-case
+// keys matching the CSV columns.
+type jsonSample struct {
+	Steps       uint64  `json:"steps"`
+	N           int     `json:"n"`
+	Perimeter   int     `json:"perimeter"`
+	MinPerim    int     `json:"min_perimeter"`
+	Alpha       float64 `json:"alpha"`
+	Edges       int     `json:"edges"`
+	HomEdges    int     `json:"hom_edges"`
+	HetEdges    int     `json:"het_edges"`
+	Segregation float64 `json:"segregation"`
+	LargestFrac float64 `json:"largest_frac"`
+	Phase       string  `json:"phase"`
+	Energy      float64 `json:"energy"`
+}
+
+// EncodeCSV renders the held samples as a CSV trace (header + one row per
+// sample, oldest first).
+func (r *Recorder) EncodeCSV() []byte {
+	samples := r.Samples()
+	b := make([]byte, 0, 64*(len(samples)+1))
+	b = append(b, traceColumns...)
+	b = append(b, '\n')
+	for _, s := range samples {
+		b = appendCSV(b, s)
+	}
+	return b
+}
+
+// EncodeJSONL renders the held samples as JSON Lines, one object per
+// sample, oldest first.
+func (r *Recorder) EncodeJSONL() ([]byte, error) {
+	samples := r.Samples()
+	b := make([]byte, 0, 128*len(samples))
+	for _, s := range samples {
+		m := s.Snap
+		row, err := json.Marshal(jsonSample{
+			Steps: m.Steps, N: m.N, Perimeter: m.Perimeter,
+			MinPerim: m.MinPerimeter, Alpha: m.Alpha, Edges: m.Edges,
+			HomEdges: m.HomEdges, HetEdges: m.HetEdges,
+			Segregation: m.Segregation, LargestFrac: m.LargestFrac,
+			Phase: m.Phase.String(), Energy: s.Energy,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: encode sample: %w", err)
+		}
+		b = append(b, row...)
+		b = append(b, '\n')
+	}
+	return b, nil
+}
+
+// WriteFile flushes the trace atomically to path, choosing the format from
+// the extension: ".jsonl" (or ".ndjson") writes JSON Lines, everything else
+// CSV. The write goes through atomicio, so a crash mid-flush never leaves a
+// truncated trace.
+func (r *Recorder) WriteFile(path string) error {
+	var data []byte
+	if strings.HasSuffix(path, ".jsonl") || strings.HasSuffix(path, ".ndjson") {
+		var err error
+		if data, err = r.EncodeJSONL(); err != nil {
+			return err
+		}
+	} else {
+		data = r.EncodeCSV()
+	}
+	if err := atomicio.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("telemetry: write trace: %w", err)
+	}
+	return nil
+}

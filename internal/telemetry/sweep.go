@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SweepTracker aggregates the live state of a parameter sweep: how many
+// cells are done, running, or failed, how many retries the fault machinery
+// has consumed, and a throughput-based completion estimate. The sweep
+// engine (internal/runner) publishes lifecycle events into it; readers — a
+// progress callback, the /debug/sops endpoint — take Progress snapshots at
+// any time. Safe for concurrent use; the zero value is ready.
+type SweepTracker struct {
+	total   atomic.Int64
+	started atomic.Int64
+	done    atomic.Int64
+	failed  atomic.Int64
+	retries atomic.Int64
+
+	mu       sync.Mutex
+	startAt  time.Time // set by the first Begin
+	baseDone int64     // cells completed before this process (resume)
+}
+
+// Begin announces a sweep of total cells, of which alreadyDone completed in
+// a previous process (a resumed sweep) and will not run again. Begin may be
+// called more than once (sub-sweeps sharing a tracker accumulate); the ETA
+// clock starts at the first call.
+func (t *SweepTracker) Begin(total, alreadyDone int) {
+	t.total.Add(int64(total))
+	t.done.Add(int64(alreadyDone))
+	t.mu.Lock()
+	if t.startAt.IsZero() {
+		t.startAt = time.Now()
+	}
+	t.baseDone += int64(alreadyDone)
+	t.mu.Unlock()
+}
+
+// CellStarted records that a worker picked up a cell.
+func (t *SweepTracker) CellStarted() { t.started.Add(1) }
+
+// CellFinished records a cell completion: whether it ultimately failed, and
+// the retries it consumed along the way (attempts beyond the first).
+func (t *SweepTracker) CellFinished(failed bool, retries int) {
+	if failed {
+		t.failed.Add(1)
+	}
+	if retries > 0 {
+		t.retries.Add(int64(retries))
+	}
+	t.done.Add(1)
+}
+
+// SweepProgress is a point-in-time aggregate view of a sweep.
+type SweepProgress struct {
+	Total   int `json:"total"`   // cells in the sweep
+	Done    int `json:"done"`    // cells finished (including failures and resumed cells)
+	Running int `json:"running"` // cells currently executing
+	Failed  int `json:"failed"`  // cells that exhausted their attempts
+	Retries int `json:"retries"` // extra attempts consumed across all cells
+
+	Elapsed time.Duration `json:"elapsed"`
+	// ETA estimates the remaining wall-clock time from the throughput of
+	// cells completed in this process; 0 until one completes.
+	ETA time.Duration `json:"eta"`
+}
+
+// Progress reads the tracker. Counters are individually exact; the tuple is
+// a live reading.
+func (t *SweepTracker) Progress() SweepProgress {
+	done := t.done.Load()
+	started := t.started.Load()
+	p := SweepProgress{
+		Total:   int(t.total.Load()),
+		Done:    int(done),
+		Failed:  int(t.failed.Load()),
+		Retries: int(t.retries.Load()),
+	}
+	t.mu.Lock()
+	startAt, baseDone := t.startAt, t.baseDone
+	t.mu.Unlock()
+	if running := started - (done - baseDone); running > 0 {
+		p.Running = int(running)
+	}
+	if startAt.IsZero() {
+		return p
+	}
+	p.Elapsed = time.Since(startAt)
+	if fresh := done - baseDone; fresh > 0 && p.Total > p.Done {
+		perCell := p.Elapsed / time.Duration(fresh)
+		p.ETA = perCell * time.Duration(int64(p.Total)-done)
+	}
+	return p
+}

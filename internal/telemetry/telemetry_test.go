@@ -1,0 +1,352 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sops/internal/metrics"
+)
+
+func TestProbeCounters(t *testing.T) {
+	p := NewProbe()
+	c := p.Counters()
+	if c != (Counters{}) {
+		t.Fatalf("fresh probe not zero: %+v", c)
+	}
+	if c.AcceptanceRate() != 0 || c.SwapFraction() != 0 {
+		t.Fatal("zero-step rates must be 0")
+	}
+	p.Add(100, 30, 10, 60)
+	p.Add(50, 0, 0, 50)
+	c = p.Counters()
+	want := Counters{Steps: 150, Moves: 30, Swaps: 10, Rejected: 110}
+	if c != want {
+		t.Fatalf("counters = %+v, want %+v", c, want)
+	}
+	if got := c.Accepted(); got != 40 {
+		t.Fatalf("accepted = %d, want 40", got)
+	}
+	if got := c.AcceptanceRate(); got != 40.0/150 {
+		t.Fatalf("acceptance rate = %v", got)
+	}
+	if got := c.SwapFraction(); got != 10.0/150 {
+		t.Fatalf("swap fraction = %v", got)
+	}
+}
+
+// TestProbeConcurrent hammers a probe from several writers while readers
+// poll; under -race this doubles as the data-race proof, and afterwards the
+// totals must equal exactly what was published.
+func TestProbeConcurrent(t *testing.T) {
+	p := NewProbe()
+	const writers, batches = 8, 1000
+	var writeWG, readWG sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p.Counters()
+				p.Status()
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func() {
+			defer writeWG.Done()
+			for i := 0; i < batches; i++ {
+				p.Add(10, 3, 2, 5)
+			}
+		}()
+	}
+	writeWG.Wait()
+	close(stop)
+	readWG.Wait()
+	want := Counters{Steps: 80000, Moves: 24000, Swaps: 16000, Rejected: 40000}
+	if c := p.Counters(); c != want {
+		t.Fatalf("totals = %+v, want %+v", c, want)
+	}
+}
+
+func TestProbeStatusWindow(t *testing.T) {
+	p := NewProbe()
+	p.Add(1000, 500, 100, 400)
+	time.Sleep(5 * time.Millisecond)
+	st := p.Status()
+	if st.StepsPerSec <= 0 {
+		t.Fatalf("first status rate = %v, want > 0", st.StepsPerSec)
+	}
+	if st.AcceptanceRate != 0.6 || st.SwapFraction != 0.1 {
+		t.Fatalf("rates = %v/%v", st.AcceptanceRate, st.SwapFraction)
+	}
+	if st.Elapsed <= 0 {
+		t.Fatal("elapsed not positive")
+	}
+	// A later window with no new steps reports ~0 steps/sec, not the
+	// lifetime mean.
+	time.Sleep(5 * time.Millisecond)
+	if st = p.Status(); st.StepsPerSec != 0 {
+		t.Fatalf("idle window rate = %v, want 0", st.StepsPerSec)
+	}
+}
+
+func sampleAt(steps uint64) Sample {
+	return Sample{
+		Snap:   metrics.Snapshot{Steps: steps, N: 10, Perimeter: 12, Alpha: 1.2},
+		Energy: -float64(steps),
+	}
+}
+
+func TestRecorderCadence(t *testing.T) {
+	r := NewRecorder(100, 10)
+	if !r.Offer(sampleAt(0)) {
+		t.Fatal("first offer must record")
+	}
+	if r.Offer(sampleAt(5)) {
+		t.Fatal("offer inside cadence recorded")
+	}
+	if !r.Offer(sampleAt(10)) {
+		t.Fatal("on-cadence offer rejected")
+	}
+	if r.Offer(sampleAt(19)) || !r.Offer(sampleAt(25)) {
+		t.Fatal("cadence must measure from the last recorded sample")
+	}
+	r.Record(sampleAt(27)) // bypasses cadence
+	got := r.Samples()
+	var steps []uint64
+	for _, s := range got {
+		steps = append(steps, s.Snap.Steps)
+	}
+	want := []uint64{0, 10, 25, 27}
+	if fmt.Sprint(steps) != fmt.Sprint(want) {
+		t.Fatalf("recorded steps %v, want %v", steps, want)
+	}
+}
+
+// TestRecorderKeepsNewest fills the ring far past capacity: the newest
+// sample must always survive, the oldest be evicted, and the drop counter
+// account for every eviction.
+func TestRecorderKeepsNewest(t *testing.T) {
+	r := NewRecorder(4, 0)
+	const total = 100
+	for i := uint64(0); i < total; i++ {
+		if !r.Offer(sampleAt(i)) {
+			t.Fatalf("offer %d rejected with zero cadence", i)
+		}
+		last := r.Samples()
+		if len(last) == 0 || last[len(last)-1].Snap.Steps != i {
+			t.Fatalf("newest sample %d missing after offer", i)
+		}
+	}
+	if r.Len() != 4 || r.Cap() != 4 {
+		t.Fatalf("len=%d cap=%d, want 4/4", r.Len(), r.Cap())
+	}
+	if r.Dropped() != total-4 {
+		t.Fatalf("dropped = %d, want %d", r.Dropped(), total-4)
+	}
+	s := r.Samples()
+	for i, want := range []uint64{96, 97, 98, 99} {
+		if s[i].Snap.Steps != want {
+			t.Fatalf("ring holds %d at %d, want %d", s[i].Snap.Steps, i, want)
+		}
+	}
+}
+
+func TestRecorderEncode(t *testing.T) {
+	r := NewRecorder(8, 0)
+	r.Record(sampleAt(0))
+	r.Record(sampleAt(10))
+	csv := r.EncodeCSV()
+	lines := strings.Split(strings.TrimSpace(string(csv)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want header + 2 rows", len(lines))
+	}
+	if lines[0] != traceColumns {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "10,10,12,") {
+		t.Fatalf("row = %q", lines[2])
+	}
+	jl, err := r.EncodeJSONL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := bytes.Split(bytes.TrimSpace(jl), []byte("\n"))
+	if len(rows) != 2 {
+		t.Fatalf("JSONL rows = %d", len(rows))
+	}
+	var obj map[string]any
+	if err := json.Unmarshal(rows[1], &obj); err != nil {
+		t.Fatal(err)
+	}
+	if obj["steps"].(float64) != 10 || obj["energy"].(float64) != -10 {
+		t.Fatalf("decoded row: %v", obj)
+	}
+	// Every CSV column has a JSONL key.
+	for _, col := range strings.Split(traceColumns, ",") {
+		if _, ok := obj[col]; !ok {
+			t.Fatalf("JSONL row missing column %q", col)
+		}
+	}
+}
+
+func TestRecorderWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRecorder(8, 0)
+	r.Record(sampleAt(3))
+	csvPath := filepath.Join(dir, "trace.csv")
+	jlPath := filepath.Join(dir, "trace.jsonl")
+	if err := r.WriteFile(csvPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteFile(jlPath); err != nil {
+		t.Fatal(err)
+	}
+	csv, _ := os.ReadFile(csvPath)
+	if !bytes.Equal(csv, r.EncodeCSV()) {
+		t.Fatal("CSV file differs from encoding")
+	}
+	jl, _ := os.ReadFile(jlPath)
+	if want, _ := r.EncodeJSONL(); !bytes.Equal(jl, want) {
+		t.Fatal("JSONL file differs from encoding")
+	}
+}
+
+func TestSweepTracker(t *testing.T) {
+	var tr SweepTracker
+	if p := tr.Progress(); p.Total != 0 || p.ETA != 0 {
+		t.Fatalf("zero tracker progress: %+v", p)
+	}
+	tr.Begin(10, 4) // resumed sweep: 4 cells already done
+	tr.CellStarted()
+	tr.CellStarted()
+	p := tr.Progress()
+	if p.Total != 10 || p.Done != 4 || p.Running != 2 {
+		t.Fatalf("progress = %+v", p)
+	}
+	tr.CellFinished(false, 0)
+	tr.CellFinished(true, 2)
+	p = tr.Progress()
+	if p.Done != 6 || p.Running != 0 || p.Failed != 1 || p.Retries != 2 {
+		t.Fatalf("progress = %+v", p)
+	}
+	if p.ETA <= 0 {
+		t.Fatalf("ETA = %v, want > 0 with work remaining", p.ETA)
+	}
+	// Accumulating Begin (a second sub-sweep sharing the tracker).
+	tr.Begin(5, 0)
+	if p = tr.Progress(); p.Total != 15 {
+		t.Fatalf("accumulated total = %d", p.Total)
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	probe := NewProbe()
+	probe.Add(500, 200, 100, 200)
+	var tr SweepTracker
+	tr.Begin(3, 0)
+	rec := NewRecorder(4, 1)
+	rec.Record(sampleAt(1))
+	srv := NewServer(Sources{
+		Probe: probe, Sweep: &tr, Recorder: rec,
+		Info: map[string]any{"workload": "test"},
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Addr() != addr {
+		t.Fatalf("Addr() = %q, want %q", srv.Addr(), addr)
+	}
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	var st struct {
+		Info  map[string]any `json:"info"`
+		Probe *Status        `json:"probe"`
+		Sweep *SweepProgress `json:"sweep"`
+		Trace *traceStatus   `json:"trace"`
+	}
+	if err := json.Unmarshal(get("/debug/sops"), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Probe == nil || st.Probe.Steps != 500 {
+		t.Fatalf("status probe: %+v", st.Probe)
+	}
+	if st.Sweep == nil || st.Sweep.Total != 3 {
+		t.Fatalf("status sweep: %+v", st.Sweep)
+	}
+	if st.Trace == nil || st.Trace.Samples != 1 || st.Trace.Capacity != 4 {
+		t.Fatalf("status trace: %+v", st.Trace)
+	}
+	if st.Info["workload"] != "test" {
+		t.Fatalf("status info: %v", st.Info)
+	}
+
+	if vars := get("/debug/vars"); !bytes.Contains(vars, []byte(`"sops"`)) {
+		t.Fatal("expvar missing sops key")
+	}
+	if idx := get("/debug/pprof/"); !bytes.Contains(idx, []byte("goroutine")) {
+		t.Fatal("pprof index missing profiles")
+	}
+
+	// A second server re-points the shared expvar at its own sources
+	// rather than panicking on duplicate publication.
+	probe2 := NewProbe()
+	probe2.Add(7, 0, 0, 7)
+	srv2 := NewServer(Sources{Probe: probe2})
+	addr2, err := srv2.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	resp, err := http.Get("http://" + addr2 + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var vars struct {
+		Sops struct {
+			Probe *Status `json:"probe"`
+		} `json:"sops"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.Sops.Probe == nil || vars.Sops.Probe.Steps != 7 {
+		t.Fatalf("expvar after second server: %+v", vars.Sops.Probe)
+	}
+}

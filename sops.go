@@ -20,7 +20,7 @@
 //		Seed:   1,
 //	})
 //	if err != nil { ... }
-//	sys.Run(1_000_000)
+//	sys.Run(context.Background(), sops.RunSpec{Steps: 1_000_000})
 //	fmt.Println(sys.Metrics().Phase) // compressed-separated
 //
 // Subpackages under internal/ implement the substrates (lattice geometry,
@@ -41,6 +41,7 @@ import (
 	"sops/internal/core"
 	"sops/internal/metrics"
 	"sops/internal/psys"
+	"sops/internal/telemetry"
 	"sops/internal/viz"
 )
 
@@ -107,6 +108,9 @@ var (
 	ErrBadLambda = errors.New("sops: Lambda must be positive and finite")
 	// ErrBadGamma reports a non-positive or non-finite Options.Gamma.
 	ErrBadGamma = errors.New("sops: Gamma must be positive and finite")
+	// ErrBadLayout reports an Options.Layout that names no known initial
+	// arrangement (the zero value defaults to LayoutSpiral).
+	ErrBadLayout = errors.New("sops: Layout must be LayoutSpiral or LayoutLine")
 )
 
 // Options configures a System.
@@ -132,10 +136,22 @@ type Options struct {
 }
 
 // Validate checks the options, returning an error wrapping ErrNoCounts,
-// ErrBadLambda or ErrBadGamma on failure.
+// ErrBadLayout, ErrBadLambda or ErrBadGamma on failure.
 func (o Options) Validate() error {
+	if err := validateCounts(o.Counts); err != nil {
+		return err
+	}
+	if err := validateLayout(o.Layout); err != nil {
+		return err
+	}
+	return o.validateParams()
+}
+
+// validateCounts rejects color counts that describe no particles; shared by
+// Options.Validate and SweepSpec.Validate.
+func validateCounts(counts []int) error {
 	n := 0
-	for i, k := range o.Counts {
+	for i, k := range counts {
 		if k < 0 {
 			return fmt.Errorf("%w (negative count %d for color %d)", ErrNoCounts, k, i)
 		}
@@ -144,7 +160,17 @@ func (o Options) Validate() error {
 	if n == 0 {
 		return ErrNoCounts
 	}
-	return o.validateParams()
+	return nil
+}
+
+// validateLayout rejects layout values that name no known arrangement
+// instead of letting them fall through to core.Initial.
+func validateLayout(l Layout) error {
+	switch l {
+	case 0, LayoutSpiral, LayoutLine:
+		return nil
+	}
+	return fmt.Errorf("%w (got Layout(%d))", ErrBadLayout, uint8(l))
 }
 
 // validateParams checks only the bias parameters, for constructors that
@@ -232,20 +258,140 @@ func NewFromConfig(cfg *psys.Config, opts Options) (*System, error) {
 // Step performs one iteration of the chain.
 func (s *System) Step() Outcome { return s.chain.Step() }
 
-// Run performs steps iterations. It never checkpoints; for crash-safe long
-// runs use RunContext with SetAutoCheckpoint.
-func (s *System) Run(steps uint64) { s.chain.Run(steps) }
+// Telemetry re-exported types: the live-observability layer RunSpec and
+// SweepSpec plug into. See the README's Observability section.
+type (
+	// Probe is a set of live, concurrently readable step counters the
+	// engines publish into with zero allocations on the hot path.
+	Probe = telemetry.Probe
+	// ProbeCounters is a point-in-time reading of a Probe.
+	ProbeCounters = telemetry.Counters
+	// ProbeStatus is a Probe reading with derived rates (acceptance, swap
+	// fraction, windowed steps/sec).
+	ProbeStatus = telemetry.Status
+	// Recorder samples a trajectory into a bounded ring buffer and flushes
+	// CSV/JSONL trace files atomically.
+	Recorder = telemetry.Recorder
+	// TraceSample is one recorded trajectory point: a metrics Snapshot
+	// plus the chain's Hamiltonian.
+	TraceSample = telemetry.Sample
+	// SweepTracker aggregates live per-cell progress of a sweep.
+	SweepTracker = telemetry.SweepTracker
+	// SweepProgress is a point-in-time aggregate view of a sweep.
+	SweepProgress = telemetry.SweepProgress
+)
 
-// RunContext performs up to steps iterations, stopping early when ctx is
-// cancelled. It returns the number of iterations actually performed,
-// together with ctx's error if the run was cut short. The System remains
-// valid after a cancelled run: it can be resumed, measured or checkpointed.
+// NewProbe returns a ready telemetry probe.
+func NewProbe() *Probe { return telemetry.NewProbe() }
+
+// NewRecorder returns a trace recorder holding at most capacity samples,
+// recording at least every steps apart (0 records every offered sample).
+func NewRecorder(capacity int, every uint64) *Recorder {
+	return telemetry.NewRecorder(capacity, every)
+}
+
+// Telemetry attaches live observability to a run. Both fields are
+// optional and may be shared — a Probe with a debug listener, a Recorder
+// across a checkpoint/resume boundary.
+type Telemetry struct {
+	// Probe receives the chain's step statistics in amortized batches
+	// while the run is in flight; after Run returns its totals equal the
+	// work performed. The probe stays attached after the run, so bare
+	// Step loops keep feeding it.
+	Probe *Probe
+	// Recorder is offered a TraceSample at every sample boundary of the
+	// run (see RunSpec.SampleEvery); its own cadence then decides what is
+	// kept, so one recorder can follow a run at a coarser resolution than
+	// the observer.
+	Recorder *Recorder
+}
+
+// RunSpec describes one run of a System: how many steps, how often to
+// sample the configuration, and what to do with the samples. The zero
+// value of everything but Steps is valid: no sampling, no telemetry.
+type RunSpec struct {
+	// Steps is the number of chain iterations to perform.
+	Steps uint64
+	// SampleEvery is the sampling cadence in steps: the run pauses at
+	// every multiple of SampleEvery (in absolute step count, so resumed
+	// runs sample at the same trajectory points as uninterrupted ones)
+	// to capture a Snapshot for the Observer and Recorder. 0 samples
+	// once, when the run ends.
+	SampleEvery uint64
+	// Observer, if non-nil, receives each sample; returning false stops
+	// the run early. On cancellation it is invoked one final time with
+	// the state the run stopped in.
+	Observer func(Snapshot) bool
+	// Telemetry optionally attaches a live Probe and a trace Recorder.
+	Telemetry *Telemetry
+}
+
+// Run performs up to spec.Steps iterations, sampling on spec's cadence and
+// stopping early when ctx is cancelled or the Observer returns false. It
+// returns the iterations actually performed, with ctx's error if the run
+// was cut short. The System remains valid after a cancelled run: it can be
+// resumed, measured or checkpointed.
 //
 // If SetAutoCheckpoint configured a checkpoint file, the state is written
-// to it (atomically) after every checkpoint interval and once more when the
-// run stops, including on cancellation; a checkpoint write failure stops
-// the run and is returned.
-func (s *System) RunContext(ctx context.Context, steps uint64) (uint64, error) {
+// to it (atomically) after every checkpoint interval and once more when
+// the run stops, including on cancellation; a checkpoint write failure
+// stops the run and is returned.
+//
+// Run is the single entry point behind the older RunSteps, RunContext,
+// RunWith and RunWithContext, which survive as thin wrappers.
+func (s *System) Run(ctx context.Context, spec RunSpec) (uint64, error) {
+	var rec *Recorder
+	if spec.Telemetry != nil {
+		if spec.Telemetry.Probe != nil {
+			s.chain.SetProbe(spec.Telemetry.Probe)
+		}
+		rec = spec.Telemetry.Recorder
+	}
+	if spec.Observer == nil && rec == nil {
+		return s.runCheckpointed(ctx, spec.Steps)
+	}
+	sample := func() Snapshot {
+		snap := s.Metrics()
+		if rec != nil {
+			rec.Offer(TraceSample{Snap: snap, Energy: s.chain.Energy()})
+		}
+		return snap
+	}
+	var done uint64
+	for {
+		batch := spec.Steps - done
+		if spec.SampleEvery > 0 {
+			// Stop at the next absolute multiple of the cadence, so a
+			// resumed run samples the same trajectory points as the
+			// uninterrupted one.
+			if next := spec.SampleEvery - s.Steps()%spec.SampleEvery; next < batch {
+				batch = next
+			}
+		}
+		n, err := s.runCheckpointed(ctx, batch)
+		done += n
+		if err != nil {
+			// The run was cut short mid-interval: still surface the
+			// final state to the observer and the trace.
+			snap := sample()
+			if spec.Observer != nil {
+				spec.Observer(snap)
+			}
+			return done, err
+		}
+		snap := sample()
+		if spec.Observer != nil && !spec.Observer(snap) {
+			return done, nil
+		}
+		if done >= spec.Steps {
+			return done, nil
+		}
+	}
+}
+
+// runCheckpointed performs up to steps iterations with cancellation,
+// honoring the SetAutoCheckpoint configuration.
+func (s *System) runCheckpointed(ctx context.Context, steps uint64) (uint64, error) {
 	if s.ckptEvery == 0 || s.ckptPath == "" {
 		return s.chain.RunContext(ctx, steps)
 	}
@@ -267,42 +413,45 @@ func (s *System) RunContext(ctx context.Context, steps uint64) (uint64, error) {
 	return done, nil
 }
 
-// RunWithContext is RunWith with cancellation: it performs up to steps
-// iterations, invoking observe with a metrics snapshot every interval
-// iterations (and at the end), and stops early when observe returns false
-// or ctx is cancelled. Cancellation is polled inside each interval, so even
-// sparse observers cancel promptly. It returns the iterations performed and
-// ctx's error if the run was cut short. Auto-checkpointing (see
-// SetAutoCheckpoint) applies exactly as in RunContext.
+// RunSteps performs steps iterations unconditionally. It never checkpoints
+// and takes no context; for long or observable runs use Run.
+func (s *System) RunSteps(steps uint64) { s.chain.Run(steps) }
+
+// RunContext performs up to steps iterations, stopping early when ctx is
+// cancelled, and returns the iterations performed with ctx's error if the
+// run was cut short. Auto-checkpointing applies as in Run.
+//
+// Deprecated: use Run with a RunSpec; RunContext(ctx, n) is exactly
+// Run(ctx, RunSpec{Steps: n}).
+func (s *System) RunContext(ctx context.Context, steps uint64) (uint64, error) {
+	return s.Run(ctx, RunSpec{Steps: steps})
+}
+
+// RunWithContext performs up to steps iterations, invoking observe with a
+// metrics snapshot every interval iterations, and stops early when observe
+// returns false or ctx is cancelled — in which case observe is invoked one
+// final time with the state the run stopped in.
+//
+// Deprecated: use Run with a RunSpec; RunWithContext(ctx, n, k, f) is
+// exactly Run(ctx, RunSpec{Steps: n, SampleEvery: max(k, 1), Observer: f}).
 func (s *System) RunWithContext(ctx context.Context, steps, interval uint64, observe func(snap Snapshot) bool) (uint64, error) {
 	if interval == 0 {
 		interval = 1
 	}
-	var done uint64
-	for done < steps {
-		batch := interval
-		if steps-done < batch {
-			batch = steps - done
-		}
-		n, err := s.RunContext(ctx, batch)
-		done += n
-		if err != nil {
-			return done, err
-		}
-		if !observe(s.Metrics()) {
-			return done, nil
-		}
-	}
-	return done, nil
+	return s.Run(ctx, RunSpec{Steps: steps, SampleEvery: interval, Observer: observe})
 }
 
 // RunWith performs steps iterations, invoking observe with a metrics
 // snapshot every interval iterations (and at the end). Returning false
 // stops the run early.
+//
+// Deprecated: use Run with a RunSpec. Unlike earlier releases, RunWith now
+// honors SetAutoCheckpoint, like every other run method.
 func (s *System) RunWith(steps, interval uint64, observe func(snap Snapshot) bool) {
-	s.chain.RunWith(steps, interval, func(uint64) bool {
-		return observe(s.Metrics())
-	})
+	if interval == 0 {
+		interval = 1
+	}
+	s.Run(context.Background(), RunSpec{Steps: steps, SampleEvery: interval, Observer: observe})
 }
 
 // Steps returns the number of iterations performed so far.
@@ -330,6 +479,12 @@ func (s *System) Snapshot() *Config { return s.chain.Snapshot() }
 func (s *System) Metrics() Snapshot {
 	return s.meter.Capture(s.chain.Config(), s.chain.Stats().Steps)
 }
+
+// Energy returns the Hamiltonian of the current configuration,
+// E(σ) = −e(σ)·ln λ − a(σ)·ln γ — the quantity the chain's stationary
+// distribution exponentially favors minimizing. Recorded traces carry it
+// alongside each metrics sample.
+func (s *System) Energy() float64 { return s.chain.Energy() }
 
 // ASCII renders the current configuration as text.
 func (s *System) ASCII() string { return viz.ASCII(s.chain.Config()) }

@@ -25,7 +25,7 @@ func TestSystemLifecycle(t *testing.T) {
 	if sys.N() != 20 {
 		t.Fatalf("N=%d", sys.N())
 	}
-	sys.Run(50000)
+	sys.RunSteps(50000)
 	if sys.Steps() != 50000 {
 		t.Fatalf("steps %d", sys.Steps())
 	}
@@ -50,7 +50,7 @@ func TestSystemSeparatesAndClassifies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys.Run(2000000)
+	sys.RunSteps(2000000)
 	m := sys.Metrics()
 	if m.Phase != CompressedSeparated {
 		t.Fatalf("phase %v after long γ=4 run (seg=%v, α=%v)", m.Phase, m.Segregation, m.Alpha)
@@ -108,7 +108,7 @@ func TestSnapshotIndependent(t *testing.T) {
 		t.Fatal(err)
 	}
 	snap := sys.Snapshot()
-	sys.Run(10000)
+	sys.RunSteps(10000)
 	if snap.N() != 16 {
 		t.Fatal("snapshot mutated by run")
 	}
@@ -205,7 +205,7 @@ func TestSystemCheckpointRestore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys.Run(20000)
+	sys.RunSteps(20000)
 	blob, err := sys.Checkpoint()
 	if err != nil {
 		t.Fatal(err)
@@ -214,8 +214,8 @@ func TestSystemCheckpointRestore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys.Run(20000)
-	restored.Run(20000)
+	sys.RunSteps(20000)
+	restored.RunSteps(20000)
 	if sys.Config().CanonicalKey() != restored.Config().CanonicalKey() {
 		t.Fatal("restored System diverged")
 	}

@@ -3,6 +3,7 @@ package sops
 import (
 	"context"
 	"errors"
+	"fmt"
 	"time"
 
 	"sops/internal/metrics"
@@ -11,6 +12,9 @@ import (
 
 // ErrEmptySweep reports a SweepSpec whose grid contains no cells.
 var ErrEmptySweep = errors.New("sops: sweep grid has no cells")
+
+// ErrNoSteps reports a SweepSpec that asks for zero-step cells.
+var ErrNoSteps = errors.New("sops: sweep Steps must be positive")
 
 // ErrNoCheckpointPath reports a ResumeSweep call whose spec does not name a
 // checkpoint manifest to resume from.
@@ -82,6 +86,38 @@ type SweepSpec struct {
 	// so resuming restores partially-run cells mid-trajectory instead of
 	// restarting them. 0 restarts interrupted cells from scratch.
 	CheckpointSteps uint64
+	// Tracker, if non-nil, receives the sweep's live per-cell lifecycle:
+	// done/running/failed counts, retries consumed, elapsed time and an
+	// ETA, readable at any moment via Tracker.Progress — including from
+	// other goroutines, e.g. a telemetry debug server. On a resumed sweep
+	// the cells already completed count as done from the start.
+	Tracker *SweepTracker
+	// Progress, if non-nil, is called with a fresh aggregate snapshot
+	// after each cell completes. Calls are serialized. It needs no
+	// Tracker of its own: the sweep supplies one if Tracker is nil.
+	Progress func(SweepProgress)
+}
+
+// Validate checks the parts of the spec that are uniform across the grid:
+// it returns an error wrapping ErrEmptySweep for a grid with no cells,
+// ErrNoSteps for zero-step cells, and ErrNoCounts or ErrBadLayout for a
+// bad per-cell configuration. Per-axis bias values are deliberately not
+// checked here — an invalid λ or γ fails only its own cells, reported in
+// their CellResult.Err, while the rest of the sweep completes.
+//
+// Sweep and ResumeSweep call Validate before running anything; it is
+// exported so front-ends can reject a bad spec before scheduling work.
+func (spec *SweepSpec) Validate() error {
+	if len(spec.Lambdas) == 0 || len(spec.Gammas) == 0 {
+		return fmt.Errorf("%w (%d lambdas × %d gammas)", ErrEmptySweep, len(spec.Lambdas), len(spec.Gammas))
+	}
+	if spec.Steps == 0 {
+		return ErrNoSteps
+	}
+	if err := validateCounts(spec.Counts); err != nil {
+		return err
+	}
+	return validateLayout(spec.Layout)
 }
 
 // resolveSeeds returns the per-grid-point replicate seeds.
@@ -167,10 +203,10 @@ func ResumeSweep(ctx context.Context, spec SweepSpec) ([]CellResult, error) {
 
 // runSweep is the shared engine behind Sweep and ResumeSweep.
 func runSweep(ctx context.Context, spec SweepSpec, resume bool) ([]CellResult, error) {
-	cells := spec.cells()
-	if len(cells) == 0 {
-		return nil, ErrEmptySweep
+	if err := spec.Validate(); err != nil {
+		return nil, err
 	}
+	cells := spec.cells()
 	th := spec.resolveThresholds()
 
 	ck, err := newSweepCheckpointer(spec)
@@ -201,10 +237,24 @@ func runSweep(ctx context.Context, spec SweepSpec, resume bool) ([]CellResult, e
 		return out, nil
 	}
 
+	track := spec.Tracker
+	if track == nil && spec.Progress != nil {
+		track = new(SweepTracker)
+	}
+	if track != nil {
+		track.Begin(len(cells), len(cells)-len(pending))
+	}
 	var observe func(runner.Progress)
-	if spec.Observe != nil {
+	if spec.Observe != nil || spec.Progress != nil {
 		base := len(cells) - len(pending)
-		observe = func(p runner.Progress) { spec.Observe(base+p.Done, len(cells)) }
+		observe = func(p runner.Progress) {
+			if spec.Observe != nil {
+				spec.Observe(base+p.Done, len(cells))
+			}
+			if spec.Progress != nil {
+				spec.Progress(track.Progress())
+			}
+		}
 	}
 	results, err := runner.Sweep(ctx, pending, runner.Options{
 		Workers: spec.Workers,
@@ -212,6 +262,7 @@ func runSweep(ctx context.Context, spec SweepSpec, resume bool) ([]CellResult, e
 		Observe: observe,
 		Retries: spec.Retries,
 		Backoff: spec.Backoff,
+		Track:   track,
 	}, func(ctx context.Context, c sweepCell, _ uint64) (Snapshot, error) {
 		return runSweepCell(ctx, &spec, c, th, ck)
 	})

@@ -96,7 +96,7 @@ func TestResumeSweepRestoresInFlightCell(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys.Run(20_000)
+	sys.RunSteps(20_000)
 	cellFile := spec.CheckpointPath + ".cell0000"
 	if err := sys.WriteCheckpoint(cellFile); err != nil {
 		t.Fatal(err)
@@ -114,12 +114,12 @@ func TestResumeSweepRestoresInFlightCell(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	restored.Run(spec.Steps - restored.Steps())
+	restored.RunSteps(spec.Steps - restored.Steps())
 	full, err := New(Options{Counts: spec.Counts, Lambda: 3, Gamma: 3, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	full.Run(spec.Steps)
+	full.RunSteps(spec.Steps)
 	if restored.Config().Hash() != full.Config().Hash() {
 		t.Fatalf("resumed trajectory hash %016x differs from uninterrupted %016x",
 			restored.Config().Hash(), full.Config().Hash())

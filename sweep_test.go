@@ -66,7 +66,7 @@ func TestSweepMatchesSerialSystem(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys.Run(20_000)
+	sys.RunSteps(20_000)
 	if cells[0].Snap != sys.Metrics() {
 		t.Fatalf("sweep cell diverges from serial run:\n%+v\n%+v", cells[0].Snap, sys.Metrics())
 	}
@@ -202,7 +202,7 @@ func TestSystemRunContext(t *testing.T) {
 		return sys
 	}
 	plain, ctxed := mk(), mk()
-	plain.Run(40_000)
+	plain.RunSteps(40_000)
 	done, err := ctxed.RunContext(context.Background(), 40_000)
 	if err != nil || done != 40_000 {
 		t.Fatalf("RunContext: done=%d err=%v", done, err)
