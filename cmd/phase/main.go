@@ -28,6 +28,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -45,9 +46,28 @@ import (
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "phase:", err)
+		fmt.Fprintln(os.Stderr, "phase:", friendly(err))
 		os.Exit(1)
 	}
+}
+
+// friendly rewrites the library's named validation errors in terms of this
+// command's flags, so a bad invocation says which flag to fix instead of
+// echoing an internal error chain.
+func friendly(err error) string {
+	switch {
+	case errors.Is(err, sops.ErrEmptySweep):
+		return "-lambdas and -gammas must each supply at least one value"
+	case errors.Is(err, sops.ErrNoSteps):
+		return "-iters must be positive"
+	case errors.Is(err, sops.ErrNoCounts):
+		return "-n must be positive"
+	case errors.Is(err, sops.ErrBadLayout):
+		return "initial layout must be spiral or line"
+	case errors.Is(err, sops.ErrSweepCheckpointMismatch):
+		return err.Error() + " (the -checkpoint manifest was written by a different sweep; remove it or change -checkpoint)"
+	}
+	return err.Error()
 }
 
 func run() error {

@@ -37,9 +37,26 @@ import (
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "sops:", err)
+		fmt.Fprintln(os.Stderr, "sops:", friendly(err))
 		os.Exit(1)
 	}
+}
+
+// friendly rewrites the library's named validation errors in terms of this
+// command's flags, so a bad invocation says which flag to fix instead of
+// echoing an internal error chain.
+func friendly(err error) string {
+	switch {
+	case errors.Is(err, sops.ErrNoCounts):
+		return "-n and -k must describe at least one particle per color class"
+	case errors.Is(err, sops.ErrBadLambda):
+		return "-lambda must be positive and finite"
+	case errors.Is(err, sops.ErrBadGamma):
+		return "-gamma must be positive and finite"
+	case errors.Is(err, sops.ErrBadLayout):
+		return "initial layout must be the spiral default or -line"
+	}
+	return err.Error()
 }
 
 func run() error {

@@ -1,0 +1,101 @@
+// Command sopsd is the simulation-as-a-service daemon: a long-running
+// process that accepts separation-chain run and sweep jobs over HTTP,
+// executes them under per-tenant concurrency quotas with fair round-robin
+// scheduling, and persists every job durably enough that kill -9 loses
+// nothing — interrupted jobs resume from their checkpoints on restart and
+// finish byte-identical to an uninterrupted execution.
+//
+// API (see the README's Serving section for a curl walkthrough):
+//
+//	POST   /v1/jobs             submit a run or sweep spec (JSON)
+//	GET    /v1/jobs             list jobs (?tenant= filters)
+//	GET    /v1/jobs/{id}        status, live metrics, trace tail, result
+//	GET    /v1/jobs/{id}/events live status stream (Server-Sent Events)
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /debug/sops          daemon status; /debug/vars, /debug/pprof/
+//
+// Usage:
+//
+//	sopsd -dir /var/lib/sopsd [-listen :8724] [-workers 8] [-tenant-slots 2]
+//
+// SIGINT/SIGTERM drain gracefully: running jobs are suspended into their
+// checkpoints and the store is left ready for the next start.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"sops/internal/jobs"
+	"sops/internal/telemetry"
+)
+
+func main() {
+	var (
+		listen          = flag.String("listen", "localhost:8724", "HTTP listen address")
+		dir             = flag.String("dir", "", "job store directory (required)")
+		workers         = flag.Int("workers", 0, "max jobs executing concurrently (0 = default 4)")
+		tenantSlots     = flag.Int("tenant-slots", 0, "max concurrent jobs per tenant (0 = workers)")
+		checkpointEvery = flag.Uint64("checkpoint-every", 0, "run-job checkpoint cadence in steps (0 = default 100000)")
+		sweepCkptSteps  = flag.Uint64("sweep-checkpoint-steps", 0, "in-flight sweep-cell checkpoint cadence (0 = checkpoint-every)")
+		traceCap        = flag.Int("trace-cap", 0, "live trace samples retained per run job (0 = default 256)")
+	)
+	flag.Parse()
+	log.SetPrefix("sopsd: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "sopsd: -dir is required: the job store directory makes submissions durable across restarts")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	m, err := jobs.Open(jobs.Config{
+		Dir:                  *dir,
+		Workers:              *workers,
+		TenantSlots:          *tenantSlots,
+		CheckpointEvery:      *checkpointEvery,
+		SweepCheckpointSteps: *sweepCkptSteps,
+		TraceCapacity:        *traceCap,
+		Logf:                 log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	debug := telemetry.NewServer(telemetry.Sources{Info: map[string]any{
+		"service": "sopsd",
+		"dir":     *dir,
+	}})
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", jobs.NewServer(m).Handler())
+	mux.Handle("/debug/", debug.Handler())
+
+	srv := &http.Server{Addr: *listen, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("serving on %s (store %s)", *listen, *dir)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		// Stop accepting work, then suspend every running job into its
+		// checkpoints; the next sopsd over the same -dir resumes them.
+		log.Printf("%s: suspending jobs and draining", sig)
+		srv.Close()
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("serve: %v", err)
+		}
+	case err := <-errc:
+		log.Printf("serve: %v", err)
+	}
+	m.Close()
+	log.Print("drained; job store is ready for restart")
+}

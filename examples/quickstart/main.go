@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,10 +24,14 @@ func main() {
 	fmt.Println("initial configuration:")
 	fmt.Println(sys.ASCII())
 
-	sys.RunWith(1_000_000, 250_000, func(m sops.Snapshot) bool {
-		fmt.Printf("after %8d steps: perimeter=%d (α=%.2f), heterogeneous edges=%d, segregation=%.2f, phase=%s\n",
-			m.Steps, m.Perimeter, m.Alpha, m.HetEdges, m.Segregation, m.Phase)
-		return true
+	sys.Run(context.Background(), sops.RunSpec{
+		Steps:       1_000_000,
+		SampleEvery: 250_000,
+		Observer: func(m sops.Snapshot) bool {
+			fmt.Printf("after %8d steps: perimeter=%d (α=%.2f), heterogeneous edges=%d, segregation=%.2f, phase=%s\n",
+				m.Steps, m.Perimeter, m.Alpha, m.HetEdges, m.Segregation, m.Phase)
+			return true
+		},
 	})
 
 	fmt.Println("\nfinal configuration:")

@@ -22,6 +22,46 @@ const (
 	LayoutLine
 )
 
+// String returns the layout's wire name: "spiral", "line", or "" for the
+// zero value (which callers treat as the spiral default).
+func (l Layout) String() string {
+	switch l {
+	case LayoutSpiral:
+		return "spiral"
+	case LayoutLine:
+		return "line"
+	case 0:
+		return ""
+	}
+	return fmt.Sprintf("Layout(%d)", uint8(l))
+}
+
+// MarshalText encodes the layout by name, so JSON specs carry "spiral" or
+// "line" instead of an opaque number. The zero value encodes as "".
+func (l Layout) MarshalText() ([]byte, error) {
+	switch l {
+	case 0, LayoutSpiral, LayoutLine:
+		return []byte(l.String()), nil
+	}
+	return nil, fmt.Errorf("core: unknown layout %d", uint8(l))
+}
+
+// UnmarshalText decodes a layout name. "" yields the zero value, which
+// downstream constructors default to LayoutSpiral.
+func (l *Layout) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "":
+		*l = 0
+	case "spiral":
+		*l = LayoutSpiral
+	case "line":
+		*l = LayoutLine
+	default:
+		return fmt.Errorf("core: unknown layout %q", text)
+	}
+	return nil
+}
+
 // ErrNoParticles is returned when an initial configuration would be empty.
 var ErrNoParticles = errors.New("core: initial configuration needs at least one particle")
 

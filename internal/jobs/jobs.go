@@ -1,0 +1,212 @@
+// Package jobs is the multi-tenant simulation job queue behind cmd/sopsd:
+// a persistent on-disk store of submitted run and sweep specs, a fair
+// scheduler that executes them under per-tenant concurrency quotas, and a
+// versioned HTTP API (submit, inspect, stream, cancel) over both.
+//
+// Jobs are durable and checkpoint-backed. Every lifecycle transition is
+// written atomically under the manager's directory before it takes effect,
+// executing jobs auto-checkpoint their chain state (run jobs) or their
+// sweep manifest plus in-flight cells (sweep jobs), and a manager reopened
+// over the same directory — after a graceful Close or a kill -9 — requeues
+// every interrupted job and resumes it from its checkpoints. Because the
+// underlying machinery (sops.ResumeSweep, sops.System auto-checkpoints,
+// absolute-step sample alignment) is byte-identical under resume, a job
+// that survived a crash produces exactly the result an uninterrupted
+// execution would have.
+//
+// The package deliberately speaks only the public sops wire surface —
+// sops.Options and sops.SweepSpec JSON codecs, sops.Snapshot results — so
+// the HTTP API it serves is a language-neutral contract, not a Go one.
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sops"
+	"sops/internal/telemetry"
+)
+
+// Named validation and lifecycle errors. The HTTP layer maps these (and
+// the sops.Err* validation sentinels) to friendly 4xx responses.
+var (
+	// ErrNoWork reports a job spec with neither a run nor a sweep.
+	ErrNoWork = errors.New("jobs: spec must carry a run or a sweep")
+	// ErrBothWork reports a job spec with both a run and a sweep.
+	ErrBothWork = errors.New("jobs: spec must carry a run or a sweep, not both")
+	// ErrNotFound reports an unknown job ID.
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrFinished reports a cancel of a job that already reached a
+	// terminal state.
+	ErrFinished = errors.New("jobs: job already finished")
+	// ErrClosed reports a submit to a closing manager.
+	ErrClosed = errors.New("jobs: manager is closed")
+
+	// ErrCanceled is the cancellation cause of an operator cancel
+	// (DELETE /v1/jobs/{id}); the job lands in StateCanceled.
+	ErrCanceled = errors.New("jobs: canceled by request")
+	// ErrSuspended is the cancellation cause of a manager shutdown; the
+	// job returns to StateQueued and resumes when a manager reopens the
+	// directory.
+	ErrSuspended = errors.New("jobs: suspended by shutdown")
+)
+
+// RunJob is the wire spec of a single-system job: build a System from
+// Options, run it Steps iterations, report the final metrics. SampleEvery
+// sets the trace cadence (0 uses the manager's default); the trace tail is
+// visible live through the job status and event stream.
+type RunJob struct {
+	Options     sops.Options `json:"options"`
+	Steps       uint64       `json:"steps"`
+	SampleEvery uint64       `json:"sampleEvery,omitempty"`
+}
+
+// Spec is the wire form of a submitted job: tenant routing plus exactly
+// one workload, a single run or a parameter sweep. The sweep spec's
+// runtime-only fields (callbacks, checkpoint paths) are not part of the
+// wire codec; the manager supplies its own checkpoint wiring.
+type Spec struct {
+	// Tenant scopes the job for quota accounting; empty means "default".
+	Tenant string `json:"tenant,omitempty"`
+	// Name is an optional label echoed in the job status.
+	Name string `json:"name,omitempty"`
+
+	Run   *RunJob         `json:"run,omitempty"`
+	Sweep *sops.SweepSpec `json:"sweep,omitempty"`
+}
+
+// Validate routes the spec through the single public validation entry
+// points — sops.Options.Validate for runs, sops.SweepSpec.Validate for
+// sweeps — so the job API rejects exactly what the library constructors
+// would, with the same named errors.
+func (s *Spec) Validate() error {
+	switch {
+	case s.Run == nil && s.Sweep == nil:
+		return ErrNoWork
+	case s.Run != nil && s.Sweep != nil:
+		return ErrBothWork
+	case s.Run != nil:
+		if err := s.Run.Options.Validate(); err != nil {
+			return err
+		}
+		if s.Run.Steps == 0 {
+			return sops.ErrNoSteps
+		}
+		return nil
+	default:
+		return s.Sweep.Validate()
+	}
+}
+
+// tenant returns the quota-accounting tenant name.
+func (s *Spec) tenant() string {
+	if s.Tenant == "" {
+		return "default"
+	}
+	return s.Tenant
+}
+
+// State is a job's lifecycle state.
+type State string
+
+// The job lifecycle: queued → running → {done, failed, canceled}, with
+// running → queued again on daemon shutdown or crash (the job is requeued
+// and resumed from its checkpoints by the next manager).
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// CellOutcome is the wire form of one sweep cell's result (sops.CellResult
+// with the error flattened to text).
+type CellOutcome struct {
+	Lambda  float64        `json:"lambda"`
+	Gamma   float64        `json:"gamma"`
+	Seed    uint64         `json:"seed"`
+	Snap    *sops.Snapshot `json:"snap,omitempty"`
+	Error   string         `json:"error,omitempty"`
+	Retries int            `json:"retries,omitempty"`
+}
+
+// Result is a finished job's payload: Snap for run jobs, Cells for sweeps.
+type Result struct {
+	Snap  *sops.Snapshot `json:"snap,omitempty"`
+	Cells []CellOutcome  `json:"cells,omitempty"`
+}
+
+// cellOutcomes flattens sweep results into their wire form.
+func cellOutcomes(results []sops.CellResult) []CellOutcome {
+	out := make([]CellOutcome, len(results))
+	for i, r := range results {
+		out[i] = CellOutcome{
+			Lambda:  r.Lambda,
+			Gamma:   r.Gamma,
+			Seed:    r.Seed,
+			Retries: r.Retries,
+		}
+		if r.Err != nil {
+			out[i].Error = r.Err.Error()
+		} else {
+			snap := r.Snap
+			out[i].Snap = &snap
+		}
+	}
+	return out
+}
+
+// Status is the external view of a job: the document GET /v1/jobs/{id}
+// returns and the event stream carries. Live sections (Probe, Sweep,
+// Trace) are present only while the job runs; Result only once it is done.
+type Status struct {
+	ID       string    `json:"id"`
+	Tenant   string    `json:"tenant"`
+	Name     string    `json:"name,omitempty"`
+	State    State     `json:"state"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitempty"`
+	Finished time.Time `json:"finished,omitempty"`
+	Error    string    `json:"error,omitempty"`
+
+	Probe *telemetry.Status        `json:"probe,omitempty"`
+	Sweep *telemetry.SweepProgress `json:"sweep,omitempty"`
+	// Trace is the tail of the run job's recorded trajectory (newest
+	// last), bounded by the manager's trace capacity.
+	Trace  []TracePoint `json:"trace,omitempty"`
+	Result *Result      `json:"result,omitempty"`
+}
+
+// TracePoint is one trajectory sample in job-status form.
+type TracePoint struct {
+	Steps  uint64  `json:"steps"`
+	Alpha  float64 `json:"alpha"`
+	Seg    float64 `json:"segregation"`
+	Phase  string  `json:"phase"`
+	Energy float64 `json:"energy"`
+}
+
+// record is the persisted lifecycle document (state.json). The spec lives
+// beside it in spec.json, written once at submit.
+type record struct {
+	ID       string    `json:"id"`
+	State    State     `json:"state"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitempty"`
+	Finished time.Time `json:"finished,omitempty"`
+	Error    string    `json:"error,omitempty"`
+	Result   *Result   `json:"result,omitempty"`
+}
+
+// idFormat is the zero-padded sequential job ID layout; the numeric core
+// keeps IDs sortable by submission order.
+const idFormat = "j%08d"
+
+func formatID(n uint64) string { return fmt.Sprintf(idFormat, n) }

@@ -18,6 +18,37 @@ const (
 	ExpandedIntegrated
 )
 
+// MarshalText encodes the phase by its paper name, so JSON documents carry
+// "compressed-separated" rather than an enum ordinal.
+func (p Phase) MarshalText() ([]byte, error) {
+	switch p {
+	case 0:
+		return nil, nil
+	case CompressedSeparated, CompressedIntegrated, ExpandedSeparated, ExpandedIntegrated:
+		return []byte(p.String()), nil
+	}
+	return nil, fmt.Errorf("metrics: unknown phase %d", uint8(p))
+}
+
+// UnmarshalText decodes a phase name; "" yields the zero value.
+func (p *Phase) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "":
+		*p = 0
+	case "compressed-separated":
+		*p = CompressedSeparated
+	case "compressed-integrated":
+		*p = CompressedIntegrated
+	case "expanded-separated":
+		*p = ExpandedSeparated
+	case "expanded-integrated":
+		*p = ExpandedIntegrated
+	default:
+		return fmt.Errorf("metrics: unknown phase %q", text)
+	}
+	return nil
+}
+
 // String returns the phase name as used in the paper.
 func (p Phase) String() string {
 	switch p {
@@ -81,19 +112,21 @@ func Classify(cfg *psys.Config, th Thresholds) Phase {
 }
 
 // Snapshot is a compact numeric summary of a configuration, suitable for
-// time series and tables.
+// time series and tables. Its JSON form uses the same stable names as the
+// recorder's trace schema (README, Observability), with the phase by name,
+// so snapshots in job-API results and trace rows read identically.
 type Snapshot struct {
-	Steps        uint64  // chain iterations at capture time (0 if unknown)
-	N            int     // particles
-	Perimeter    int     // p(σ)
-	MinPerimeter int     // p_min(n)
-	Alpha        float64 // p/p_min
-	Edges        int     // e(σ)
-	HomEdges     int     // a(σ)
-	HetEdges     int     // h(σ)
-	Segregation  float64 // SegregationIndex
-	LargestFrac  float64 // largest-cluster fraction of color 0
-	Phase        Phase
+	Steps        uint64  `json:"steps"`         // chain iterations at capture time (0 if unknown)
+	N            int     `json:"n"`             // particles
+	Perimeter    int     `json:"perimeter"`     // p(σ)
+	MinPerimeter int     `json:"min_perimeter"` // p_min(n)
+	Alpha        float64 `json:"alpha"`         // p/p_min
+	Edges        int     `json:"edges"`         // e(σ)
+	HomEdges     int     `json:"hom_edges"`     // a(σ)
+	HetEdges     int     `json:"het_edges"`     // h(σ)
+	Segregation  float64 `json:"segregation"`   // SegregationIndex
+	LargestFrac  float64 `json:"largest_frac"`  // largest-cluster fraction of color 0
+	Phase        Phase   `json:"phase"`
 }
 
 // Capture computes a Snapshot of cfg using the given thresholds.

@@ -189,7 +189,13 @@ func Sweep[C, R any](ctx context.Context, cells []C, opts Options, fn Func[C, R]
 	}
 	wg.Wait()
 
-	if err := ctx.Err(); err != nil {
+	if ctx.Err() != nil {
+		// Surface the cancellation cause, not the bare context.Canceled: a
+		// job server cancels sweeps with context.WithCancelCause (operator
+		// cancel vs. daemon suspend), and the cause tells resumed-job
+		// bookkeeping which one happened. Cause(ctx) is ctx.Err() when no
+		// cause was set, so plain cancellation is unchanged.
+		err := context.Cause(ctx)
 		for i := range results {
 			if !finished[i] {
 				results[i].Err = err
@@ -225,6 +231,11 @@ func runCell[C, R any](ctx context.Context, fn Func[C, R], cell C, seed uint64, 
 			return value, attempts, err
 		}
 		if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// A cell interrupted by the sweep's own cancellation reports
+			// the cancellation cause, matching the never-run cells.
+			if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+				err = context.Cause(ctx)
+			}
 			return value, attempts, err
 		}
 		if opts.Backoff > 0 {

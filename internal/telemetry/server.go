@@ -90,12 +90,14 @@ func publishExpvar(src Sources) {
 
 // Server serves live run introspection over HTTP:
 //
-//	/debug/sops    — JSON status (probe counters and rates, sweep progress, trace occupancy)
-//	/debug/vars    — expvar, including the same status under the "sops" key
-//	/debug/pprof/  — the standard pprof index, profiles and trace
+//	/debug/sops         — JSON status (probe counters and rates, sweep progress, trace occupancy)
+//	/debug/sops/stream  — the same status as Server-Sent Events (?interval=500ms sets the cadence)
+//	/debug/vars         — expvar, including the same status under the "sops" key
+//	/debug/pprof/       — the standard pprof index, profiles and trace
 //
-// Start it on a loopback address for long local runs; everything it serves
-// is read-only.
+// All routes are read-only and accept only GET (and HEAD via net/http);
+// other methods get 405 and unknown paths 404. Start it on a loopback
+// address for long local runs.
 type Server struct {
 	src Sources
 
@@ -111,18 +113,35 @@ func NewServer(src Sources) *Server { return &Server{src: src} }
 // Handler returns the server's routes, for embedding into an existing mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/sops", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /debug/sops", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(s.src.snapshot())
 	})
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/sops/stream", func(w http.ResponseWriter, r *http.Request) {
+		interval := time.Second
+		if v := r.URL.Query().Get("interval"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				http.Error(w, "interval must be a positive duration (e.g. 500ms)", http.StatusBadRequest)
+				return
+			}
+			interval = d
+		}
+		SSE(w, r, interval, func() (any, bool) {
+			return s.src.snapshot(), false
+		})
+	})
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	// pprof's symbol endpoint is the one POST in the protocol (`go tool
+	// pprof` submits address lists in the body), so it accepts both.
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("POST /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
 }
 

@@ -1,0 +1,255 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServerStatusSchema pins the wire schema of /debug/sops: the document
+// keys front-ends and the sopsd job API rely on. Extending the schema is
+// fine; renaming or dropping a key is a breaking change this test catches.
+func TestServerStatusSchema(t *testing.T) {
+	probe := NewProbe()
+	probe.Add(100, 40, 10, 50)
+	var tr SweepTracker
+	tr.Begin(5, 2)
+	rec := NewRecorder(8, 1)
+	rec.Record(sampleAt(3))
+	srv := NewServer(Sources{
+		Probe: probe, Sweep: &tr, Recorder: rec,
+		Info: map[string]any{"workload": "schema"},
+	})
+
+	rw := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rw, httptest.NewRequest("GET", "/debug/sops", nil))
+	if rw.Code != http.StatusOK {
+		t.Fatalf("GET /debug/sops: %d", rw.Code)
+	}
+	if ct := rw.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(rw.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("status is not a JSON object: %v", err)
+	}
+	for _, key := range []string{"now", "info", "probe", "sweep", "trace"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("status document missing %q key", key)
+		}
+	}
+	var probeDoc map[string]json.RawMessage
+	if err := json.Unmarshal(doc["probe"], &probeDoc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"steps", "moves", "swaps", "rejected", "acceptanceRate", "swapFraction", "stepsPerSec", "elapsed"} {
+		if _, ok := probeDoc[key]; !ok {
+			t.Errorf("probe document missing %q key", key)
+		}
+	}
+	var sweepDoc map[string]json.RawMessage
+	if err := json.Unmarshal(doc["sweep"], &sweepDoc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"total", "done", "running", "failed", "retries", "elapsed", "eta"} {
+		if _, ok := sweepDoc[key]; !ok {
+			t.Errorf("sweep document missing %q key", key)
+		}
+	}
+	var traceDoc map[string]json.RawMessage
+	if err := json.Unmarshal(doc["trace"], &traceDoc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"samples", "capacity", "dropped", "every"} {
+		if _, ok := traceDoc[key]; !ok {
+			t.Errorf("trace document missing %q key", key)
+		}
+	}
+
+	// Absent sources are omitted, not null-filled.
+	rw = httptest.NewRecorder()
+	NewServer(Sources{}).Handler().ServeHTTP(rw, httptest.NewRequest("GET", "/debug/sops", nil))
+	var empty map[string]json.RawMessage
+	if err := json.Unmarshal(rw.Body.Bytes(), &empty); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"probe", "sweep", "trace", "info"} {
+		if _, ok := empty[key]; ok {
+			t.Errorf("empty-source status carries %q key", key)
+		}
+	}
+}
+
+// TestServerMethodAndPathHandling: the debug surface is GET-only and
+// unknown paths 404 — the routing contract the job server's mux composes
+// with.
+func TestServerMethodAndPathHandling(t *testing.T) {
+	h := NewServer(Sources{Probe: NewProbe()}).Handler()
+	cases := []struct {
+		method, path string
+		want         int
+	}{
+		{"GET", "/debug/sops", http.StatusOK},
+		{"POST", "/debug/sops", http.StatusMethodNotAllowed},
+		{"DELETE", "/debug/sops", http.StatusMethodNotAllowed},
+		{"PUT", "/debug/sops/stream", http.StatusMethodNotAllowed},
+		{"POST", "/debug/vars", http.StatusMethodNotAllowed},
+		{"GET", "/debug/nope", http.StatusNotFound},
+		{"GET", "/", http.StatusNotFound},
+		{"GET", "/debug/sops/extra", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, httptest.NewRequest(tc.method, tc.path, nil))
+		if rw.Code != tc.want {
+			t.Errorf("%s %s = %d, want %d", tc.method, tc.path, rw.Code, tc.want)
+		}
+	}
+}
+
+// TestServerExpvarSinglePublish: starting many servers in one process must
+// not panic on duplicate expvar names, and the shared "sops" variable
+// follows the most recently started server's sources.
+func TestServerExpvarSinglePublish(t *testing.T) {
+	p1 := NewProbe()
+	p1.Add(11, 0, 0, 11)
+	s1 := NewServer(Sources{Probe: p1})
+	addr1, err := s1.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+
+	p2 := NewProbe()
+	p2.Add(22, 0, 0, 22)
+	s2 := NewServer(Sources{Probe: p2})
+	if _, err := s2.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("second Start: %v", err) // double-publish would panic before returning
+	}
+	defer s2.Close()
+
+	// Both servers' /debug/vars serve the shared variable, now pointing at
+	// the second server's probe.
+	resp, err := http.Get("http://" + addr1 + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars struct {
+		Sops struct {
+			Probe *Status `json:"probe"`
+		} `json:"sops"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("expvar output: %v\n%s", err, body)
+	}
+	if vars.Sops.Probe == nil || vars.Sops.Probe.Steps != 22 {
+		t.Fatalf("expvar sops.probe = %+v, want the latest server's (22 steps)", vars.Sops.Probe)
+	}
+}
+
+// TestServerSSEStream reads a couple of frames off /debug/sops/stream and
+// checks the SSE framing and payload schema.
+func TestServerSSEStream(t *testing.T) {
+	probe := NewProbe()
+	probe.Add(5, 1, 1, 3)
+	srv := NewServer(Sources{Probe: probe})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", "http://"+addr+"/debug/sops/stream?interval=10ms", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	frames := 0
+	for sc.Scan() && frames < 2 {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, "data: ") {
+			t.Fatalf("non-SSE line %q", line)
+		}
+		var st struct {
+			Probe *Status `json:"probe"`
+		}
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &st); err != nil {
+			t.Fatalf("frame payload: %v", err)
+		}
+		if st.Probe == nil || st.Probe.Steps != 5 {
+			t.Fatalf("frame probe = %+v", st.Probe)
+		}
+		frames++
+	}
+	if frames < 2 {
+		t.Fatalf("read %d frames, want 2 (scan err %v)", frames, sc.Err())
+	}
+
+	// A malformed cadence is rejected up front.
+	bad, err := http.Get("http://" + addr + "/debug/sops/stream?interval=sideways")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad interval status %s", bad.Status)
+	}
+}
+
+// sanity: SSE helper surfaces the client hangup as the context error.
+func TestSSEClientDisconnect(t *testing.T) {
+	done := make(chan error, 1)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		done <- SSE(w, r, 5*time.Millisecond, func() (any, bool) { return map[string]int{"x": 1}, false })
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	resp.Body.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("SSE returned nil after client hangup")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("SSE handler did not return after client hangup")
+	}
+	if !bytes.Equal(buf, []byte("d")) {
+		t.Fatalf("first streamed byte %q", buf)
+	}
+}

@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// SSE streams JSON payloads to a client as Server-Sent Events: one
+// "data: <json>" frame per tick until the client disconnects or next
+// reports the stream finished. It is the transport behind live telemetry
+// endpoints — the /debug/sops stream and cmd/sopsd's per-job event feed —
+// chosen over WebSocket because it needs nothing beyond net/http and
+// `curl -N` is a complete client.
+//
+// next is polled once immediately and then every interval; it returns the
+// payload to send and whether the stream is complete. The final payload is
+// always sent before the stream closes, so a watcher of a finishing job
+// sees its terminal state. A nil payload is skipped (heartbeat tick).
+//
+// SSE returns nil when the stream completed and the client's context error
+// when the client went away first; the response is committed either way,
+// so callers must not write after it returns.
+func SSE(w http.ResponseWriter, r *http.Request, interval time.Duration, next func() (payload any, done bool)) error {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return fmt.Errorf("telemetry: response writer cannot stream")
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no") // proxies must not buffer the stream
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		payload, done := next()
+		if payload != nil {
+			data, err := json.Marshal(payload)
+			if err != nil {
+				return fmt.Errorf("telemetry: encode event: %w", err)
+			}
+			fmt.Fprintf(w, "data: %s\n\n", data)
+			fl.Flush()
+		}
+		if done {
+			return nil
+		}
+		select {
+		case <-r.Context().Done():
+			return r.Context().Err()
+		case <-ticker.C:
+		}
+	}
+}

@@ -526,6 +526,17 @@ func (s *System) SetAutoCheckpoint(path string, every uint64) {
 	s.ckptPath, s.ckptEvery = path, every
 }
 
+// The checkpoint surface comes in three symmetric pairs over one codec:
+//
+//	Checkpoint        / Restore      — []byte
+//	WriteCheckpointTo / RestoreFrom  — io.Writer / io.Reader
+//	WriteCheckpoint   / RestoreFile  — filesystem path (atomic write)
+//
+// Every pair serializes exactly the same JSON document, so state written
+// through any of them restores through any other — a job server can stream
+// a checkpoint over HTTP, persist it to disk, and resume from either copy.
+// See Example (Checkpoint).
+
 // WriteCheckpoint atomically writes the System's checkpoint (see
 // Checkpoint) to path: the state is staged in a temporary file in path's
 // directory, synced, and renamed into place, so a crash mid-write never
@@ -541,16 +552,42 @@ func (s *System) WriteCheckpoint(path string) error {
 	return nil
 }
 
+// WriteCheckpointTo writes the System's checkpoint (see Checkpoint) to w.
+// Unlike WriteCheckpoint it makes no atomicity promise — that is the
+// stream's concern — which is what a network or pipe destination wants.
+func (s *System) WriteCheckpointTo(w io.Writer) error {
+	data, err := s.Checkpoint()
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("sops: write checkpoint: %w", err)
+	}
+	return nil
+}
+
+// RestoreFrom rebuilds a System from a checkpoint stream written by
+// WriteCheckpointTo (or any of the checkpoint writers). th overrides the
+// phase-classification thresholds (nil for defaults).
+func RestoreFrom(r io.Reader, th *Thresholds) (*System, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("sops: read checkpoint: %w", err)
+	}
+	return Restore(data, th)
+}
+
 // RestoreFile rebuilds a System from a checkpoint file written by
 // WriteCheckpoint or auto-checkpointing. th overrides the
 // phase-classification thresholds (nil for defaults). The restored System
 // continues the exact trajectory of the checkpointed one.
 func RestoreFile(path string, th *Thresholds) (*System, error) {
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("sops: read checkpoint: %w", err)
 	}
-	return Restore(data, th)
+	defer f.Close()
+	return RestoreFrom(f, th)
 }
 
 // Checkpoint serializes the System's complete state (configuration, bias

@@ -13,8 +13,10 @@ import (
 // ErrEmptySweep reports a SweepSpec whose grid contains no cells.
 var ErrEmptySweep = errors.New("sops: sweep grid has no cells")
 
-// ErrNoSteps reports a SweepSpec that asks for zero-step cells.
-var ErrNoSteps = errors.New("sops: sweep Steps must be positive")
+// ErrNoSteps reports a spec that asks for zero chain iterations — a
+// SweepSpec with Steps == 0, or a zero-step job submitted to a front-end
+// that routes through the same validation.
+var ErrNoSteps = errors.New("sops: Steps must be positive")
 
 // ErrNoCheckpointPath reports a ResumeSweep call whose spec does not name a
 // checkpoint manifest to resume from.
@@ -312,7 +314,7 @@ func runSweepCell(ctx context.Context, spec *SweepSpec, c sweepCell, th Threshol
 	if ck != nil && ck.steps > 0 {
 		sys.SetAutoCheckpoint(ck.cellPath(c.index), ck.steps)
 	}
-	if _, err := sys.RunContext(ctx, spec.Steps-sys.Steps()); err != nil {
+	if _, err := sys.Run(ctx, RunSpec{Steps: spec.Steps - sys.Steps()}); err != nil {
 		return Snapshot{}, err
 	}
 	snap := sys.Metrics()
