@@ -5,6 +5,15 @@
 // nothing — interrupted jobs resume from their checkpoints on restart and
 // finish byte-identical to an uninterrupted execution.
 //
+// The daemon is self-healing: every durable artifact travels in a
+// checksummed integrity envelope, a job whose documents fail verification
+// is quarantined (not fatal), failed executions retry with exponential
+// backoff before landing in a terminal state, a stuck-job watchdog kills
+// and requeues jobs whose progress heartbeat goes flat, and queue-depth
+// backpressure sheds submissions with 503 + Retry-After instead of
+// accepting unbounded work. The /debug/sops status report carries the
+// corruption and self-healing counters.
+//
 // API (see the README's Serving section for a curl walkthrough):
 //
 //	POST   /v1/jobs             submit a run or sweep spec (JSON)
@@ -20,6 +29,11 @@
 //
 // SIGINT/SIGTERM drain gracefully: running jobs are suspended into their
 // checkpoints and the store is left ready for the next start.
+//
+// The SOPS_FAILFS environment variable, when set, installs the
+// deterministic disk-fault injection layer (internal/failfs) under every
+// artifact write — chaos-testing hook only, never set it in production.
+// Its format is documented at failfs.ParseEnv.
 package main
 
 import (
@@ -31,7 +45,9 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
+	"sops/internal/failfs"
 	"sops/internal/jobs"
 	"sops/internal/telemetry"
 )
@@ -45,6 +61,11 @@ func main() {
 		checkpointEvery = flag.Uint64("checkpoint-every", 0, "run-job checkpoint cadence in steps (0 = default 100000)")
 		sweepCkptSteps  = flag.Uint64("sweep-checkpoint-steps", 0, "in-flight sweep-cell checkpoint cadence (0 = checkpoint-every)")
 		traceCap        = flag.Int("trace-cap", 0, "live trace samples retained per run job (0 = default 256)")
+		maxRetries      = flag.Int("max-retries", 0, "retries before a failing job goes terminal (0 = default 2, negative = none)")
+		retryBackoff    = flag.Duration("retry-backoff", 0, "delay before a failed job's first retry, doubling per attempt (0 = default 1s)")
+		requeueLimit    = flag.Int("requeue-limit", 0, "crash requeues before a job is poisoned (0 = default 3, negative = unbounded)")
+		queueHighWater  = flag.Int("queue-high-water", 4096, "queued jobs accepted before submissions get 503 (<= 0 = unbounded)")
+		stuckAfter      = flag.Duration("stuck-after", 10*time.Minute, "kill running jobs with no progress for this long (0 = no watchdog)")
 	)
 	flag.Parse()
 	log.SetPrefix("sopsd: ")
@@ -56,6 +77,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Chaos hook: a seeded fault-injection filesystem under every durable
+	// write, for crash drills (scripts/sopsd_chaos.sh). No-op when unset.
+	if spec := os.Getenv("SOPS_FAILFS"); spec != "" {
+		inj, err := failfs.ParseEnv(spec)
+		if err != nil {
+			log.Fatalf("SOPS_FAILFS: %v", err)
+		}
+		if inj != nil {
+			failfs.Swap(inj)
+			log.Printf("SOPS_FAILFS active: injecting disk faults (%s)", spec)
+		}
+	}
+
 	m, err := jobs.Open(jobs.Config{
 		Dir:                  *dir,
 		Workers:              *workers,
@@ -63,21 +97,38 @@ func main() {
 		CheckpointEvery:      *checkpointEvery,
 		SweepCheckpointSteps: *sweepCkptSteps,
 		TraceCapacity:        *traceCap,
+		MaxRetries:           *maxRetries,
+		RetryBackoff:         *retryBackoff,
+		RequeueLimit:         *requeueLimit,
+		QueueHighWater:       *queueHighWater,
+		StuckAfter:           *stuckAfter,
 		Logf:                 log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	debug := telemetry.NewServer(telemetry.Sources{Info: map[string]any{
-		"service": "sopsd",
-		"dir":     *dir,
-	}})
+	debug := telemetry.NewServer(telemetry.Sources{
+		Health: m.Health(),
+		Info: map[string]any{
+			"service": "sopsd",
+			"dir":     *dir,
+		},
+	})
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", jobs.NewServer(m).Handler())
 	mux.Handle("/debug/", debug.Handler())
 
-	srv := &http.Server{Addr: *listen, Handler: mux}
+	// Read-side timeouts bound slow-loris clients; WriteTimeout stays
+	// unset because the SSE event streams write for as long as a client
+	// watches.
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("serving on %s (store %s)", *listen, *dir)

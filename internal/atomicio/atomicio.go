@@ -5,13 +5,18 @@
 // complete file — never a truncated or interleaved one. This is the write
 // discipline behind every checkpoint and output artifact in the repo:
 // cancellation or SIGKILL mid-write can lose at most the write in progress.
+//
+// All filesystem access goes through internal/failfs, so the whole write
+// path — create, write, fsync, rename, directory fsync — is exercisable
+// under deterministic injected disk faults.
 package atomicio
 
 import (
 	"fmt"
 	"io/fs"
-	"os"
 	"path/filepath"
+
+	"sops/internal/failfs"
 )
 
 // WriteFile atomically replaces path with data: it writes a temporary file
@@ -38,7 +43,8 @@ func WriteFile(path string, data []byte, perm fs.FileMode) error {
 // of Commit or Abort must be called; Abort after Commit is a safe no-op, so
 // `defer w.Abort()` is the idiomatic cleanup.
 type File struct {
-	f    *os.File
+	f    failfs.File
+	fs   failfs.FS
 	path string
 	done bool
 }
@@ -46,22 +52,26 @@ type File struct {
 // Create opens an atomic writer for path. The temporary file is created in
 // path's directory so the final rename cannot cross filesystems.
 func Create(path string) (*File, error) {
+	fsys := failfs.Get()
 	dir, base := filepath.Split(path)
 	if dir == "" {
 		dir = "."
 	}
-	f, err := os.CreateTemp(dir, base+".tmp-*")
+	f, err := fsys.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
 		return nil, fmt.Errorf("atomicio: create temp for %s: %w", path, err)
 	}
-	return &File{f: f, path: path}, nil
+	return &File{f: f, fs: fsys, path: path}, nil
 }
 
 // Write appends to the pending temporary file.
 func (w *File) Write(p []byte) (int, error) { return w.f.Write(p) }
 
-// Commit flushes the temporary file to stable storage and renames it over
-// the destination. After Commit the File is spent.
+// Commit flushes the temporary file to stable storage, renames it over the
+// destination, and fsyncs the destination directory so the rename itself
+// survives a power failure — without the directory sync, a crash can
+// resurrect the old file even though the rename returned. After Commit the
+// File is spent.
 func (w *File) Commit() error {
 	if w.done {
 		return fmt.Errorf("atomicio: commit of finished write to %s", w.path)
@@ -70,16 +80,20 @@ func (w *File) Commit() error {
 	tmp := w.f.Name()
 	if err := w.f.Sync(); err != nil {
 		w.f.Close()
-		os.Remove(tmp)
+		w.fs.Remove(tmp)
 		return fmt.Errorf("atomicio: sync %s: %w", w.path, err)
 	}
 	if err := w.f.Close(); err != nil {
-		os.Remove(tmp)
+		w.fs.Remove(tmp)
 		return fmt.Errorf("atomicio: close %s: %w", w.path, err)
 	}
-	if err := os.Rename(tmp, w.path); err != nil {
-		os.Remove(tmp)
+	if err := w.fs.Rename(tmp, w.path); err != nil {
+		w.fs.Remove(tmp)
 		return fmt.Errorf("atomicio: rename into %s: %w", w.path, err)
+	}
+	dir := filepath.Dir(w.path)
+	if err := w.fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("atomicio: sync dir %s: %w", dir, err)
 	}
 	return nil
 }
@@ -93,5 +107,5 @@ func (w *File) Abort() {
 	w.done = true
 	tmp := w.f.Name()
 	w.f.Close()
-	os.Remove(tmp)
+	w.fs.Remove(tmp)
 }

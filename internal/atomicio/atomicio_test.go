@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"sops/internal/failfs"
 )
 
 func TestWriteFileCreatesAndReplaces(t *testing.T) {
@@ -91,5 +93,52 @@ func TestCommitThenAbortIsNoop(t *testing.T) {
 func TestCreateInMissingDirFails(t *testing.T) {
 	if _, err := Create(filepath.Join(t.TempDir(), "no", "such", "dir", "f")); err == nil {
 		t.Fatal("expected error for missing directory")
+	}
+}
+
+// TestCommitSyncsDirectory: Commit fsyncs the destination directory after
+// the rename — a rename without a dir fsync can be lost on power failure —
+// and surfaces a directory-sync failure instead of swallowing it.
+func TestCommitSyncsDirectory(t *testing.T) {
+	dir := t.TempDir()
+	in := failfs.NewInjector(nil, 0, failfs.Fault{Op: failfs.OpSyncDir, Path: dir})
+	restore := failfs.Swap(in)
+	defer restore()
+
+	w, err := Create(filepath.Join(dir, "out.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	err = w.Commit()
+	if err == nil || !strings.Contains(err.Error(), "sync dir") {
+		t.Fatalf("Commit with failing dir sync: %v", err)
+	}
+	if fired := in.Fired(); len(fired) != 1 {
+		t.Fatalf("dir sync never attempted: %v", fired)
+	}
+}
+
+// TestWriteFileUnderInjectedFaults: every write-path fault class surfaces
+// as an error and leaves the destination either absent or fully intact.
+func TestWriteFileUnderInjectedFaults(t *testing.T) {
+	for _, op := range []failfs.Op{failfs.OpCreate, failfs.OpWrite, failfs.OpSync, failfs.OpRename} {
+		t.Run(op.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "out.txt")
+			if err := WriteFile(path, []byte("original"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			restore := failfs.Swap(failfs.NewInjector(nil, 0, failfs.Fault{Op: op, Path: dir}))
+			defer restore()
+			if err := WriteFile(path, []byte("replacement"), 0o644); err == nil {
+				t.Fatalf("%s fault not surfaced", op)
+			}
+			if got, _ := os.ReadFile(path); string(got) != "original" {
+				t.Fatalf("destination after failed %s: %q", op, got)
+			}
+		})
 	}
 }

@@ -1,0 +1,215 @@
+package failfs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+)
+
+// TestCounterFault: an After=N fault skips the first N eligible operations
+// and fires exactly Count times after that.
+func TestCounterFault(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil, 0, Fault{Op: OpWrite, Path: dir, After: 1, Count: 2, Err: syscall.ENOSPC})
+	path := filepath.Join(dir, "f")
+	for i, wantErr := range []bool{false, true, true, false} {
+		err := in.WriteFile(path, []byte("x"), 0o644)
+		if gotErr := err != nil; gotErr != wantErr {
+			t.Fatalf("write %d: err=%v, want fire=%v", i, err, wantErr)
+		}
+		if err != nil && !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("write %d: %v, want ENOSPC", i, err)
+		}
+	}
+	if fired := in.Fired(); len(fired) != 2 {
+		t.Fatalf("fired log %v, want 2 entries", fired)
+	}
+}
+
+// TestPathScoping: a Path filter confines the fault to matching paths, so
+// a process-global Swap cannot hurt unrelated I/O.
+func TestPathScoping(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	in := NewInjector(nil, 0, Fault{Op: OpWrite, Path: dirA, Count: 100})
+	if err := in.WriteFile(filepath.Join(dirB, "ok"), []byte("x"), 0o644); err != nil {
+		t.Fatalf("unscoped path failed: %v", err)
+	}
+	if err := in.WriteFile(filepath.Join(dirA, "bad"), []byte("x"), 0o644); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("scoped path: %v, want default EIO", err)
+	}
+}
+
+// TestTornWrite: a TornAt fault leaves a prefix of the data on disk and
+// reports an error — a write torn mid-page.
+func TestTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil, 0, Fault{Op: OpWrite, Path: dir, TornAt: 3})
+	path := filepath.Join(dir, "torn")
+	if err := in.WriteFile(path, []byte("abcdef"), 0o644); err == nil {
+		t.Fatal("torn write reported success")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abc" {
+		t.Fatalf("on disk after torn write: %q, want %q", got, "abc")
+	}
+}
+
+// TestFsyncLie: a rename TruncateTo fault succeeds but truncates the
+// staged file first — the destination holds a torn artifact, exactly what
+// a power cut after a lying fsync leaves.
+func TestFsyncLie(t *testing.T) {
+	dir := t.TempDir()
+	staged := filepath.Join(dir, "staged")
+	if err := os.WriteFile(staged, []byte("full artifact bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(nil, 0, Fault{Op: OpRename, Path: dir, TruncateTo: 4})
+	dest := filepath.Join(dir, "dest")
+	if err := in.Rename(staged, dest); err != nil {
+		t.Fatalf("fsync-lie rename must succeed: %v", err)
+	}
+	got, err := os.ReadFile(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "full" {
+		t.Fatalf("destination: %q, want truncated %q", got, "full")
+	}
+}
+
+// TestReadFaults: the read path supports silent short reads, deterministic
+// bit rot, and plain errno injection.
+func TestReadFaults(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data")
+	if err := os.WriteFile(path, []byte{0xff, 0xff}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	in := NewInjector(nil, 0, Fault{Op: OpRead, Path: dir, ShortBy: 1})
+	if got, err := in.ReadFile(path); err != nil || len(got) != 1 {
+		t.Fatalf("short read: %v, %v (want 1 silent byte)", got, err)
+	}
+
+	in = NewInjector(nil, 0, Fault{Op: OpRead, Path: dir, FlipBit: 1})
+	got, err := in.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xfe || got[1] != 0xff {
+		t.Fatalf("bit rot read: %x, want fe ff", got)
+	}
+	if raw, _ := os.ReadFile(path); raw[0] != 0xff {
+		t.Fatal("bit rot mutated the file on disk")
+	}
+
+	in = NewInjector(nil, 0, Fault{Op: OpRead, Path: dir})
+	if _, err := in.ReadFile(path); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("errno read: %v, want EIO", err)
+	}
+}
+
+// TestProbDeterminism: probability faults replay identically under the
+// same seed and differ across seeds.
+func TestProbDeterminism(t *testing.T) {
+	run := func(seed uint64) []bool {
+		in := NewInjector(nil, seed, Fault{Op: OpWrite, Path: "p", Prob: 0.5, Count: 1 << 30})
+		dir := t.TempDir()
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.WriteFile(filepath.Join(dir, "p"), []byte("x"), 0o644) != nil
+		}
+		return out
+	}
+	a, b, c := run(7), run(7), run(8)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different fault sequences")
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced the same fault sequence (suspicious)")
+	}
+}
+
+// TestCreateTempAndFileFaults: faults reach the open-file write path used
+// by the atomic writer.
+func TestCreateTempAndFileFaults(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil, 0, Fault{Op: OpSync, Path: dir})
+	f, err := in.CreateTemp(dir, "t-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync: %v, want EIO", err)
+	}
+	f.Close()
+
+	in = NewInjector(nil, 0, Fault{Op: OpCreate, Path: dir})
+	if _, err := in.CreateTemp(dir, "t-*"); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("create: %v, want EIO", err)
+	}
+}
+
+// TestSwapRestores: Swap installs and its restore closure reinstates the
+// previous filesystem.
+func TestSwapRestores(t *testing.T) {
+	orig := Get()
+	in := NewInjector(nil, 0)
+	restore := Swap(in)
+	if Get() != FS(in) {
+		t.Fatal("Swap did not install the injector")
+	}
+	restore()
+	if Get() != orig {
+		t.Fatal("restore did not reinstate the previous FS")
+	}
+}
+
+// TestSyncDirBenign: syncing a real temp directory succeeds (or is treated
+// as success on filesystems that reject it).
+func TestSyncDirBenign(t *testing.T) {
+	if err := OS.SyncDir(t.TempDir()); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	if err := OS.SyncDir(filepath.Join(t.TempDir(), "missing")); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("SyncDir on missing dir: %v", err)
+	}
+}
+
+func TestParseEnv(t *testing.T) {
+	in, err := ParseEnv("seed=7|op=rename;path=checkpoint;after=3;err=enospc|op=read;flipbit=42;count=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.faults) != 2 {
+		t.Fatalf("parsed %d faults, want 2", len(in.faults))
+	}
+	f := in.faults[0]
+	if f.Op != OpRename || f.Path != "checkpoint" || f.After != 3 || !errors.Is(f.Err, syscall.ENOSPC) {
+		t.Fatalf("fault 0: %+v", f)
+	}
+	if g := in.faults[1]; g.Op != OpRead || g.FlipBit != 42 || g.Count != 2 {
+		t.Fatalf("fault 1: %+v", g)
+	}
+
+	if in, err := ParseEnv("   "); in != nil || err != nil {
+		t.Fatalf("blank spec: %v, %v", in, err)
+	}
+	for _, bad := range []string{
+		"op=explode", "seed=x", "op=write;err=enoent", "path=only", "op=write;prob=2", "noequals",
+	} {
+		if _, err := ParseEnv(bad); err == nil {
+			t.Errorf("ParseEnv(%q) accepted", bad)
+		}
+	}
+}

@@ -50,6 +50,13 @@ var (
 	// job returns to StateQueued and resumes when a manager reopens the
 	// directory.
 	ErrSuspended = errors.New("jobs: suspended by shutdown")
+	// ErrStuck is the cancellation cause of the stuck-job watchdog: the
+	// job's progress heartbeat stopped for longer than the configured
+	// deadline. The job is requeued once; a second kill poisons it.
+	ErrStuck = errors.New("jobs: no progress within the watchdog deadline")
+	// ErrBacklogged reports a submission shed by queue-depth backpressure;
+	// the HTTP layer maps it to 503 with a Retry-After header.
+	ErrBacklogged = errors.New("jobs: queue is at its high-water mark")
 )
 
 // RunJob is the wire spec of a single-system job: build a System from
@@ -110,20 +117,28 @@ func (s *Spec) tenant() string {
 // State is a job's lifecycle state.
 type State string
 
-// The job lifecycle: queued → running → {done, failed, canceled}, with
-// running → queued again on daemon shutdown or crash (the job is requeued
-// and resumed from its checkpoints by the next manager).
+// The job lifecycle: queued → running → {done, failed, canceled,
+// poisoned}, with running → queued again on daemon shutdown, crash (the
+// job is requeued and resumed from its checkpoints by the next manager),
+// a retryable execution failure, or a watchdog kill. A job that exhausts
+// its retry budget — or keeps getting interrupted without ever completing
+// — lands in StatePoisoned instead of being requeued forever.
 const (
 	StateQueued   State = "queued"
 	StateRunning  State = "running"
 	StateDone     State = "done"
 	StateFailed   State = "failed"
 	StateCanceled State = "canceled"
+	// StatePoisoned is the quarantine terminal state: the job failed its
+	// bounded retries (or tripped the watchdog twice, or was requeued by
+	// too many restarts) and will not be scheduled again. The cause is in
+	// the status's Error field.
+	StatePoisoned State = "poisoned"
 )
 
 // Terminal reports whether the state is final.
 func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCanceled
+	return s == StateDone || s == StateFailed || s == StateCanceled || s == StatePoisoned
 }
 
 // CellOutcome is the wire form of one sweep cell's result (sops.CellResult
@@ -175,6 +190,10 @@ type Status struct {
 	Started  time.Time `json:"started,omitempty"`
 	Finished time.Time `json:"finished,omitempty"`
 	Error    string    `json:"error,omitempty"`
+	// Attempts counts failed executions (a job on its first, healthy run
+	// shows 0); Requeues counts crash-restart requeues.
+	Attempts int `json:"attempts,omitempty"`
+	Requeues int `json:"requeues,omitempty"`
 
 	Probe *telemetry.Status        `json:"probe,omitempty"`
 	Sweep *telemetry.SweepProgress `json:"sweep,omitempty"`
@@ -202,7 +221,14 @@ type record struct {
 	Started  time.Time `json:"started,omitempty"`
 	Finished time.Time `json:"finished,omitempty"`
 	Error    string    `json:"error,omitempty"`
-	Result   *Result   `json:"result,omitempty"`
+	// Attempts counts failed executions; once it exceeds the manager's
+	// retry budget the job is poisoned. Requeues counts requeues of a job
+	// found running at startup — interruptions by crash, not by graceful
+	// suspend — and bounds how often a daemon-killing job gets another
+	// chance.
+	Attempts int     `json:"attempts,omitempty"`
+	Requeues int     `json:"requeues,omitempty"`
+	Result   *Result `json:"result,omitempty"`
 }
 
 // idFormat is the zero-padded sequential job ID layout; the numeric core

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sops"
+	"sops/internal/seal"
 	"sops/internal/telemetry"
 )
 
@@ -32,6 +33,30 @@ type Config struct {
 	// TraceCapacity bounds each run job's live trace ring; values <= 0
 	// mean 256 samples.
 	TraceCapacity int
+	// MaxRetries bounds how many times a job whose execution fails is
+	// retried (with exponential backoff) before it lands in StateFailed;
+	// 0 means 2, negative values disable retries.
+	MaxRetries int
+	// RetryBackoff is the delay before a failed job's first retry,
+	// doubling on each subsequent attempt; values <= 0 mean 1s.
+	RetryBackoff time.Duration
+	// RequeueLimit bounds how many times a job found running at startup —
+	// a job that was in flight when the daemon crashed — is requeued
+	// before it is poisoned as a suspected daemon-killer; 0 means 3,
+	// negative values remove the bound.
+	RequeueLimit int
+	// QueueHighWater caps the queued jobs across all tenants: submits
+	// beyond it are shed with ErrBacklogged, which the HTTP layer maps to
+	// 503 + Retry-After. Values <= 0 mean unbounded.
+	QueueHighWater int
+	// StuckAfter arms the stuck-job watchdog: a running job whose
+	// progress heartbeat (probe step counter) does not advance for this
+	// long is killed with ErrStuck and requeued once; a second kill
+	// poisons it. 0 disables the watchdog.
+	StuckAfter time.Duration
+	// WatchdogEvery is the watchdog poll cadence; values <= 0 mean
+	// StuckAfter/4.
+	WatchdogEvery time.Duration
 	// Logf, if non-nil, receives operational log lines (job lifecycle,
 	// store warnings).
 	Logf func(format string, args ...any)
@@ -72,6 +97,44 @@ func (c *Config) traceCapacity() int {
 	return c.TraceCapacity
 }
 
+func (c *Config) maxRetries() int {
+	if c.MaxRetries == 0 {
+		return 2
+	}
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	return c.MaxRetries
+}
+
+func (c *Config) retryBackoff() time.Duration {
+	if c.RetryBackoff <= 0 {
+		return time.Second
+	}
+	return c.RetryBackoff
+}
+
+// requeueLimit returns the crash-requeue bound, or -1 for unbounded.
+func (c *Config) requeueLimit() int {
+	if c.RequeueLimit == 0 {
+		return 3
+	}
+	if c.RequeueLimit < 0 {
+		return -1
+	}
+	return c.RequeueLimit
+}
+
+func (c *Config) watchdogEvery() time.Duration {
+	if c.WatchdogEvery > 0 {
+		return c.WatchdogEvery
+	}
+	if d := c.StuckAfter / 4; d > 0 {
+		return d
+	}
+	return time.Second
+}
+
 func (c *Config) logf(format string, args ...any) {
 	if c.Logf != nil {
 		c.Logf(format, args...)
@@ -90,6 +153,12 @@ type job struct {
 	recorder *sops.Recorder
 	tracker  *telemetry.SweepTracker
 	cancel   context.CancelCauseFunc
+
+	// Self-healing bookkeeping.
+	notBefore        time.Time // earliest dispatch time (retry backoff)
+	lastSteps        uint64    // watchdog: probe reading at the last poll
+	lastProgress     time.Time // watchdog: when that reading last advanced
+	watchdogRequeued bool      // the one free post-kill requeue is spent
 }
 
 // Manager owns the job store and the scheduler: it accepts submissions,
@@ -98,8 +167,13 @@ type job struct {
 // running jobs into their checkpoints on Close. All methods are safe for
 // concurrent use.
 type Manager struct {
-	cfg Config
-	st  *store
+	cfg    Config
+	st     *store
+	health *telemetry.Health
+	// progress reads a job's heartbeat for the watchdog; tests override it
+	// to simulate a hung executor.
+	progress  func(*job) uint64
+	watchStop chan struct{}
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -130,12 +204,19 @@ func Open(cfg Config) (*Manager, error) {
 	m := &Manager{
 		cfg:       cfg,
 		st:        st,
+		health:    new(telemetry.Health),
 		jobs:      make(map[string]*job),
 		queues:    make(map[string][]*job),
 		perTenant: make(map[string]int),
 		highWater: make(map[string]int),
 	}
 	m.cond = sync.NewCond(&m.mu)
+	m.progress = func(j *job) uint64 {
+		if j.probe == nil {
+			return 0
+		}
+		return j.probe.Counters().Steps
+	}
 
 	ids, warnings, err := st.loadAll()
 	if err != nil {
@@ -147,21 +228,45 @@ func Open(cfg Config) (*Manager, error) {
 	for _, id := range ids {
 		spec, rec, err := st.load(id)
 		if err != nil {
-			cfg.logf("jobs: skipping %s: %v", id, err)
+			// A job whose documents fail integrity verification (and have
+			// no recoverable generation) is moved aside wholesale: the
+			// daemon keeps serving every healthy job, and the bad one is
+			// preserved under <dir>/corrupt/ for forensics.
+			if dest := seal.Quarantine(st.dir(id)); dest != "" {
+				m.health.QuarantinedJobs.Add(1)
+				cfg.logf("jobs: quarantined %s to %s: %v", id, dest, err)
+			} else {
+				cfg.logf("jobs: skipping %s: %v", id, err)
+			}
 			continue
 		}
 		j := &job{id: id, tenant: spec.tenant(), spec: spec, rec: *rec}
 		m.jobs[id] = j
 		switch {
 		case rec.State == StateRunning:
-			// The previous process died (or was killed) mid-job: requeue;
-			// the executor resumes from the job's checkpoints.
+			// The previous process died (or was killed) mid-job. Requeue —
+			// the executor resumes from the job's checkpoints — unless the
+			// job has now been mid-flight in too many crashes, in which
+			// case it is poisoned as the likely cause of them.
+			j.rec.Requeues++
+			if lim := cfg.requeueLimit(); lim >= 0 && j.rec.Requeues > lim {
+				j.rec.State = StatePoisoned
+				j.rec.Finished = time.Now().UTC()
+				j.rec.Error = fmt.Sprintf("jobs: poisoned after %d crash requeues", lim)
+				m.health.QuarantinedJobs.Add(1)
+				if err := st.saveState(id, &j.rec); err != nil {
+					return nil, err
+				}
+				st.clearRuntime(id)
+				cfg.logf("jobs: poisoned %s after %d crash requeues", id, lim)
+				continue
+			}
 			j.rec.State = StateQueued
 			if err := st.saveState(id, &j.rec); err != nil {
 				return nil, err
 			}
 			m.enqueueLocked(j)
-			cfg.logf("jobs: requeued interrupted %s (tenant %s)", id, j.tenant)
+			cfg.logf("jobs: requeued interrupted %s (tenant %s, requeue %d)", id, j.tenant, j.rec.Requeues)
 		case rec.State == StateQueued:
 			m.enqueueLocked(j)
 		}
@@ -170,8 +275,17 @@ func Open(cfg Config) (*Manager, error) {
 
 	m.wg.Add(1)
 	go m.dispatch()
+	if cfg.StuckAfter > 0 {
+		m.watchStop = make(chan struct{})
+		m.wg.Add(1)
+		go m.watchdog()
+	}
 	return m, nil
 }
+
+// Health returns the manager's self-healing counters, for wiring into the
+// debug server's status report.
+func (m *Manager) Health() *telemetry.Health { return m.health }
 
 // Submit validates, durably records, and enqueues a job, returning its
 // status. The job is on disk before Submit returns: a daemon killed
@@ -185,6 +299,11 @@ func (m *Manager) Submit(spec *Spec) (Status, error) {
 	if m.closed {
 		m.mu.Unlock()
 		return Status{}, ErrClosed
+	}
+	if hw := m.cfg.QueueHighWater; hw > 0 && m.queuedLocked() >= hw {
+		m.mu.Unlock()
+		m.health.ShedRequests.Add(1)
+		return Status{}, fmt.Errorf("%w (%d queued)", ErrBacklogged, hw)
 	}
 	id := formatID(m.nextID)
 	m.nextID++
@@ -304,9 +423,22 @@ func (m *Manager) Close() {
 			j.cancel(ErrSuspended)
 		}
 	}
+	watchStop := m.watchStop
 	m.mu.Unlock()
+	if watchStop != nil {
+		close(watchStop)
+	}
 	m.cond.Broadcast()
 	m.wg.Wait()
+}
+
+// queuedLocked counts queued jobs across all tenants. Callers hold m.mu.
+func (m *Manager) queuedLocked() int {
+	n := 0
+	for _, q := range m.queues {
+		n += len(q)
+	}
+	return n
 }
 
 // enqueueLocked appends j to its tenant's queue, registering the tenant in
@@ -333,24 +465,54 @@ func (m *Manager) removeQueuedLocked(j *job) {
 // nextLocked picks the next dispatchable job fairly: starting from the
 // round-robin cursor, the first tenant with queued work and spare quota
 // wins, and the cursor advances past it — so under contention every tenant
-// gets one slot per lap regardless of queue depth. Returns nil when
-// nothing is dispatchable (pool full, quotas exhausted, or no work).
+// gets one slot per lap regardless of queue depth. Jobs still inside their
+// retry backoff window are passed over. Returns nil when nothing is
+// dispatchable (pool full, quotas exhausted, backoff, or no work).
 func (m *Manager) nextLocked() *job {
 	if m.running >= m.cfg.workers() {
 		return nil
 	}
+	now := time.Now()
 	for i := 0; i < len(m.tenants); i++ {
 		idx := (m.rr + i) % len(m.tenants)
 		t := m.tenants[idx]
-		if len(m.queues[t]) == 0 || m.perTenant[t] >= m.cfg.tenantSlots() {
+		if m.perTenant[t] >= m.cfg.tenantSlots() {
 			continue
 		}
-		j := m.queues[t][0]
-		m.queues[t] = m.queues[t][1:]
-		m.rr = (idx + 1) % len(m.tenants)
-		return j
+		for k, cand := range m.queues[t] {
+			if cand.notBefore.After(now) {
+				continue
+			}
+			q := m.queues[t]
+			m.queues[t] = append(q[:k:k], q[k+1:]...)
+			m.rr = (idx + 1) % len(m.tenants)
+			return cand
+		}
 	}
 	return nil
+}
+
+// nextDelayLocked returns how long until the soonest backing-off job
+// becomes dispatchable, and whether any such job exists. Callers hold
+// m.mu.
+func (m *Manager) nextDelayLocked() (time.Duration, bool) {
+	now := time.Now()
+	var best time.Duration
+	found := false
+	for _, q := range m.queues {
+		for _, j := range q {
+			if !j.notBefore.After(now) {
+				continue
+			}
+			if d := j.notBefore.Sub(now); !found || d < best {
+				best, found = d, true
+			}
+		}
+	}
+	if found && best < time.Millisecond {
+		best = time.Millisecond
+	}
+	return best, found
 }
 
 // dispatch is the scheduler loop: claim the next fair job, mark it
@@ -368,7 +530,17 @@ func (m *Manager) dispatch() {
 			if j = m.nextLocked(); j != nil {
 				break
 			}
+			// When only backing-off jobs remain, cond.Wait would sleep
+			// forever — nothing broadcasts when a backoff expires. Arm a
+			// one-shot wakeup for the soonest expiry.
+			var timer *time.Timer
+			if d, ok := m.nextDelayLocked(); ok {
+				timer = time.AfterFunc(d, m.cond.Broadcast)
+			}
 			m.cond.Wait()
+			if timer != nil {
+				timer.Stop()
+			}
 		}
 		m.running++
 		m.perTenant[j.tenant]++
@@ -380,12 +552,17 @@ func (m *Manager) dispatch() {
 		j.rec.State = StateRunning
 		j.rec.Started = time.Now().UTC()
 		j.rec.Error = ""
+		// Every job gets a probe — it is the watchdog's progress heartbeat
+		// — run jobs via RunSpec telemetry, sweep jobs shared across cells
+		// via SweepSpec.Probe.
+		j.probe = telemetry.NewProbe()
 		if j.spec.Run != nil {
-			j.probe = telemetry.NewProbe()
 			j.recorder = sops.NewRecorder(m.cfg.traceCapacity(), j.spec.Run.SampleEvery)
 		} else {
 			j.tracker = new(telemetry.SweepTracker)
 		}
+		j.lastSteps = 0
+		j.lastProgress = time.Now()
 		rec := j.rec
 		m.mu.Unlock()
 
@@ -475,6 +652,7 @@ func (m *Manager) executeSweep(ctx context.Context, j *job) (*Result, error) {
 	spec.CheckpointEvery = 1
 	spec.CheckpointSteps = m.cfg.sweepCheckpointSteps()
 	spec.Tracker = j.tracker
+	spec.Probe = j.probe // watchdog heartbeat, shared across cells
 	if spec.Workers <= 0 {
 		// GOMAXPROCS per sweep would oversubscribe a multi-job daemon;
 		// sweeps that want intra-job parallelism say so in the spec.
@@ -491,11 +669,14 @@ func (m *Manager) executeSweep(ctx context.Context, j *job) (*Result, error) {
 }
 
 // finish persists a job's terminal (or requeued) state and releases its
-// scheduler slot.
+// scheduler slot. Failed executions are retried with exponential backoff
+// up to the configured budget; watchdog kills get one free requeue and
+// then poison the job.
 func (m *Manager) finish(j *job, result *Result, err error) {
 	now := time.Now().UTC()
 	m.mu.Lock()
 	j.cancel = nil
+	requeue := false // re-enqueue on this manager (retry or watchdog)
 	switch {
 	case err == nil:
 		j.rec.State = StateDone
@@ -512,12 +693,45 @@ func (m *Manager) finish(j *job, result *Result, err error) {
 		j.rec.State = StateCanceled
 		j.rec.Finished = now
 		j.rec.Error = ErrCanceled.Error()
+	case errors.Is(err, ErrStuck):
+		if !j.watchdogRequeued {
+			// First kill: the hang may have been environmental (a stalled
+			// mount, a noisy neighbour) — requeue once, resuming from the
+			// job's checkpoints.
+			j.watchdogRequeued = true
+			j.rec.State = StateQueued
+			j.rec.Started = time.Time{}
+			j.rec.Error = err.Error() // visible while requeued
+			requeue = true
+		} else {
+			j.rec.State = StatePoisoned
+			j.rec.Finished = now
+			j.rec.Error = err.Error()
+			m.health.QuarantinedJobs.Add(1)
+		}
 	default:
-		j.rec.State = StateFailed
-		j.rec.Finished = now
-		j.rec.Error = err.Error()
+		j.rec.Attempts++
+		if j.rec.Attempts <= m.cfg.maxRetries() {
+			shift := j.rec.Attempts - 1
+			if shift > 16 {
+				shift = 16
+			}
+			j.rec.State = StateQueued
+			j.rec.Started = time.Time{}
+			j.rec.Error = err.Error() // visible while backing off
+			j.notBefore = time.Now().Add(m.cfg.retryBackoff() << shift)
+			m.health.JobRetries.Add(1)
+			requeue = true
+		} else {
+			j.rec.State = StateFailed
+			j.rec.Finished = now
+			j.rec.Error = err.Error()
+		}
 	}
-	suspended := j.rec.State == StateQueued
+	suspended := j.rec.State == StateQueued && !requeue
+	if requeue {
+		m.enqueueLocked(j)
+	}
 	j.probe, j.recorder, j.tracker = nil, nil, nil
 	rec := j.rec
 	m.running--
@@ -531,10 +745,58 @@ func (m *Manager) finish(j *job, result *Result, err error) {
 	if rec.State.Terminal() {
 		m.st.clearRuntime(j.id)
 	}
-	if suspended {
+	switch {
+	case suspended:
 		m.cfg.logf("jobs: suspended %s at checkpoint", j.id)
-	} else {
+	case requeue:
+		m.cfg.logf("jobs: requeued %s (attempt %d): %s", j.id, rec.Attempts, rec.Error)
+	default:
 		m.cfg.logf("jobs: %s → %s", j.id, rec.State)
+	}
+}
+
+// watchdog is the stuck-job monitor: at every poll it compares each
+// running job's probe step counter to the previous reading and kills —
+// with the ErrStuck cause — any job whose counter has been flat for the
+// configured deadline.
+func (m *Manager) watchdog() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.watchdogEvery())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.watchStop:
+			return
+		case <-ticker.C:
+		}
+		m.killStuck(time.Now())
+	}
+}
+
+// killStuck cancels every running job whose heartbeat has been flat for
+// longer than the watchdog deadline.
+func (m *Manager) killStuck(now time.Time) {
+	var kills []context.CancelCauseFunc
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		if j.rec.State != StateRunning || j.cancel == nil {
+			continue
+		}
+		if steps := m.progress(j); steps != j.lastSteps {
+			j.lastSteps = steps
+			j.lastProgress = now
+			continue
+		}
+		if now.Sub(j.lastProgress) >= m.cfg.StuckAfter {
+			kills = append(kills, j.cancel)
+			j.lastProgress = now // one kill per deadline, not one per poll
+			m.health.WatchdogKills.Add(1)
+			m.cfg.logf("jobs: watchdog killing %s: no progress for %s", j.id, m.cfg.StuckAfter)
+		}
+	}
+	m.mu.Unlock()
+	for _, cancel := range kills {
+		cancel(ErrStuck)
 	}
 }
 
@@ -549,6 +811,8 @@ func (m *Manager) statusLocked(j *job) Status {
 		Started:  j.rec.Started,
 		Finished: j.rec.Finished,
 		Error:    j.rec.Error,
+		Attempts: j.rec.Attempts,
+		Requeues: j.rec.Requeues,
 		Result:   j.rec.Result,
 	}
 	if j.probe != nil {

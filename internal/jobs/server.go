@@ -24,7 +24,8 @@ import (
 // Errors use the {"error": "..."} envelope with conventional status codes:
 // 400 for malformed or invalid specs (the message names the offending
 // field via the sops validation errors), 404 for unknown jobs, 409 for
-// canceling a finished job, 503 while shutting down.
+// canceling a finished job, 503 (with Retry-After) when queue-depth
+// backpressure sheds a submission or the daemon is shutting down.
 type Server struct {
 	m *Manager
 	// MaxBodyBytes bounds the accepted spec size; 0 means 1 MiB.
@@ -61,7 +62,8 @@ type errorBody struct {
 }
 
 // writeError maps err to a status code and a friendly message. Validation
-// sentinels become actionable 400s instead of raw Go error chains.
+// sentinels become actionable 400s instead of raw Go error chains; a shed
+// submission becomes 503 with a Retry-After hint.
 func writeError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	msg := err.Error()
@@ -73,6 +75,10 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrClosed):
 		code = http.StatusServiceUnavailable
 		msg = "server is shutting down; resubmit after restart"
+	case errors.Is(err, ErrBacklogged):
+		w.Header().Set("Retry-After", "5")
+		code = http.StatusServiceUnavailable
+		msg = "job queue is at its high-water mark; retry shortly"
 	case errors.Is(err, ErrNoWork), errors.Is(err, ErrBothWork):
 		code = http.StatusBadRequest
 		msg = "spec must carry exactly one of \"run\" or \"sweep\""

@@ -10,7 +10,7 @@ import (
 	"sort"
 	"strings"
 
-	"sops/internal/atomicio"
+	"sops/internal/seal"
 )
 
 // store is the on-disk layout of the job queue. Under the root directory,
@@ -21,11 +21,17 @@ import (
 //	<root>/<id>/checkpoint   — run-job chain state (auto-checkpointed)
 //	<root>/<id>/sweep.ckpt   — sweep manifest (+ .cellNNNN in-flight cells)
 //
-// Every write goes through atomicio (temp file + fsync + rename), so a
-// crash at any moment leaves either the previous or the next version of a
-// document, never a torn one. The job directory itself is created before
-// Submit returns, making submission durable: a job accepted by the API
-// survives an immediate kill -9.
+// Every document travels in a seal integrity envelope written through
+// atomicio (temp file + fsync + rename + dir fsync), so a crash at any
+// moment leaves either the previous or the next version, never a torn
+// one — and a torn or bit-flipped file is detected on read rather than
+// decoded into garbage. state.json is rewritten on every transition and
+// so keeps a state.json.prev last-good generation; a corrupt current
+// state silently falls back to it. spec.json is written once, so a spec
+// that fails verification has no fallback — the whole job directory is
+// quarantined at startup (see Manager.Open). The job directory itself is
+// created before Submit returns, making submission durable: a job
+// accepted by the API survives an immediate kill -9.
 type store struct {
 	root string
 }
@@ -56,7 +62,7 @@ func (st *store) create(id string, spec *Spec, rec *record) error {
 	if err != nil {
 		return fmt.Errorf("jobs: encode spec: %w", err)
 	}
-	if err := atomicio.WriteFile(filepath.Join(st.dir(id), "spec.json"), data, 0o644); err != nil {
+	if err := seal.WriteFile(filepath.Join(st.dir(id), "spec.json"), data, 0o644); err != nil {
 		return fmt.Errorf("jobs: write spec: %w", err)
 	}
 	return st.saveState(id, rec)
@@ -68,25 +74,30 @@ func (st *store) saveState(id string, rec *record) error {
 	if err != nil {
 		return fmt.Errorf("jobs: encode state: %w", err)
 	}
-	if err := atomicio.WriteFile(filepath.Join(st.dir(id), "state.json"), data, 0o644); err != nil {
+	if err := seal.WriteFile(filepath.Join(st.dir(id), "state.json"), data, 0o644); err != nil {
 		return fmt.Errorf("jobs: write state: %w", err)
 	}
 	return nil
 }
 
-// load reads one job back from disk.
+// load reads one job back from disk, verifying both documents' integrity
+// envelopes. A corrupt state.json falls back to its .prev generation
+// transparently (seal.LoadFile); at worst the job repeats its last
+// transition, which every transition is idempotent under. A corrupt
+// spec.json has no previous generation and fails the load — the caller
+// quarantines the job.
 func (st *store) load(id string) (*Spec, *record, error) {
-	specData, err := os.ReadFile(filepath.Join(st.dir(id), "spec.json"))
+	specData, _, err := seal.LoadFile(filepath.Join(st.dir(id), "spec.json"))
 	if err != nil {
-		return nil, nil, fmt.Errorf("jobs: read spec: %w", err)
+		return nil, nil, fmt.Errorf("jobs: read spec %s: %w", id, err)
 	}
 	spec := new(Spec)
 	if err := json.Unmarshal(specData, spec); err != nil {
 		return nil, nil, fmt.Errorf("jobs: decode spec %s: %w", id, err)
 	}
-	stateData, err := os.ReadFile(filepath.Join(st.dir(id), "state.json"))
+	stateData, _, err := seal.LoadFile(filepath.Join(st.dir(id), "state.json"))
 	if err != nil {
-		return nil, nil, fmt.Errorf("jobs: read state: %w", err)
+		return nil, nil, fmt.Errorf("jobs: read state %s: %w", id, err)
 	}
 	rec := new(record)
 	if err := json.Unmarshal(stateData, rec); err != nil {
@@ -96,8 +107,10 @@ func (st *store) load(id string) (*Spec, *record, error) {
 }
 
 // loadAll scans the store and returns every job's ID in submission order.
-// Directories that do not parse as jobs are skipped with an error note —
-// one corrupt job must not take the whole daemon down.
+// Entries that are not job directories — stray files, foreign directories
+// — are skipped with a warning; the "corrupt" quarantine directory is
+// expected and skipped silently. One bad entry must not take the whole
+// daemon down.
 func (st *store) loadAll() (ids []string, warnings []error, err error) {
 	entries, err := os.ReadDir(st.root)
 	if errors.Is(err, fs.ErrNotExist) {
@@ -108,6 +121,9 @@ func (st *store) loadAll() (ids []string, warnings []error, err error) {
 	}
 	for _, e := range entries {
 		if !e.IsDir() || !strings.HasPrefix(e.Name(), "j") {
+			if e.Name() != "corrupt" {
+				warnings = append(warnings, fmt.Errorf("ignoring stray store entry %q", e.Name()))
+			}
 			continue
 		}
 		ids = append(ids, e.Name())
@@ -129,11 +145,15 @@ func nextID(existing []string) uint64 {
 	return max + 1
 }
 
-// clearRuntime removes a finished job's checkpoint files, keeping only the
-// spec, state and result documents.
+// clearRuntime removes a finished job's checkpoint files — current and
+// .prev generations — keeping only the spec, state and result documents.
+// The .cell* glob covers both in-flight cell checkpoints and their .prev
+// siblings.
 func (st *store) clearRuntime(id string) {
 	os.Remove(st.checkpointPath(id))
+	os.Remove(seal.PrevPath(st.checkpointPath(id)))
 	os.Remove(st.sweepPath(id))
+	os.Remove(seal.PrevPath(st.sweepPath(id)))
 	matches, _ := filepath.Glob(st.sweepPath(id) + ".cell*")
 	for _, m := range matches {
 		os.Remove(m)

@@ -1,0 +1,247 @@
+// Package seal is the integrity envelope around every durable artifact:
+// a fixed magic header, the payload length, and a CRC64 trailer, framed
+// around the artifact bytes and written through internal/atomicio. The
+// envelope turns silent corruption — bit rot, a torn write that slid past
+// a lying fsync, an artifact truncated by a full disk — into a loud,
+// classified error at read time, before a decoder can misinterpret the
+// bytes or, worse, accept them.
+//
+// On-disk layout (all integers little-endian):
+//
+//	offset  0  8-byte magic "SOPSEAL1"
+//	offset  8  uint64 payload length n
+//	offset 16  payload (n bytes)
+//	offset 16+n  uint64 CRC64-ECMA of the payload
+//
+// Read failures are classified: ErrTruncated when the file ends before the
+// declared payload+trailer (a torn or short artifact), ErrCorrupt for
+// everything else (bad magic, trailing garbage, checksum mismatch).
+//
+// WriteFile keeps one previous generation: before replacing path it
+// hard-links the current file to path+".prev", so LoadFile can fall back
+// to the last-good version when the current one fails verification. The
+// failing file is quarantined under <dir>/corrupt/ — preserved for
+// forensics, out of the way of the reader. Package-level counters record
+// every detection, recovery and quarantine for the telemetry layer.
+package seal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io/fs"
+	"path/filepath"
+	"sync/atomic"
+
+	"sops/internal/atomicio"
+	"sops/internal/failfs"
+)
+
+// Classified verification failures.
+var (
+	// ErrCorrupt reports an artifact whose bytes fail verification: wrong
+	// magic, trailing garbage, or a checksum mismatch.
+	ErrCorrupt = errors.New("seal: artifact corrupt")
+	// ErrTruncated reports an artifact shorter than its envelope declares —
+	// the signature of a torn write or an out-of-space copy.
+	ErrTruncated = errors.New("seal: artifact truncated")
+)
+
+const (
+	magic      = "SOPSEAL1"
+	headerSize = len(magic) + 8 // magic + payload length
+	overhead   = headerSize + 8 // + CRC64 trailer
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Encode frames payload in the integrity envelope.
+func Encode(payload []byte) []byte {
+	out := make([]byte, overhead+len(payload))
+	copy(out, magic)
+	binary.LittleEndian.PutUint64(out[len(magic):], uint64(len(payload)))
+	copy(out[headerSize:], payload)
+	binary.LittleEndian.PutUint64(out[headerSize+len(payload):], crc64.Checksum(payload, crcTable))
+	return out
+}
+
+// Sealed reports whether data begins with the envelope magic.
+func Sealed(data []byte) bool {
+	return len(data) >= len(magic) && string(data[:len(magic)]) == magic
+}
+
+// Decode verifies data's envelope and returns the payload. Failures are
+// classified as ErrCorrupt or ErrTruncated (both wrapped with detail).
+func Decode(data []byte) ([]byte, error) {
+	if !Sealed(data) {
+		return nil, fmt.Errorf("%w: missing envelope magic", ErrCorrupt)
+	}
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the envelope header", ErrTruncated, len(data))
+	}
+	n := binary.LittleEndian.Uint64(data[len(magic):])
+	want := uint64(overhead) + n
+	switch {
+	case uint64(len(data)) < want:
+		return nil, fmt.Errorf("%w: have %d of %d bytes", ErrTruncated, len(data), want)
+	case uint64(len(data)) > want:
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, uint64(len(data))-want)
+	}
+	payload := data[headerSize : headerSize+int(n)]
+	if got, wantCRC := crc64.Checksum(payload, crcTable), binary.LittleEndian.Uint64(data[headerSize+int(n):]); got != wantCRC {
+		return nil, fmt.Errorf("%w: checksum %016x, envelope says %016x", ErrCorrupt, got, wantCRC)
+	}
+	return payload, nil
+}
+
+// Stats is a point-in-time reading of the package's detection counters.
+type Stats struct {
+	// Corrupt and Truncated count artifacts that failed verification, by
+	// class.
+	Corrupt   uint64
+	Truncated uint64
+	// Recovered counts reads served from the .prev generation after the
+	// current file failed.
+	Recovered uint64
+	// Quarantined counts files moved to <dir>/corrupt/.
+	Quarantined uint64
+}
+
+var stats struct {
+	corrupt, truncated, recovered, quarantined atomic.Uint64
+}
+
+// CollectStats reads the process-wide detection counters.
+func CollectStats() Stats {
+	return Stats{
+		Corrupt:     stats.corrupt.Load(),
+		Truncated:   stats.truncated.Load(),
+		Recovered:   stats.recovered.Load(),
+		Quarantined: stats.quarantined.Load(),
+	}
+}
+
+func countFailure(err error) {
+	if errors.Is(err, ErrTruncated) {
+		stats.truncated.Add(1)
+	} else {
+		stats.corrupt.Add(1)
+	}
+}
+
+// PrevPath returns the last-good generation's path for path.
+func PrevPath(path string) string { return path + ".prev" }
+
+// WriteFile seals data and atomically replaces path with it, keeping the
+// file currently at path as the ".prev" generation. The rotation is a
+// hard link (with a copy fallback), so there is no window in which path
+// holds anything but a complete previous or complete new artifact.
+func WriteFile(path string, data []byte, perm fs.FileMode) error {
+	fsys := failfs.Get()
+	if _, err := fsys.Stat(path); err == nil {
+		prev := PrevPath(path)
+		fsys.Remove(prev) // stale generation, if any
+		if err := fsys.Link(path, prev); err != nil {
+			// Filesystems without hard links fall back to a copy; a
+			// failed rotation never blocks the write itself.
+			if cur, rerr := fsys.ReadFile(path); rerr == nil {
+				atomicio.WriteFile(prev, cur, perm)
+			}
+		}
+	}
+	if err := atomicio.WriteFile(path, Encode(data), perm); err != nil {
+		return fmt.Errorf("seal: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadFile reads and verifies one sealed file, with no fallback or
+// quarantine. Verification failures carry ErrCorrupt or ErrTruncated.
+func ReadFile(path string) ([]byte, error) {
+	data, err := failfs.Get().ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("seal: %s: %w", path, err)
+	}
+	return payload, nil
+}
+
+// Recovery describes what LoadFile had to do to serve a payload (or why it
+// could not).
+type Recovery struct {
+	// Cause is the verification failure of the primary file (classified
+	// ErrCorrupt or ErrTruncated).
+	Cause error
+	// Quarantined is where the failing file was moved, "" when the
+	// quarantine itself failed (the read still proceeds).
+	Quarantined string
+	// Recovered is true when the .prev generation supplied the payload.
+	Recovered bool
+}
+
+// LoadFile reads path, verifying the envelope. On verification failure the
+// bad file is quarantined to <dir>/corrupt/ and the ".prev" generation is
+// tried; if it verifies, its payload is returned along with a non-nil
+// *Recovery describing the fallback. When neither generation verifies, the
+// classified error of the primary file is returned (with the *Recovery).
+// A path with no generations at all returns an error matching
+// fs.ErrNotExist.
+func LoadFile(path string) ([]byte, *Recovery, error) {
+	fsys := failfs.Get()
+	data, err := fsys.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		// Fall through to the .prev generation: a crash during rotation
+		// (or a quarantined primary) can leave only the last-good file.
+		if payload, perr := ReadFile(PrevPath(path)); perr == nil {
+			stats.recovered.Add(1)
+			return payload, &Recovery{Cause: err, Recovered: true}, nil
+		}
+		return nil, nil, fmt.Errorf("seal: read %s: %w", path, err)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("seal: read %s: %w", path, err)
+	}
+	payload, derr := Decode(data)
+	if derr == nil {
+		return payload, nil, nil
+	}
+	countFailure(derr)
+	rec := &Recovery{Cause: fmt.Errorf("seal: %s: %w", path, derr)}
+	rec.Quarantined = Quarantine(path)
+	if payload, perr := ReadFile(PrevPath(path)); perr == nil {
+		stats.recovered.Add(1)
+		rec.Recovered = true
+		return payload, rec, nil
+	}
+	return nil, rec, rec.Cause
+}
+
+// Quarantine moves path into <dir>/corrupt/, preserving the base name
+// (with a numeric suffix when the slot is taken), and returns the new
+// location, or "" when the move could not be made. Quarantine failures are
+// deliberately non-fatal: the caller is already handling a corrupt
+// artifact, and removing it from the read path is best-effort.
+func Quarantine(path string) string {
+	fsys := failfs.Get()
+	dir := filepath.Join(filepath.Dir(path), "corrupt")
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return ""
+	}
+	base := filepath.Base(path)
+	dest := filepath.Join(dir, base)
+	for i := 1; ; i++ {
+		if _, err := fsys.Stat(dest); errors.Is(err, fs.ErrNotExist) {
+			break
+		}
+		dest = filepath.Join(dir, fmt.Sprintf("%s.%d", base, i))
+	}
+	if err := fsys.Rename(path, dest); err != nil {
+		return ""
+	}
+	stats.quarantined.Add(1)
+	return dest
+}

@@ -1,0 +1,195 @@
+package seal
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sops/internal/failfs"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("sops"), 1000)} {
+		got, err := Decode(Encode(payload))
+		if err != nil {
+			t.Fatalf("Decode(Encode(%d bytes)): %v", len(payload), err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip lost bytes: %d in, %d out", len(payload), len(got))
+		}
+	}
+}
+
+// TestDecodeClassifies: every way an artifact can rot maps to the right
+// sentinel — truncation to ErrTruncated, everything else to ErrCorrupt.
+func TestDecodeClassifies(t *testing.T) {
+	sealed := Encode([]byte("the payload"))
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"no magic", []byte("JUNKJUNKJUNK"), ErrCorrupt},
+		{"torn below header", sealed[:10], ErrTruncated},
+		{"torn mid payload", sealed[:len(sealed)-6], ErrTruncated},
+		{"trailing garbage", append(append([]byte(nil), sealed...), 'x'), ErrCorrupt},
+		{"bit flip in payload", flip(sealed, headerSize*8+3), ErrCorrupt},
+		{"bit flip in trailer", flip(sealed, (len(sealed)-1)*8), ErrCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decode(tc.data); !errors.Is(err, tc.want) {
+				t.Fatalf("Decode = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// flip returns a copy of data with one bit flipped.
+func flip(data []byte, bit int) []byte {
+	out := append([]byte(nil), data...)
+	out[bit/8] ^= 1 << (bit % 8)
+	return out
+}
+
+// TestWriteFileRotation: a second write keeps the first generation at
+// .prev, and both verify.
+func TestWriteFileRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "art")
+	if err := WriteFile(path, []byte("gen1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(PrevPath(path)); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("first write already produced a .prev generation")
+	}
+	if err := WriteFile(path, []byte("gen2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ReadFile(path); err != nil || string(got) != "gen2" {
+		t.Fatalf("current: %q, %v", got, err)
+	}
+	if got, err := ReadFile(PrevPath(path)); err != nil || string(got) != "gen1" {
+		t.Fatalf("previous: %q, %v", got, err)
+	}
+}
+
+// TestLoadFileFallback: a corrupt current generation is quarantined and
+// the .prev payload served, with the recovery described and counted.
+func TestLoadFileFallback(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "art")
+	if err := WriteFile(path, []byte("gen1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("gen2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the current generation mid-payload.
+	raw, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	before := CollectStats()
+	got, rec, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "gen1" {
+		t.Fatalf("payload %q, want fallback generation", got)
+	}
+	if rec == nil || !rec.Recovered || !errors.Is(rec.Cause, ErrTruncated) {
+		t.Fatalf("recovery: %+v", rec)
+	}
+	if rec.Quarantined == "" {
+		t.Fatal("bad file was not quarantined")
+	}
+	if dirOf := filepath.Dir(rec.Quarantined); dirOf != filepath.Join(dir, "corrupt") {
+		t.Fatalf("quarantined to %s", rec.Quarantined)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("corrupt file still on the read path")
+	}
+	after := CollectStats()
+	if after.Truncated != before.Truncated+1 || after.Recovered != before.Recovered+1 || after.Quarantined != before.Quarantined+1 {
+		t.Fatalf("stats before %+v after %+v", before, after)
+	}
+
+	// A second failure quarantines under a numbered slot rather than
+	// clobbering forensics.
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, rec, _ := LoadFile(path); rec == nil || filepath.Base(rec.Quarantined) != "art.1" {
+		t.Fatalf("second quarantine: %+v", rec)
+	}
+}
+
+// TestLoadFileBothBad: when no generation verifies, the classified error
+// of the primary surfaces.
+func TestLoadFileBothBad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "art")
+	if err := os.WriteFile(path, []byte("not sealed"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := LoadFile(path)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("LoadFile = %v, want ErrCorrupt", err)
+	}
+	if rec == nil || rec.Recovered {
+		t.Fatalf("recovery: %+v", rec)
+	}
+}
+
+// TestLoadFileMissing: no generations at all is a plain not-exist, so
+// callers can treat it as "fresh start".
+func TestLoadFileMissing(t *testing.T) {
+	if _, _, err := LoadFile(filepath.Join(t.TempDir(), "nope")); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("LoadFile = %v, want fs.ErrNotExist", err)
+	}
+}
+
+// TestLoadFilePrimaryGone: a quarantined (or rotation-crashed) primary
+// with an intact .prev still serves the last-good payload.
+func TestLoadFilePrimaryGone(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "art")
+	if err := WriteFile(path, []byte("gen1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("gen2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	got, rec, err := LoadFile(path)
+	if err != nil || string(got) != "gen1" {
+		t.Fatalf("LoadFile = %q, %v", got, err)
+	}
+	if rec == nil || !rec.Recovered {
+		t.Fatalf("recovery: %+v", rec)
+	}
+}
+
+// TestWriteFileRotationWithoutHardlinks: when the filesystem rejects
+// Link, the rotation falls back to a copy and recovery still works.
+func TestWriteFileRotationWithoutHardlinks(t *testing.T) {
+	dir := t.TempDir()
+	restore := failfs.Swap(failfs.NewInjector(nil, 0, failfs.Fault{
+		Op: failfs.OpLink, Path: dir, Count: 1 << 30,
+	}))
+	defer restore()
+	path := filepath.Join(dir, "art")
+	if err := WriteFile(path, []byte("gen1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("gen2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ReadFile(PrevPath(path)); err != nil || string(got) != "gen1" {
+		t.Fatalf("copied .prev: %q, %v", got, err)
+	}
+}

@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"sync/atomic"
+
+	"sops/internal/seal"
+)
+
+// Health is the self-healing layer's counter block: how often the daemon
+// detected corruption, quarantined a poisoned job, killed a stuck one, or
+// shed load. One Health lives on the jobs manager and is published on
+// /debug/sops; the artifact-level counters come from internal/seal, which
+// detects corruption wherever it happens in the process.
+//
+// All fields are atomics; the zero value is ready.
+type Health struct {
+	// QuarantinedJobs counts jobs moved to the poisoned terminal state or
+	// quarantined out of the store at startup.
+	QuarantinedJobs atomic.Uint64
+	// WatchdogKills counts running jobs cancelled by the stuck-job
+	// watchdog.
+	WatchdogKills atomic.Uint64
+	// ShedRequests counts submissions rejected by queue-depth
+	// backpressure.
+	ShedRequests atomic.Uint64
+	// JobRetries counts failed executions that were requeued for another
+	// attempt.
+	JobRetries atomic.Uint64
+}
+
+// HealthStatus is the wire form of Health, merged with the process-wide
+// artifact-integrity counters.
+type HealthStatus struct {
+	CorruptArtifacts     uint64 `json:"corrupt_artifacts"`
+	TruncatedArtifacts   uint64 `json:"truncated_artifacts"`
+	RecoveredArtifacts   uint64 `json:"recovered_artifacts"`
+	QuarantinedArtifacts uint64 `json:"quarantined_artifacts"`
+	QuarantinedJobs      uint64 `json:"quarantined_jobs"`
+	WatchdogKills        uint64 `json:"watchdog_kills"`
+	ShedRequests         uint64 `json:"shed_requests"`
+	JobRetries           uint64 `json:"job_retries"`
+}
+
+// Status reads the counters, folding in the seal package's artifact
+// detections.
+func (h *Health) Status() HealthStatus {
+	s := seal.CollectStats()
+	return HealthStatus{
+		CorruptArtifacts:     s.Corrupt,
+		TruncatedArtifacts:   s.Truncated,
+		RecoveredArtifacts:   s.Recovered,
+		QuarantinedArtifacts: s.Quarantined,
+		QuarantinedJobs:      h.QuarantinedJobs.Load(),
+		WatchdogKills:        h.WatchdogKills.Load(),
+		ShedRequests:         h.ShedRequests.Load(),
+		JobRetries:           h.JobRetries.Load(),
+	}
+}

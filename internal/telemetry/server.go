@@ -24,6 +24,10 @@ type Sources struct {
 	// Recorder, when present, contributes trace occupancy (samples held,
 	// dropped) to the status report.
 	Recorder *Recorder
+	// Health, when present, contributes the self-healing counters
+	// (corrupt artifacts, quarantined jobs, watchdog kills, shed
+	// requests) to the status report.
+	Health *Health
 	// Info is static run metadata (workload, parameters) echoed verbatim
 	// in the status report.
 	Info map[string]any
@@ -34,8 +38,9 @@ type status struct {
 	Now   time.Time      `json:"now"`
 	Info  map[string]any `json:"info,omitempty"`
 	Probe *Status        `json:"probe,omitempty"`
-	Sweep *SweepProgress `json:"sweep,omitempty"`
-	Trace *traceStatus   `json:"trace,omitempty"`
+	Sweep  *SweepProgress `json:"sweep,omitempty"`
+	Trace  *traceStatus   `json:"trace,omitempty"`
+	Health *HealthStatus  `json:"health,omitempty"`
 }
 
 type traceStatus struct {
@@ -63,6 +68,10 @@ func (src Sources) snapshot() status {
 			Dropped:  src.Recorder.Dropped(),
 			Every:    src.Recorder.Every(),
 		}
+	}
+	if src.Health != nil {
+		hs := src.Health.Status()
+		st.Health = &hs
 	}
 	return st
 }
@@ -156,7 +165,15 @@ func (s *Server) Start(addr string) (string, error) {
 	publishExpvar(s.src)
 	s.mu.Lock()
 	s.ln = ln
-	s.srv = &http.Server{Handler: s.Handler()}
+	// Bounded read-side timeouts keep a slow-loris client from pinning
+	// connections forever. WriteTimeout stays unset: the SSE stream route
+	// writes for as long as the client watches.
+	s.srv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	s.done = make(chan error, 1)
 	srv, done := s.srv, s.done
 	s.mu.Unlock()

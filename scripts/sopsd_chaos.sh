@@ -1,0 +1,159 @@
+#!/usr/bin/env bash
+# sopsd disk-fault chaos drill: run the daemon's submit→kill -9→restart
+# cycle under injected disk faults (via the SOPS_FAILFS knob wired to the
+# internal/failfs layer) and require that every run either finishes with a
+# result byte-identical to an uninterrupted execution or reports a clean,
+# classified error — never a silently wrong result.
+#
+# Three scenarios:
+#   1. fsync lie      — the sweep manifest's rename succeeds but its data
+#                       blocks are truncated (power cut past a lying fsync);
+#                       the restarted daemon must fall back to the .prev
+#                       generation and recompute the lost cells.
+#   2. rename ENOSPC  — every cell-checkpoint rename fails; each affected
+#                       cell reports a classified error while every cell
+#                       that does produce a result stays byte-identical.
+#   3. bit rot        — the job's state document is corrupted on the read
+#                       path at restart; the .prev generation recovers it.
+#
+# Requires: go, curl, jq. Run from the repository root:
+#
+#	bash scripts/sopsd_chaos.sh
+set -euo pipefail
+
+ADDR=localhost:18725
+BASE=http://$ADDR
+WORK=$(mktemp -d)
+PID=
+
+cleanup() {
+	[ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+	rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+log() { echo "chaos: $*"; }
+
+go build -o "$WORK/sopsd" ./cmd/sopsd
+
+start_daemon() {
+	local dir=$1 failfs=${2:-}
+	SOPS_FAILFS="$failfs" "$WORK/sopsd" -dir "$dir" -listen "$ADDR" -workers 1 \
+		-sweep-checkpoint-steps 5000 -retry-backoff 100ms \
+		>>"$WORK/sopsd.log" 2>&1 &
+	PID=$!
+	for _ in $(seq 1 100); do
+		curl -sf "$BASE/v1/jobs" >/dev/null 2>&1 && return 0
+		sleep 0.1
+	done
+	log "daemon did not come up; log follows"
+	cat "$WORK/sopsd.log"
+	exit 1
+}
+
+stop_daemon() {
+	[ -z "$PID" ] && return 0
+	kill -9 "$PID" 2>/dev/null || true
+	wait "$PID" 2>/dev/null || true
+	PID=
+}
+
+SPEC='{
+  "name": "chaos",
+  "sweep": {
+    "lambdas": [2, 4],
+    "gammas": [2, 4],
+    "seeds": [1, 2],
+    "counts": [8, 8],
+    "steps": 100000
+  }
+}'
+
+submit() { curl -sf -X POST "$BASE/v1/jobs" -d "$SPEC" | jq -r .id; }
+
+await() { # await <id> -> final state on stdout
+	local id=$1 state=
+	for _ in $(seq 1 600); do
+		state=$(curl -sf "$BASE/v1/jobs/$id" | jq -r .state)
+		case "$state" in done | failed | poisoned | canceled) break ;; esac
+		sleep 0.2
+	done
+	echo "$state"
+}
+
+result_of() { curl -sf "$BASE/v1/jobs/$1" | jq -S .result; }
+
+# --- Reference: uninterrupted, no faults. ----------------------------------
+start_daemon "$WORK/ref"
+REF_ID=$(submit)
+[ "$(await "$REF_ID")" = done ] || { log "reference job failed"; exit 1; }
+result_of "$REF_ID" >"$WORK/ref.json"
+stop_daemon
+log "reference captured"
+
+# --- Scenario 1: fsync lie on the sweep manifest, then SIGKILL. ------------
+# Every sweep-artifact rename past the second lands truncated (the rename
+# itself succeeds — the classic lying-fsync power cut), so at kill time no
+# sweep generation on disk verifies and the restart must recompute.
+start_daemon "$WORK/lie" 'op=rename;path=sweep.ckpt;after=2;truncateto=40;count=1000000'
+JOB=$(submit)
+for _ in $(seq 1 600); do
+	DONE=$(curl -sf "$BASE/v1/jobs/$JOB" | jq -r '.sweep.done // 0')
+	[ "$DONE" -ge 3 ] && break
+	sleep 0.1
+done
+stop_daemon
+log "scenario 1: daemon SIGKILLed after $DONE cells with a torn manifest generation"
+start_daemon "$WORK/lie"
+[ "$(await "$JOB")" = done ] || { log "scenario 1: resume failed"; curl -s "$BASE/v1/jobs/$JOB" | jq .; exit 1; }
+result_of "$JOB" >"$WORK/lie.json"
+stop_daemon
+cmp -s "$WORK/ref.json" "$WORK/lie.json" || { log "scenario 1 FAIL: result diverged"; exit 1; }
+log "scenario 1 PASS: fsync-lie manifest recovered byte-identical"
+
+# --- Scenario 2: persistent ENOSPC on cell-checkpoint renames. -------------
+start_daemon "$WORK/enospc" 'op=rename;path=.cell;count=1000000;err=enospc'
+JOB=$(submit)
+STATE=$(await "$JOB")
+# The contract is "byte-identical or a clean classified error, never
+# silence": each cell must either match the reference exactly or carry an
+# explicit ENOSPC error; a whole-job clean failure is also acceptable.
+if [ "$STATE" = done ]; then
+	result_of "$JOB" >"$WORK/enospc.json"
+	ERRORED=$(jq '[.cells[] | select(.error != null)] | length' "$WORK/enospc.json")
+	[ "$ERRORED" -ge 1 ] || { log "scenario 2 FAIL: fault never fired"; exit 1; }
+	jq -e --argjson ref "$(jq -cS .cells "$WORK/ref.json")" \
+		'[.cells, $ref] | transpose | all(
+			(.[0].error != null and (.[0].error | contains("no space left"))) or .[0] == .[1]
+		)' "$WORK/enospc.json" >/dev/null ||
+		{ log "scenario 2 FAIL: a cell diverged without reporting an error"; exit 1; }
+	log "scenario 2 PASS: $ERRORED cells report clean ENOSPC, the rest byte-identical"
+elif [ "$STATE" = failed ] || [ "$STATE" = poisoned ]; then
+	ERR=$(curl -sf "$BASE/v1/jobs/$JOB" | jq -r .error)
+	log "scenario 2 PASS: clean reported error under ENOSPC: $ERR"
+else
+	log "scenario 2 FAIL: job stuck in $STATE"
+	exit 1
+fi
+stop_daemon
+
+# --- Scenario 3: bit rot on the state document at restart. -----------------
+start_daemon "$WORK/rot"
+JOB=$(submit)
+for _ in $(seq 1 600); do
+	DONE=$(curl -sf "$BASE/v1/jobs/$JOB" | jq -r '.sweep.done // 0')
+	[ "$DONE" -ge 1 ] && break
+	sleep 0.1
+done
+stop_daemon
+log "scenario 3: daemon SIGKILLed after $DONE cells"
+# The restarted daemon sees a bit-flipped state.json once; .prev recovers it.
+start_daemon "$WORK/rot" 'op=read;path=state.json;flipbit=200;count=1'
+[ "$(await "$JOB")" = done ] || { log "scenario 3: resume failed"; curl -s "$BASE/v1/jobs/$JOB" | jq .; exit 1; }
+result_of "$JOB" >"$WORK/rot.json"
+HEALTH=$(curl -sf "$BASE/debug/sops" | jq -c .health)
+stop_daemon
+cmp -s "$WORK/ref.json" "$WORK/rot.json" || { log "scenario 3 FAIL: result diverged"; exit 1; }
+log "scenario 3 PASS: state-doc bit rot recovered (health: $HEALTH)"
+
+log "PASS: all chaos scenarios ended byte-identical or cleanly reported"

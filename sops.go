@@ -35,12 +35,11 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"os"
 
-	"sops/internal/atomicio"
 	"sops/internal/core"
 	"sops/internal/metrics"
 	"sops/internal/psys"
+	"sops/internal/seal"
 	"sops/internal/telemetry"
 	"sops/internal/viz"
 )
@@ -538,15 +537,19 @@ func (s *System) SetAutoCheckpoint(path string, every uint64) {
 // See Example (Checkpoint).
 
 // WriteCheckpoint atomically writes the System's checkpoint (see
-// Checkpoint) to path: the state is staged in a temporary file in path's
-// directory, synced, and renamed into place, so a crash mid-write never
-// leaves a truncated checkpoint behind.
+// Checkpoint) to path inside an integrity envelope: the sealed state is
+// staged in a temporary file in path's directory, synced, and renamed into
+// place, so a crash mid-write never leaves a truncated checkpoint behind —
+// and a checkpoint that is later corrupted on disk (bit rot, torn by a
+// lying fsync) is detected at restore time instead of silently diverging
+// the trajectory. The file previously at path is kept as path+".prev",
+// the last-good generation RestoreFile falls back to.
 func (s *System) WriteCheckpoint(path string) error {
 	data, err := s.Checkpoint()
 	if err != nil {
 		return err
 	}
-	if err := atomicio.WriteFile(path, data, 0o644); err != nil {
+	if err := seal.WriteFile(path, data, 0o644); err != nil {
 		return fmt.Errorf("sops: write checkpoint: %w", err)
 	}
 	return nil
@@ -578,16 +581,19 @@ func RestoreFrom(r io.Reader, th *Thresholds) (*System, error) {
 }
 
 // RestoreFile rebuilds a System from a checkpoint file written by
-// WriteCheckpoint or auto-checkpointing. th overrides the
-// phase-classification thresholds (nil for defaults). The restored System
-// continues the exact trajectory of the checkpointed one.
+// WriteCheckpoint or auto-checkpointing, verifying its integrity envelope.
+// A file that fails verification is quarantined to <dir>/corrupt/ and the
+// ".prev" generation is restored instead; only when no generation verifies
+// does RestoreFile fail, with an error matching seal.ErrCorrupt or
+// seal.ErrTruncated. th overrides the phase-classification thresholds (nil
+// for defaults). The restored System continues the exact trajectory of the
+// checkpointed one.
 func RestoreFile(path string, th *Thresholds) (*System, error) {
-	f, err := os.Open(path)
+	data, _, err := seal.LoadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("sops: read checkpoint: %w", err)
 	}
-	defer f.Close()
-	return RestoreFrom(f, th)
+	return Restore(data, th)
 }
 
 // Checkpoint serializes the System's complete state (configuration, bias
@@ -601,9 +607,20 @@ func (s *System) Checkpoint() ([]byte, error) {
 	return cp.MarshalJSON()
 }
 
-// Restore rebuilds a System from a Checkpoint blob. th overrides the
+// Restore rebuilds a System from a Checkpoint blob. Blobs carrying the
+// integrity envelope (read whole from a file WriteCheckpoint produced) are
+// verified and unwrapped first, so every checkpoint reader accepts every
+// checkpoint writer's output; bare JSON from Checkpoint or
+// WriteCheckpointTo restores as before. th overrides the
 // phase-classification thresholds (nil for defaults).
 func Restore(data []byte, th *Thresholds) (*System, error) {
+	if seal.Sealed(data) {
+		payload, err := seal.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("sops: checkpoint: %w", err)
+		}
+		data = payload
+	}
 	var cp core.Checkpoint
 	if err := cp.UnmarshalJSON(data); err != nil {
 		return nil, fmt.Errorf("sops: decode checkpoint: %w", err)

@@ -88,6 +88,12 @@ type SweepSpec struct {
 	// so resuming restores partially-run cells mid-trajectory instead of
 	// restarting them. 0 restarts interrupted cells from scratch.
 	CheckpointSteps uint64
+	// Probe, if non-nil, receives every cell's step statistics — one probe
+	// shared across the whole sweep, so a live reader (the /debug server,
+	// the job daemon's stuck-job watchdog) sees steps advancing even while
+	// a single long cell is in flight. Runtime-only: not part of the wire
+	// codec, and never affects results.
+	Probe *Probe
 	// Tracker, if non-nil, receives the sweep's live per-cell lifecycle:
 	// done/running/failed counts, retries consumed, elapsed time and an
 	// ETA, readable at any moment via Tracker.Progress — including from
@@ -314,7 +320,11 @@ func runSweepCell(ctx context.Context, spec *SweepSpec, c sweepCell, th Threshol
 	if ck != nil && ck.steps > 0 {
 		sys.SetAutoCheckpoint(ck.cellPath(c.index), ck.steps)
 	}
-	if _, err := sys.Run(ctx, RunSpec{Steps: spec.Steps - sys.Steps()}); err != nil {
+	run := RunSpec{Steps: spec.Steps - sys.Steps()}
+	if spec.Probe != nil {
+		run.Telemetry = &Telemetry{Probe: spec.Probe}
+	}
+	if _, err := sys.Run(ctx, run); err != nil {
 		return Snapshot{}, err
 	}
 	snap := sys.Metrics()

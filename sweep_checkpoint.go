@@ -9,7 +9,7 @@ import (
 	"os"
 	"sync"
 
-	"sops/internal/atomicio"
+	"sops/internal/seal"
 )
 
 // ErrSweepCheckpointMismatch reports a sweep manifest that was written
@@ -109,12 +109,23 @@ func (ck *sweepCheckpointer) cellPath(i int) string {
 // missing manifest is an empty (not failed) resume; a manifest written
 // under a different spec key is rejected with ErrSweepCheckpointMismatch.
 // Loaded records seed the checkpointer so later writes preserve them.
+//
+// The manifest travels in an integrity envelope: a corrupt or truncated
+// manifest is quarantined (see seal.LoadFile) and the ".prev" generation
+// used instead — losing at most one write cadence of completed cells,
+// which resume simply recomputes. When no generation verifies, the resume
+// degrades to a fresh start rather than failing the sweep: every cell is
+// recomputed, and the results are identical to an uninterrupted run.
 func (ck *sweepCheckpointer) load() (map[int]sweepCellRecord, error) {
-	data, err := os.ReadFile(ck.path)
-	if errors.Is(err, fs.ErrNotExist) {
+	data, _, err := seal.LoadFile(ck.path)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
 		return nil, nil
-	}
-	if err != nil {
+	case errors.Is(err, seal.ErrCorrupt), errors.Is(err, seal.ErrTruncated):
+		// Corrupt with no recoverable generation: the bad file is
+		// quarantined by LoadFile; recompute from scratch.
+		return nil, nil
+	case err != nil:
 		return nil, fmt.Errorf("sops: read sweep checkpoint: %w", err)
 	}
 	var m sweepManifest
@@ -188,6 +199,7 @@ func (ck *sweepCheckpointer) complete(i int, snap Snapshot) error {
 	ck.mu.Unlock()
 	if ck.steps > 0 {
 		os.Remove(ck.cellPath(i))
+		os.Remove(seal.PrevPath(ck.cellPath(i)))
 	}
 	return err
 }
@@ -205,13 +217,14 @@ func (ck *sweepCheckpointer) flush() error {
 	return ck.writeLocked()
 }
 
-// writeLocked atomically replaces the manifest; ck.mu must be held.
+// writeLocked atomically replaces the sealed manifest, keeping the
+// previous generation; ck.mu must be held.
 func (ck *sweepCheckpointer) writeLocked() error {
 	data, err := json.Marshal(sweepManifest{Key: ck.key, Done: ck.done})
 	if err != nil {
 		return fmt.Errorf("sops: encode sweep checkpoint: %w", err)
 	}
-	if err := atomicio.WriteFile(ck.path, data, 0o644); err != nil {
+	if err := seal.WriteFile(ck.path, data, 0o644); err != nil {
 		return fmt.Errorf("sops: write sweep checkpoint: %w", err)
 	}
 	ck.sinceWrite = 0
