@@ -8,6 +8,7 @@ package sops_test
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"runtime"
 	"runtime/pprof"
@@ -110,6 +111,46 @@ func BenchmarkChainStepProbe(b *testing.B) {
 	b.ResetTimer()
 	stepLoop(b, ch)
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/sec")
+}
+
+// E26 — the sharded multicore kernel: proposal throughput of the
+// tile-store executor at n = 100,000 across worker counts. P1 measures
+// the sharded machinery's serial overhead against BenchmarkChainStep's
+// dense kernel (the CI lane maps it onto that baseline with a generous
+// threshold — the tile store trades per-step locality for unbounded
+// scale); P2–P8 measure scaling, which is only meaningful on a
+// multi-core runner. steps/sec is the scaling criterion CI tracks.
+func BenchmarkChainStepSharded(b *testing.B) {
+	cfg, err := core.Initial(core.LayoutSpiral, core.Bichromatic(100_000), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := core.Params{Lambda: 4, Gamma: 4, Seed: 1}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("P%d", workers), func(b *testing.B) {
+			sh, err := core.NewSharded(cfg, params, core.ShardedOptions{
+				Workers: workers,
+				Seed:    uint64(workers),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm the tile directory, band partition and worker rng
+			// streams before timing.
+			if _, err := sh.Run(context.Background(), 200_000); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			pprof.Do(context.Background(), pprof.Labels("benchmark", b.Name()), func(ctx context.Context) {
+				if _, err := sh.Run(ctx, uint64(b.N)); err != nil {
+					b.Fatal(err)
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/sec")
+		})
+	}
 }
 
 // stepLoop runs the timed portion of the chain-step benchmarks under a

@@ -120,15 +120,9 @@ type Chain struct {
 	probe     Probe
 	probeBase Stats
 
-	powLambda [2*maxExp + 1]float64 // λ^k for k in [-maxExp, maxExp]
-	powGamma  [2*maxExp + 1]float64 // γ^k
-
-	// moveThresh and swapThresh are the precomputed integer acceptance
-	// thresholds of the Metropolis filters (see thresholds.go):
-	// moveThresh[(dλ+maxExp)·(2·maxExp+1) + dγ+maxExp] encodes
-	// min(1, λ^dλ·γ^dγ), swapThresh[k+maxExp] encodes min(1, γ^k).
-	moveThresh [(2*maxExp + 1) * (2*maxExp + 1)]uint64
-	swapThresh [2*maxExp + 1]uint64
+	// tables holds the precomputed power and integer acceptance
+	// threshold tables of the Metropolis filters (see thresholds.go).
+	tables acceptTables
 }
 
 // ErrEmptyConfig is returned when constructing a chain with no particles.
@@ -278,7 +272,7 @@ func (c *Chain) tryMove(l, lp lattice.Point, g *psys.PairGather) Outcome {
 		return Rejected // conditions (i) e ≠ 5 and (ii) Property 4 or 5
 	}
 	dLambda, dGamma := g.MoveExponents()
-	if !c.accept(c.moveThresh[(dLambda+maxExp)*(2*maxExp+1)+dGamma+maxExp]) {
+	if !c.accept(c.tables.moveThreshold(dLambda, dGamma)) {
 		return Rejected // condition (iii)
 	}
 	idx := c.posIndex[c.posWin.Index(l)]
@@ -305,7 +299,7 @@ func (c *Chain) trySwap(l, lp lattice.Point, g *psys.PairGather) Outcome {
 	if c.params.DisableSwaps {
 		return Rejected
 	}
-	if !c.accept(c.swapThresh[g.SwapExponent()+maxExp]) {
+	if !c.accept(c.tables.swapThreshold(g.SwapExponent())) {
 		return Rejected
 	}
 	ci, _ := g.LColor()
@@ -318,6 +312,40 @@ func (c *Chain) trySwap(l, lp lattice.Point, g *psys.PairGather) Outcome {
 	}
 	c.stats.Swaps++
 	return Swapped
+}
+
+// ReplaceConfig swaps the chain's configuration for cfg — which must be
+// nonempty and connected — preserving the chain's parameters, random
+// stream and statistics, and rebuilding the particle index. It is how a
+// sharded run's result is folded back into a serial chain: the chain
+// continues from the new configuration exactly as if its own steps had
+// produced it.
+func (c *Chain) ReplaceConfig(cfg *psys.Config) error {
+	if cfg.N() == 0 {
+		return ErrEmptyConfig
+	}
+	if !cfg.Connected() {
+		return ErrDisconnected
+	}
+	c.cfg = cfg
+	c.positions = cfg.Points()
+	c.reindex()
+	return nil
+}
+
+// AbsorbStats folds externally performed proposal statistics (a sharded
+// run over this chain's configuration) into the chain's own counters.
+// The probe baseline advances by the same amounts, so work already
+// published to a probe by its performer is not published twice.
+func (c *Chain) AbsorbStats(st Stats) {
+	c.stats.Steps += st.Steps
+	c.stats.Moves += st.Moves
+	c.stats.Swaps += st.Swaps
+	c.stats.Rejected += st.Rejected
+	c.probeBase.Steps += st.Steps
+	c.probeBase.Moves += st.Moves
+	c.probeBase.Swaps += st.Swaps
+	c.probeBase.Rejected += st.Rejected
 }
 
 // Run performs steps iterations.

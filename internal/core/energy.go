@@ -18,3 +18,12 @@ func Energy(cfg *psys.Config, params Params) float64 {
 
 // Energy returns the Hamiltonian of the chain's current configuration.
 func (c *Chain) Energy() float64 { return Energy(c.cfg, c.params) }
+
+// EnergyStore is Energy over a tile store, from its O(1) cached counts.
+func EnergyStore(ts *psys.TileStore, params Params) float64 {
+	return -float64(ts.Edges())*math.Log(params.Lambda) -
+		float64(ts.HomEdges())*math.Log(params.Gamma)
+}
+
+// Energy returns the Hamiltonian of the executor's current configuration.
+func (s *Sharded) Energy() float64 { return EnergyStore(s.store, s.params) }

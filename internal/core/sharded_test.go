@@ -1,0 +1,256 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"sops/internal/lattice"
+	"sops/internal/psys"
+)
+
+// shardedParams are deliberately deep in the separating regime so the
+// audit runs see a high acceptance rate — more applied operations means
+// more chances for an unserializable interleaving to corrupt state.
+var shardedParams = Params{Lambda: 4, Gamma: 4, Seed: 99}
+
+// TestShardedSerializabilityAudit is the core correctness argument for
+// the sharded executor: record every accepted operation with its
+// serialization ticket during a concurrent run, then replay the
+// ticket-sorted log serially through the reference kernel from the same
+// initial configuration. If the concurrent execution was serializable,
+// every replayed move passes MoveValid in the serial order, the replayed
+// configuration lands exactly on the concurrent run's final
+// configuration, and the full invariant sweep passes. Run under -race,
+// this also holds the band-margin arithmetic to account: any lock-free
+// proposal that could touch another worker's cells is a detector report.
+func TestShardedSerializabilityAudit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second concurrent audit")
+	}
+	// The container running the tests may have a single core; force the
+	// scheduler to interleave the workers anyway.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+
+	const n = 10_000
+	cfg, err := Initial(LayoutSpiral, Bichromatic(n), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("P%d", workers), func(t *testing.T) {
+			initial := cfg.Clone()
+			s, err := NewSharded(cfg, shardedParams, ShardedOptions{
+				Workers:   workers,
+				Seed:      uint64(1000 + workers),
+				RecordLog: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const steps = 5 * n // multiple epochs: exercises re-partitioning
+			done, err := s.Run(context.Background(), steps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done != steps {
+				t.Fatalf("done = %d, want %d", done, steps)
+			}
+			st := s.Stats()
+			if st.Steps != steps || st.Moves+st.Swaps+st.Rejected != st.Steps {
+				t.Fatalf("inconsistent stats: %+v", st)
+			}
+
+			log := s.Log()
+			if uint64(len(log)) != st.Moves+st.Swaps {
+				t.Fatalf("log has %d records, stats count %d accepted", len(log), st.Moves+st.Swaps)
+			}
+			var moves, swaps uint64
+			for i, rec := range log {
+				if rec.Ticket != uint64(i+1) {
+					t.Fatalf("record %d has ticket %d: tickets must be dense and sorted", i, rec.Ticket)
+				}
+				if rec.Worker < 0 || rec.Worker >= workers {
+					t.Fatalf("record %d from out-of-range worker %d", i, rec.Worker)
+				}
+				switch rec.Kind {
+				case OpMove:
+					moves++
+				case OpSwap:
+					swaps++
+				}
+			}
+			if moves != st.Moves || swaps != st.Swaps {
+				t.Fatalf("log counts %d moves, %d swaps; stats say %d, %d", moves, swaps, st.Moves, st.Swaps)
+			}
+
+			if err := ReplayLog(initial, log); err != nil {
+				t.Fatal(err)
+			}
+			final, err := s.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !initial.Equal(final) {
+				t.Fatal("serial replay of the ticket log does not reproduce the concurrent final configuration")
+			}
+			if err := initial.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Store().Audit(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestShardedLineStart drives the degenerate partition: a line start
+// occupies a single R row, so every particle lands in one band and the
+// other workers idle until moves spread the row range out. The audit
+// must hold regardless.
+func TestShardedLineStart(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	cfg, err := Initial(LayoutLine, Bichromatic(400), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := cfg.Clone()
+	s, err := NewSharded(cfg, shardedParams, ShardedOptions{Workers: 4, Seed: 5, RecordLog: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 20_000
+	if _, err := s.Run(context.Background(), steps); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReplayLog(initial, s.Log()); err != nil {
+		t.Fatal(err)
+	}
+	final, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !initial.Equal(final) {
+		t.Fatal("replay mismatch after line start")
+	}
+}
+
+// TestShardedSingleWorkerDeterministic pins the P=1 sharded path:
+// without concurrency the per-worker rng streams make the executor a
+// deterministic function of (config, params, seed), so two runs must
+// agree exactly.
+func TestShardedSingleWorkerDeterministic(t *testing.T) {
+	run := func() (*psys.Config, Stats) {
+		cfg, err := Initial(LayoutSpiral, Bichromatic(300), 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewSharded(cfg, shardedParams, ShardedOptions{Workers: 1, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(context.Background(), 30_000); err != nil {
+			t.Fatal(err)
+		}
+		final, err := s.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return final, s.Stats()
+	}
+	a, sa := run()
+	b, sb := run()
+	if !a.Equal(b) {
+		t.Fatal("two identical 1-worker runs diverged")
+	}
+	if sa != sb {
+		t.Fatalf("stats diverged: %+v vs %+v", sa, sb)
+	}
+}
+
+// TestShardedPartition checks the band partition directly: bands are
+// contiguous, disjoint, cover every particle, respect their declared
+// [lo, hi) row ranges, and are balanced to within one row's population.
+func TestShardedPartition(t *testing.T) {
+	cfg, err := Initial(LayoutSpiral, Bichromatic(4096), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSharded(cfg, shardedParams, ShardedOptions{Workers: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, parts := s.partition()
+	total := 0
+	prevHi := lo[0]
+	for w := range parts {
+		if lo[w] != prevHi {
+			t.Fatalf("band %d starts at %d, previous ended at %d", w, lo[w], prevHi)
+		}
+		if hi[w] < lo[w] {
+			t.Fatalf("band %d has negative extent [%d, %d)", w, lo[w], hi[w])
+		}
+		prevHi = hi[w]
+		for _, p := range parts[w] {
+			if p.R < lo[w] || p.R >= hi[w] {
+				t.Fatalf("band %d owns %v outside its rows [%d, %d)", w, p, lo[w], hi[w])
+			}
+		}
+		total += len(parts[w])
+	}
+	if total != s.N() {
+		t.Fatalf("partition covers %d of %d particles", total, s.N())
+	}
+	// A spiral of 4096 particles has O(√n) rows, each with O(√n)
+	// particles, so quantile cuts land within one row of perfect balance.
+	for w, part := range parts {
+		if len(part) < 4096/4-200 || len(part) > 4096/4+200 {
+			t.Fatalf("band %d badly unbalanced: %d particles", w, len(part))
+		}
+	}
+}
+
+// TestShardedRejectsBadInput covers the constructor guards.
+func TestShardedRejectsBadInput(t *testing.T) {
+	cfg := psys.New()
+	if _, err := NewSharded(cfg, shardedParams, ShardedOptions{}); err != ErrEmptyConfig {
+		t.Fatalf("empty config: got %v", err)
+	}
+	if err := cfg.Place(lattice.Point{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSharded(cfg, Params{Lambda: -1, Gamma: 4}, ShardedOptions{}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+// TestReplayLogRejectsCorruptLogs ensures the audit's serial half
+// actually discriminates: logs that violate the kernel's rules must be
+// rejected, not silently absorbed.
+func TestReplayLogRejectsCorruptLogs(t *testing.T) {
+	mk := func() *psys.Config {
+		cfg, err := Initial(LayoutLine, []int{2, 2}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cfg
+	}
+	pts := mk().Points()
+	cases := []struct {
+		name string
+		log  []MoveRecord
+	}{
+		{"move from vacancy", []MoveRecord{{Ticket: 1, Kind: OpMove, L: pts[0].Neighbor(2), Lp: pts[0].Neighbor(1)}}},
+		{"move onto occupied cell", []MoveRecord{{Ticket: 1, Kind: OpMove, L: pts[0], Lp: pts[1]}}},
+		{"swap with vacancy", []MoveRecord{{Ticket: 1, Kind: OpSwap, L: pts[0], Lp: pts[0].Neighbor(1)}}},
+		{"unknown kind", []MoveRecord{{Ticket: 1, Kind: 0, L: pts[0], Lp: pts[1]}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := ReplayLog(mk(), tc.log); err == nil {
+				t.Fatal("corrupt log replayed without error")
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"sops/internal/lattice"
 	"sops/internal/psys"
 )
 
@@ -17,6 +18,10 @@ type Meter struct {
 
 	visited []bool
 	stack   []int32
+
+	// Scratch for CaptureStore's tiled flood fill.
+	storeVisited tileVisitedSet
+	storeStack   []lattice.Point
 }
 
 // NewMeter returns a Meter classifying with the given thresholds.
@@ -108,35 +113,6 @@ func (m *Meter) Capture(cfg *psys.Config, steps uint64) Snapshot {
 	n := cfg.N()
 	perim := cfg.Perimeter()
 	pm := m.minPerimeter(n)
-	alpha := 1.0
-	if pm > 0 {
-		alpha = float64(perim) / float64(pm)
-	}
-	seg := SegregationIndex(cfg)
-	compressed := float64(perim) <= m.th.Alpha*float64(pm)
-	separated := seg >= m.th.MinSegregation
-	var phase Phase
-	switch {
-	case compressed && separated:
-		phase = CompressedSeparated
-	case compressed:
-		phase = CompressedIntegrated
-	case separated:
-		phase = ExpandedSeparated
-	default:
-		phase = ExpandedIntegrated
-	}
-	return Snapshot{
-		Steps:        steps,
-		N:            n,
-		Perimeter:    perim,
-		MinPerimeter: pm,
-		Alpha:        alpha,
-		Edges:        cfg.Edges(),
-		HomEdges:     cfg.HomEdges(),
-		HetEdges:     cfg.HetEdges(),
-		Segregation:  seg,
-		LargestFrac:  m.largestClusterFraction(cfg, 0),
-		Phase:        phase,
-	}
+	return m.snapshot(steps, n, perim, pm, cfg.Edges(), cfg.HomEdges(), cfg.HetEdges(),
+		SegregationIndex(cfg), m.largestClusterFraction(cfg, 0))
 }

@@ -173,7 +173,24 @@ func LargestClusterFraction(cfg *psys.Config, c psys.Color) float64 {
 // is the expected heterogeneous edge count if colors were assigned to the
 // occupied sites uniformly at random. Negative values indicate
 // anti-separation (more heterogeneous contact than random).
-func SegregationIndex(cfg *psys.Config) float64 {
+func SegregationIndex(cfg *psys.Config) float64 { return segregationOf(cfg) }
+
+// EdgeCounts is the read surface the segregation index needs; both
+// psys.Config and psys.TileStore satisfy it, so the dense and tiled
+// paths share one float arithmetic sequence and agree bit for bit.
+type EdgeCounts interface {
+	N() int
+	Edges() int
+	HetEdges() int
+	ColorCount(psys.Color) int
+	NumColors() int
+}
+
+// SegregationIndexStore is SegregationIndex over a tile store, using its
+// O(1) cached counts.
+func SegregationIndexStore(ts *psys.TileStore) float64 { return segregationOf(ts) }
+
+func segregationOf(cfg EdgeCounts) float64 {
 	e := cfg.Edges()
 	n := cfg.N()
 	if e == 0 || n < 2 {

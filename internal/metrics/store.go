@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"sops/internal/lattice"
+	"sops/internal/psys"
+)
+
+// CaptureStore computes the same Snapshot as Capture over a live tile
+// store, without materializing a dense Config: the scalar observables
+// come from the store's O(1) cached counts, and the largest-cluster
+// flood fill runs over per-tile visited planes so its footprint tracks
+// the occupied region rather than the bounding box. The visited planes
+// are reused across captures; one Meter serves one executor and is not
+// safe for concurrent use. The sharded executor's workers must be at an
+// epoch barrier while this runs.
+func (m *Meter) CaptureStore(ts *psys.TileStore, steps uint64) Snapshot {
+	n := ts.N()
+	perim := ts.Perimeter()
+	pm := m.minPerimeter(n)
+	seg := SegregationIndexStore(ts)
+	return m.snapshot(steps, n, perim, pm, ts.Edges(), ts.HomEdges(), ts.HetEdges(),
+		seg, m.largestStoreClusterFraction(ts, 0))
+}
+
+// snapshot assembles a Snapshot and classifies its phase; Capture and
+// CaptureStore both funnel through it so the dense and tiled paths
+// cannot drift.
+func (m *Meter) snapshot(steps uint64, n, perim, pm, edges, hom, het int, seg, frac float64) Snapshot {
+	alpha := 1.0
+	if pm > 0 {
+		alpha = float64(perim) / float64(pm)
+	}
+	compressed := float64(perim) <= m.th.Alpha*float64(pm)
+	separated := seg >= m.th.MinSegregation
+	var phase Phase
+	switch {
+	case compressed && separated:
+		phase = CompressedSeparated
+	case compressed:
+		phase = CompressedIntegrated
+	case separated:
+		phase = ExpandedSeparated
+	default:
+		phase = ExpandedIntegrated
+	}
+	return Snapshot{
+		Steps:        steps,
+		N:            n,
+		Perimeter:    perim,
+		MinPerimeter: pm,
+		Alpha:        alpha,
+		Edges:        edges,
+		HomEdges:     hom,
+		HetEdges:     het,
+		Segregation:  seg,
+		LargestFrac:  frac,
+		Phase:        phase,
+	}
+}
+
+// tileVisitedSet marks lattice points using one bool plane per tile,
+// mirroring the store's own geometry. Planes persist across captures
+// (cleared, not freed), so steady-state captures only allocate when the
+// configuration drifts into tiles it never touched before.
+type tileVisitedSet struct {
+	planes map[lattice.TileCoord]*[lattice.TileArea]bool
+}
+
+func (v *tileVisitedSet) reset() {
+	if v.planes == nil {
+		v.planes = make(map[lattice.TileCoord]*[lattice.TileArea]bool)
+		return
+	}
+	for _, pl := range v.planes {
+		*pl = [lattice.TileArea]bool{}
+	}
+}
+
+// visit reports whether p was already marked, marking it if not.
+func (v *tileVisitedSet) visit(p lattice.Point) bool {
+	tc := lattice.TileOf(p)
+	pl := v.planes[tc]
+	if pl == nil {
+		pl = new([lattice.TileArea]bool)
+		v.planes[tc] = pl
+	}
+	if pl[lattice.TileIndex(p)] {
+		return true
+	}
+	pl[lattice.TileIndex(p)] = true
+	return false
+}
+
+// largestStoreClusterSize flood-fills the store's color-c clusters over
+// the reusable visited planes and returns the largest size.
+func (m *Meter) largestStoreClusterSize(ts *psys.TileStore, c psys.Color) int {
+	m.storeVisited.reset()
+	best := 0
+	ts.ForEach(func(p lattice.Point, col psys.Color) {
+		if col != c || m.storeVisited.visit(p) {
+			return
+		}
+		m.storeStack = append(m.storeStack[:0], p)
+		size := 0
+		for len(m.storeStack) > 0 {
+			q := m.storeStack[len(m.storeStack)-1]
+			m.storeStack = m.storeStack[:len(m.storeStack)-1]
+			size++
+			for _, nb := range q.Neighbors() {
+				if col, ok := ts.At(nb); ok && col == c && !m.storeVisited.visit(nb) {
+					m.storeStack = append(m.storeStack, nb)
+				}
+			}
+		}
+		if size > best {
+			best = size
+		}
+	})
+	return best
+}
+
+// largestStoreClusterFraction mirrors largestClusterFraction on the
+// tiled path.
+func (m *Meter) largestStoreClusterFraction(ts *psys.TileStore, c psys.Color) float64 {
+	total := ts.ColorCount(c)
+	if total == 0 {
+		return 0
+	}
+	return float64(m.largestStoreClusterSize(ts, c)) / float64(total)
+}

@@ -190,6 +190,22 @@ func (c *Config) GatherPair(l lattice.Point, dir lattice.Direction) PairGather {
 	return g
 }
 
+// PairCells returns the 10 distinct lattice cells one proposal in
+// direction dir from l touches: l, lp = l.Neighbor(dir), and the 8-cell
+// ring around the (l, lp) edge — the read set of GatherPair and a
+// superset of the write set {l, lp}. The sharded executor locks exactly
+// this region for boundary proposals.
+func PairCells(l lattice.Point, dir lattice.Direction) [pairRingSize + 2]lattice.Point {
+	var cells [pairRingSize + 2]lattice.Point
+	t := &pairTables[dir]
+	for k, d := range t.pts {
+		cells[k] = l.Add(d)
+	}
+	cells[pairRingSize] = l
+	cells[pairRingSize+1] = l.Neighbor(dir)
+	return cells
+}
+
 // LColor returns the color of the particle at l, if any.
 func (g *PairGather) LColor() (Color, bool) {
 	return Color(g.cl - 1), g.cl != 0

@@ -1,0 +1,90 @@
+package telemetry
+
+import "fmt"
+
+// A ProbeSet gives each worker of a sharded execution its own Probe while
+// keeping one merged Probe whose totals cover the whole run. Worker sinks
+// forward every batch to both their own probe and the merged one, so:
+//
+//   - the merged probe stays a drop-in Sources.Probe for the debug server
+//     (totals exact after the engines flush, same contract as a serial run),
+//   - per-worker counters attribute throughput to bands, exposing partition
+//     imbalance and stalled workers, which lifetime totals alone hide.
+//
+// Probe.Add is already safe for concurrent writers (cache-line padded
+// atomics), so the fan-in costs one extra uncontended batch publish per
+// flush, amortized over the engine's batch size.
+type ProbeSet struct {
+	merged  *Probe
+	workers []*Probe
+}
+
+// NewProbeSet returns a set with per-worker probes feeding merged; a nil
+// merged gets a fresh probe. workers must be positive.
+func NewProbeSet(merged *Probe, workers int) *ProbeSet {
+	if workers < 1 {
+		panic(fmt.Sprintf("telemetry: ProbeSet needs at least one worker, got %d", workers))
+	}
+	if merged == nil {
+		merged = NewProbe()
+	}
+	s := &ProbeSet{merged: merged, workers: make([]*Probe, workers)}
+	for i := range s.workers {
+		s.workers[i] = NewProbe()
+	}
+	return s
+}
+
+// Merged returns the probe holding run-wide totals.
+func (s *ProbeSet) Merged() *Probe { return s.merged }
+
+// Workers returns the worker count.
+func (s *ProbeSet) Workers() int { return len(s.workers) }
+
+// WorkerSink is one worker's publishing endpoint; Add forwards to the
+// worker's own probe and the merged probe. The zero value is a no-op sink.
+type WorkerSink struct {
+	own, merged *Probe
+}
+
+// Add publishes a batch to the worker's probe and the merged probe.
+func (w WorkerSink) Add(steps, moves, swaps, rejected uint64) {
+	if w.own == nil {
+		return
+	}
+	w.own.Add(steps, moves, swaps, rejected)
+	w.merged.Add(steps, moves, swaps, rejected)
+}
+
+// Worker returns worker i's sink.
+func (s *ProbeSet) Worker(i int) WorkerSink {
+	return WorkerSink{own: s.workers[i], merged: s.merged}
+}
+
+// WorkerCounters reads every worker's totals, indexed by worker.
+func (s *ProbeSet) WorkerCounters() []Counters {
+	out := make([]Counters, len(s.workers))
+	for i, p := range s.workers {
+		out[i] = p.Counters()
+	}
+	return out
+}
+
+// Imbalance returns the ratio of the busiest worker's proposal count to
+// the per-worker mean — 1 means a perfectly balanced partition, k means
+// the hottest band did k times its fair share. 0 before any step.
+func (s *ProbeSet) Imbalance() float64 {
+	var total, max uint64
+	for _, p := range s.workers {
+		c := p.steps.v.Load()
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(s.workers))
+	return float64(max) / mean
+}

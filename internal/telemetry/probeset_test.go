@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestProbeSetMergesWorkers: concurrent workers publishing through their
+// sinks must leave the merged probe holding the exact sum and each
+// worker probe its own exact share.
+func TestProbeSetMergesWorkers(t *testing.T) {
+	const workers = 4
+	ps := NewProbeSet(nil, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sink := ps.Worker(w)
+			for i := 0; i < 1000; i++ {
+				sink.Add(3, 1, 1, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	merged := ps.Merged().Counters()
+	want := Counters{Steps: 3000 * workers, Moves: 1000 * workers, Swaps: 1000 * workers, Rejected: 1000 * workers}
+	if merged != want {
+		t.Fatalf("merged = %+v, want %+v", merged, want)
+	}
+	for w, c := range ps.WorkerCounters() {
+		if (c != Counters{Steps: 3000, Moves: 1000, Swaps: 1000, Rejected: 1000}) {
+			t.Fatalf("worker %d counters = %+v", w, c)
+		}
+	}
+	if im := ps.Imbalance(); im != 1 {
+		t.Fatalf("balanced load reports imbalance %v", im)
+	}
+}
+
+// TestProbeSetImbalance: a lopsided load must be reported as the
+// busiest worker's multiple of the mean.
+func TestProbeSetImbalance(t *testing.T) {
+	ps := NewProbeSet(nil, 2)
+	if ps.Imbalance() != 0 {
+		t.Fatal("idle set should report 0 imbalance")
+	}
+	ps.Worker(0).Add(300, 0, 0, 300)
+	ps.Worker(1).Add(100, 0, 0, 100)
+	// max 300 over mean 200 = 1.5.
+	if im := ps.Imbalance(); im != 1.5 {
+		t.Fatalf("imbalance = %v, want 1.5", im)
+	}
+}
+
+// TestProbeSetSharedMerged: an externally supplied merged probe keeps
+// accumulating across sets, the pattern sops uses when re-sharding
+// between sampling windows of one run.
+func TestProbeSetSharedMerged(t *testing.T) {
+	merged := NewProbe()
+	a := NewProbeSet(merged, 2)
+	a.Worker(0).Add(10, 5, 0, 5)
+	b := NewProbeSet(merged, 3)
+	b.Worker(2).Add(10, 0, 5, 5)
+	if c := merged.Counters(); c != (Counters{Steps: 20, Moves: 5, Swaps: 5, Rejected: 10}) {
+		t.Fatalf("merged across sets = %+v", c)
+	}
+}
+
+// TestWorkerSinkZeroValue: the zero sink is a safe no-op.
+func TestWorkerSinkZeroValue(t *testing.T) {
+	var s WorkerSink
+	s.Add(1, 1, 0, 0)
+}

@@ -39,6 +39,7 @@ import (
 	"sops/internal/core"
 	"sops/internal/metrics"
 	"sops/internal/psys"
+	"sops/internal/rng"
 	"sops/internal/seal"
 	"sops/internal/telemetry"
 	"sops/internal/viz"
@@ -323,6 +324,19 @@ type RunSpec struct {
 	Observer func(Snapshot) bool
 	// Telemetry optionally attaches a live Probe and a trace Recorder.
 	Telemetry *Telemetry
+	// Workers selects the execution engine. 0 or 1 runs the serial chain —
+	// bit-identical to every previous release, so seeded trajectories and
+	// checkpoints stay reproducible. Workers > 1 runs this RunSpec on the
+	// sharded multicore executor: the configuration is partitioned into
+	// Workers row bands over a tiled store and proposals run concurrently
+	// with striped boundary locking. Sharded segments are serializable
+	// (equivalent to some serial proposal order, with the same stationary
+	// distribution) but not deterministic — thread interleaving picks the
+	// order — so runs with Workers > 1 trade replayability for throughput.
+	// After the run the System carries the evolved configuration and
+	// cumulative statistics and can be measured, checkpointed, or resumed
+	// with any Workers setting.
+	Workers int
 }
 
 // Run performs up to spec.Steps iterations, sampling on spec's cadence and
@@ -339,6 +353,9 @@ type RunSpec struct {
 // Run is the single entry point behind the older RunSteps, RunContext,
 // RunWith and RunWithContext, which survive as thin wrappers.
 func (s *System) Run(ctx context.Context, spec RunSpec) (uint64, error) {
+	if spec.Workers > 1 {
+		return s.runSharded(ctx, spec)
+	}
 	var rec *Recorder
 	if spec.Telemetry != nil {
 		if spec.Telemetry.Probe != nil {
@@ -386,6 +403,99 @@ func (s *System) Run(ctx context.Context, spec RunSpec) (uint64, error) {
 			return done, nil
 		}
 	}
+}
+
+// runSharded executes one RunSpec on the sharded multicore engine: the
+// chain's configuration is lifted into a tile store, evolved by
+// spec.Workers concurrent proposal workers, sampled through the tiled
+// metrics path at the spec's cadence, and folded back into the serial
+// chain when the segment ends — so the System before and after looks
+// exactly like it ran the steps serially, modulo the proposal order.
+// Worker rng streams derive from SeedAt(chain seed, steps-so-far), so
+// consecutive sharded segments of one System never reuse a stream.
+func (s *System) runSharded(ctx context.Context, spec RunSpec) (uint64, error) {
+	params := s.chain.Params()
+	start := s.Steps()
+	sh, err := core.NewSharded(s.chain.Snapshot(), params, core.ShardedOptions{
+		Workers: spec.Workers,
+		Seed:    rng.SeedAt(params.Seed, start),
+	})
+	if err != nil {
+		return 0, fmt.Errorf("sops: sharded run: %w", err)
+	}
+	var rec *Recorder
+	if spec.Telemetry != nil {
+		if spec.Telemetry.Probe != nil {
+			// Fan worker batches into the caller's probe through a
+			// ProbeSet, so per-band attribution exists while the shared
+			// probe keeps its serial-run contract.
+			ps := telemetry.NewProbeSet(spec.Telemetry.Probe, spec.Workers)
+			probes := make([]core.Probe, spec.Workers)
+			for i := range probes {
+				probes[i] = ps.Worker(i)
+			}
+			if err := sh.SetWorkerProbes(probes); err != nil {
+				return 0, fmt.Errorf("sops: sharded run: %w", err)
+			}
+		}
+		rec = spec.Telemetry.Recorder
+	}
+
+	sample := func() Snapshot {
+		snap := s.meter.CaptureStore(sh.Store(), start+sh.Stats().Steps)
+		if rec != nil {
+			rec.Offer(TraceSample{Snap: snap, Energy: sh.Energy()})
+		}
+		return snap
+	}
+	// fold moves the evolved configuration and statistics back into the
+	// serial chain, preserving its parameters, rng stream, and probe
+	// accounting, then writes one checkpoint if auto-checkpointing is on.
+	fold := func() error {
+		final, err := sh.Snapshot()
+		if err != nil {
+			return fmt.Errorf("sops: sharded run: %w", err)
+		}
+		if err := s.chain.ReplaceConfig(final); err != nil {
+			return fmt.Errorf("sops: sharded run: %w", err)
+		}
+		s.chain.AbsorbStats(sh.Stats())
+		if s.ckptEvery > 0 && s.ckptPath != "" {
+			return s.WriteCheckpoint(s.ckptPath)
+		}
+		return nil
+	}
+
+	sampling := spec.Observer != nil || rec != nil
+	var done uint64
+	for done < spec.Steps {
+		batch := spec.Steps - done
+		if sampling && spec.SampleEvery > 0 {
+			// Stop at absolute multiples of the cadence, like the serial
+			// path, so resumed runs sample the same trajectory points.
+			if next := spec.SampleEvery - (start+done)%spec.SampleEvery; next < batch {
+				batch = next
+			}
+		}
+		n, err := sh.Run(ctx, batch)
+		done += n
+		if err != nil {
+			if sampling {
+				snap := sample()
+				if spec.Observer != nil {
+					spec.Observer(snap)
+				}
+			}
+			return done, errors.Join(err, fold())
+		}
+		if sampling {
+			snap := sample()
+			if spec.Observer != nil && !spec.Observer(snap) {
+				break
+			}
+		}
+	}
+	return done, fold()
 }
 
 // runCheckpointed performs up to steps iterations with cancellation,

@@ -1,0 +1,175 @@
+package sops
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestRunWorkersOneGolden pins the promise RunSpec.Workers makes: 0 and 1
+// run the serial chain bit-for-bit, so the public Run surface reproduces
+// the committed golden trajectories exactly — same configuration hashes
+// at every sample point, same acceptance statistics. The golden file is
+// the one the core package maintains; reading it here means any drift
+// between the public path and the chain would fail even if both changed
+// together consistently.
+func TestRunWorkersOneGolden(t *testing.T) {
+	data, err := os.ReadFile("internal/core/testdata/golden_trajectories.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs []struct {
+		Name         string   `json:"name"`
+		Counts       []int    `json:"counts"`
+		Lambda       float64  `json:"lambda"`
+		Gamma        float64  `json:"gamma"`
+		DisableSwaps bool     `json:"disableSwaps"`
+		Seed         uint64   `json:"seed"`
+		Initial      string   `json:"initial"`
+		Hashes       []string `json:"hashes"`
+		Moves        uint64   `json:"moves"`
+		Swaps        uint64   `json:"swaps"`
+		Rejected     uint64   `json:"rejected"`
+	}
+	if err := json.Unmarshal(data, &runs); err != nil {
+		t.Fatal(err)
+	}
+	const every = 10_000 // the golden file's goldenEvery
+	for _, workers := range []int{0, 1} {
+		for _, run := range runs {
+			t.Run(fmt.Sprintf("%s-workers%d", run.Name, workers), func(t *testing.T) {
+				sys, err := New(Options{
+					Counts:       run.Counts,
+					Layout:       LayoutLine,
+					Lambda:       run.Lambda,
+					Gamma:        run.Gamma,
+					DisableSwaps: run.DisableSwaps,
+					Seed:         run.Seed,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := fmt.Sprintf("%016x", sys.Config().Hash()); got != run.Initial {
+					t.Fatalf("initial hash %s, golden %s", got, run.Initial)
+				}
+				for i, want := range run.Hashes {
+					if _, err := sys.Run(context.Background(), RunSpec{Steps: every, Workers: workers}); err != nil {
+						t.Fatal(err)
+					}
+					if got := fmt.Sprintf("%016x", sys.Config().Hash()); got != want {
+						t.Fatalf("hash after %d steps is %s, golden %s", (i+1)*every, got, want)
+					}
+				}
+				st := sys.Stats()
+				if st.Moves != run.Moves || st.Swaps != run.Swaps || st.Rejected != run.Rejected {
+					t.Fatalf("stats %+v, golden moves=%d swaps=%d rejected=%d", st, run.Moves, run.Swaps, run.Rejected)
+				}
+			})
+		}
+	}
+}
+
+// TestRunShardedConserves drives the public sharded path and checks
+// everything a non-deterministic execution must still guarantee: the
+// step budget is spent, particle and color counts are conserved, the
+// folded-back System passes the full invariant sweep, and the sampling
+// cadence fires the observer exactly as the serial path would.
+func TestRunShardedConserves(t *testing.T) {
+	sys, err := New(Options{Counts: []int{300, 300}, Lambda: 4, Gamma: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sys.Metrics()
+
+	probe := NewProbe()
+	rec := NewRecorder(64, 0)
+	samples := 0
+	done, err := sys.Run(context.Background(), RunSpec{
+		Steps:       60_000,
+		SampleEvery: 10_000,
+		Workers:     4,
+		Observer: func(snap Snapshot) bool {
+			samples++
+			if snap.N != 600 {
+				t.Errorf("observer saw n=%d", snap.N)
+			}
+			return true
+		},
+		Telemetry: &Telemetry{Probe: probe, Recorder: rec},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != 60_000 {
+		t.Fatalf("done = %d", done)
+	}
+	if samples != 6 {
+		t.Fatalf("observer fired %d times, want 6", samples)
+	}
+	if sys.Steps() != 60_000 {
+		t.Fatalf("system steps = %d", sys.Steps())
+	}
+	st := sys.Stats()
+	if st.Moves+st.Swaps+st.Rejected != st.Steps {
+		t.Fatalf("inconsistent stats %+v", st)
+	}
+	if c := probe.Counters(); c.Steps != 60_000 || c.Moves != st.Moves || c.Swaps != st.Swaps || c.Rejected != st.Rejected {
+		t.Fatalf("probe %+v diverges from stats %+v", c, st)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("recorder saw no samples")
+	}
+	after := sys.Metrics()
+	if after.N != before.N || after.Edges-after.HetEdges-after.HomEdges != 0 {
+		t.Fatalf("conservation violated: %+v", after)
+	}
+	if err := sys.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The folded-back System is a normal serial System: it can keep
+	// running and checkpoint-restore into an identical configuration.
+	if _, err := sys.Run(context.Background(), RunSpec{Steps: 5_000}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := sys.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(blob, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Config().Equal(sys.Config()) {
+		t.Fatal("restore after a sharded segment diverges")
+	}
+	if restored.Steps() != sys.Steps() {
+		t.Fatalf("restored steps %d, want %d", restored.Steps(), sys.Steps())
+	}
+}
+
+// TestRunShardedCancel: a cancelled sharded run still folds the partial
+// work back into the System and reports ctx's error.
+func TestRunShardedCancel(t *testing.T) {
+	sys, err := New(Options{Counts: []int{100, 100}, Lambda: 4, Gamma: 4, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done, err := sys.Run(ctx, RunSpec{Steps: 1 << 40, Workers: 2})
+	if err == nil {
+		t.Fatal("cancelled run reported no error")
+	}
+	if done > 1<<30 {
+		t.Fatalf("cancelled run claims %d steps", done)
+	}
+	if err := sys.CheckInvariants(); err != nil {
+		t.Fatalf("system corrupt after cancelled sharded run: %v", err)
+	}
+	if sys.Steps() != done {
+		t.Fatalf("steps %d after folding back %d", sys.Steps(), done)
+	}
+}
