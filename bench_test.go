@@ -7,8 +7,10 @@
 package sops_test
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"math"
 	"runtime"
 	"runtime/pprof"
@@ -21,8 +23,10 @@ import (
 	"sops/internal/experiments"
 	"sops/internal/ising"
 	"sops/internal/lattice"
+	"sops/internal/metrics"
 	"sops/internal/polymer"
 	"sops/internal/psys"
+	"sops/internal/rng"
 	"sops/internal/telemetry"
 )
 
@@ -460,5 +464,135 @@ func BenchmarkCompressionBaseline(b *testing.B) {
 		}
 		b.ReportMetric(strong.Freq, "prCompressedLambda8")
 		b.ReportMetric(weak.Freq, "prCompressedLambda1")
+	}
+}
+
+// derivedTrace synthesizes a realistic sampled trajectory whose derivable
+// columns (energy, α, segregation, hom edges, largest fraction) really
+// follow from (λ, γ, census) — the shape a production recorder sees, and
+// the case the binary trace codec's elision rules are built for.
+func derivedTrace(n int) ([]telemetry.Sample, float64, float64, []int) {
+	const parts = 100
+	lambda, gamma := 4.0, 2.0
+	counts := []int{50, 50}
+	minPerim := psys.MinPerimeter(parts)
+	r := rng.New(3)
+	out := make([]telemetry.Sample, n)
+	perim, edges, het, size := 3*minPerim, 150, 60, 30
+	var steps uint64
+	for i := range out {
+		steps += 1000
+		perim = max(minPerim, min(4*minPerim, perim+r.Intn(5)-2))
+		edges = max(120, min(260, edges+r.Intn(7)-3))
+		het = max(0, min(edges, het+r.Intn(5)-2))
+		size = max(1, min(counts[0], size+r.Intn(3)-1))
+		m := metrics.Snapshot{
+			Steps:        steps,
+			N:            parts,
+			Perimeter:    perim,
+			MinPerimeter: minPerim,
+			Alpha:        float64(perim) / float64(minPerim),
+			Edges:        edges,
+			HomEdges:     edges - het,
+			HetEdges:     het,
+			Segregation:  metrics.SegregationDerived(edges, het, parts, counts),
+			LargestFrac:  float64(size) / float64(counts[0]),
+			Phase:        metrics.CompressedSeparated,
+		}
+		energy := -float64(edges)*math.Log(lambda) - float64(edges-het)*math.Log(gamma)
+		out[i] = telemetry.Sample{Snap: m, Energy: energy}
+	}
+	return out, lambda, gamma, counts
+}
+
+// E27 — checkpoint encode+write throughput, binary snapbin frames against
+// the legacy JSON document, at n = 10³ and 10⁵ particles. The binary
+// encoder must hold 0 allocs/op at steady state; the restore legs measure
+// the full decode back to a live System.
+func BenchmarkCheckpointRoundTrip(b *testing.B) {
+	for _, n := range []int{1_000, 100_000} {
+		sys, err := sops.New(sops.Options{
+			Counts: []int{n / 2, n - n/2}, Lambda: 4, Gamma: 4, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, format := range []string{"snapbin", "json"} {
+			restore := sops.SetCheckpointBinary(format == "snapbin")
+			var buf bytes.Buffer
+			if err := sys.WriteCheckpointTo(&buf); err != nil {
+				b.Fatal(err)
+			}
+			data := append([]byte(nil), buf.Bytes()...)
+			b.Run(fmt.Sprintf("n=%d/%s/encode", n, format), func(b *testing.B) {
+				b.ReportAllocs()
+				b.SetBytes(int64(len(data)))
+				for i := 0; i < b.N; i++ {
+					if err := sys.WriteCheckpointTo(io.Discard); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(len(data)), "bytes/artifact")
+			})
+			b.Run(fmt.Sprintf("n=%d/%s/restore", n, format), func(b *testing.B) {
+				b.ReportAllocs()
+				b.SetBytes(int64(len(data)))
+				for i := 0; i < b.N; i++ {
+					if _, err := sops.Restore(data, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			restore()
+		}
+	}
+}
+
+// E27 — recorder flush throughput: rendering a full ring of trajectory
+// samples in each wire format. The snapbin leg is the production flush
+// path (reusable scratch, 0 allocs/op at steady state); the JSONL and CSV
+// legs are the text interchange formats.
+func BenchmarkRecorderFlush(b *testing.B) {
+	for _, n := range []int{1_000, 100_000} {
+		samples, lambda, gamma, counts := derivedTrace(n)
+		rec := telemetry.NewRecorder(n, 0)
+		for _, s := range samples {
+			rec.Record(s)
+		}
+		rec.SetDerivation(lambda, gamma, counts)
+		b.Run(fmt.Sprintf("n=%d/snapbin", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var size int
+			for i := 0; i < b.N; i++ {
+				size = len(rec.EncodeBinary())
+			}
+			b.SetBytes(int64(size))
+			b.ReportMetric(float64(size), "bytes/artifact")
+			b.ReportMetric(float64(size)/float64(n), "bytes/sample")
+		})
+		b.Run(fmt.Sprintf("n=%d/jsonl", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var size int
+			for i := 0; i < b.N; i++ {
+				data, err := rec.EncodeJSONL()
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = len(data)
+			}
+			b.SetBytes(int64(size))
+			b.ReportMetric(float64(size), "bytes/artifact")
+			b.ReportMetric(float64(size)/float64(n), "bytes/sample")
+		})
+		b.Run(fmt.Sprintf("n=%d/csv", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var size int
+			for i := 0; i < b.N; i++ {
+				size = len(rec.EncodeCSV())
+			}
+			b.SetBytes(int64(size))
+			b.ReportMetric(float64(size), "bytes/artifact")
+			b.ReportMetric(float64(size)/float64(n), "bytes/sample")
+		})
 	}
 }

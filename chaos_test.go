@@ -56,57 +56,67 @@ func TestCheckpointChaosMatrix(t *testing.T) {
 		{"read-bitrot", failfs.Fault{Op: failfs.OpRead, FlipBit: 600}, false},
 		{"read-short", failfs.Fault{Op: failfs.OpRead, ShortBy: 10}, false},
 	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			dir := t.TempDir()
-			path := filepath.Join(dir, "chain.ckpt")
+	// Both checkpoint wire formats travel in the same integrity envelope,
+	// so every fault class must be absorbed identically under either.
+	for _, format := range []struct {
+		name   string
+		binary bool
+	}{{"binary", true}, {"json", false}} {
+		for _, tc := range cases {
+			t.Run(format.name+"/"+tc.name, func(t *testing.T) {
+				prev := checkpointBinary
+				checkpointBinary = format.binary
+				defer func() { checkpointBinary = prev }()
+				dir := t.TempDir()
+				path := filepath.Join(dir, "chain.ckpt")
 
-			sys, err := New(chaosOptions())
-			if err != nil {
-				t.Fatal(err)
-			}
-			sys.RunSteps(mid)
-			if err := sys.WriteCheckpoint(path); err != nil {
-				t.Fatal(err)
-			}
+				sys, err := New(chaosOptions())
+				if err != nil {
+					t.Fatal(err)
+				}
+				sys.RunSteps(mid)
+				if err := sys.WriteCheckpoint(path); err != nil {
+					t.Fatal(err)
+				}
 
-			// Arm the fault, scoped to this test's directory so the
-			// process-global swap cannot touch unrelated I/O.
-			fault := tc.fault
-			fault.Path = dir
-			in := failfs.NewInjector(nil, 1, fault)
-			restore := failfs.Swap(in)
-			defer restore()
+				// Arm the fault, scoped to this test's directory so the
+				// process-global swap cannot touch unrelated I/O.
+				fault := tc.fault
+				fault.Path = dir
+				in := failfs.NewInjector(nil, 1, fault)
+				restore := failfs.Swap(in)
+				defer restore()
 
-			sys.RunSteps(crash - mid)
-			werr := sys.WriteCheckpoint(path)
-			if (werr != nil) != tc.wantWriteErr {
-				t.Fatalf("checkpoint write under fault: err=%v, want error=%v", werr, tc.wantWriteErr)
-			}
+				sys.RunSteps(crash - mid)
+				werr := sys.WriteCheckpoint(path)
+				if (werr != nil) != tc.wantWriteErr {
+					t.Fatalf("checkpoint write under fault: err=%v, want error=%v", werr, tc.wantWriteErr)
+				}
 
-			// "Crash": discard the live system, restore from disk. Some
-			// generation always verifies — the fresh one when the write
-			// survived, the .prev one when it was torn or rots on read.
-			resumed, err := RestoreFile(path, nil)
-			if err != nil {
-				t.Fatalf("RestoreFile after %s: %v", tc.name, err)
-			}
-			if got := resumed.Steps(); got != mid && got != crash {
-				t.Fatalf("restored at step %d, want %d or %d", got, mid, crash)
-			}
-			resumed.RunSteps(total - resumed.Steps())
+				// "Crash": discard the live system, restore from disk. Some
+				// generation always verifies — the fresh one when the write
+				// survived, the .prev one when it was torn or rots on read.
+				resumed, err := RestoreFile(path, nil)
+				if err != nil {
+					t.Fatalf("RestoreFile after %s: %v", tc.name, err)
+				}
+				if got := resumed.Steps(); got != mid && got != crash {
+					t.Fatalf("restored at step %d, want %d or %d", got, mid, crash)
+				}
+				resumed.RunSteps(total - resumed.Steps())
 
-			if len(in.Fired()) == 0 {
-				t.Fatalf("fault %s never fired", tc.name)
-			}
-			if resumed.Config().Hash() != wantHash {
-				t.Fatalf("trajectory diverged: hash %016x, want %016x",
-					resumed.Config().Hash(), wantHash)
-			}
-			if snap := resumed.Metrics(); snap != wantSnap {
-				t.Fatalf("metrics diverged:\n got %+v\nwant %+v", snap, wantSnap)
-			}
-		})
+				if len(in.Fired()) == 0 {
+					t.Fatalf("fault %s never fired", tc.name)
+				}
+				if resumed.Config().Hash() != wantHash {
+					t.Fatalf("trajectory diverged: hash %016x, want %016x",
+						resumed.Config().Hash(), wantHash)
+				}
+				if snap := resumed.Metrics(); snap != wantSnap {
+					t.Fatalf("metrics diverged:\n got %+v\nwant %+v", snap, wantSnap)
+				}
+			})
+		}
 	}
 }
 

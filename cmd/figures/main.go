@@ -144,7 +144,13 @@ func figure2(outDir string, scale, seed uint64) error {
 			return err
 		}
 	}
-	return rec.WriteFile(filepath.Join(outDir, "figure2_trace.csv"))
+	// The trace ships in both the CSV interchange form and the packed
+	// binary form (E27 compares their sizes; sops -convert maps between
+	// them).
+	if err := rec.WriteFile(filepath.Join(outDir, "figure2_trace.csv")); err != nil {
+		return err
+	}
+	return rec.WriteFile(filepath.Join(outDir, "figure2_trace.sbt"))
 }
 
 func figure3(ctx context.Context, outDir string, scale, seed uint64, workers int) error {

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"sops"
+	"sops/internal/seal"
+	"sops/internal/snapbin"
+	"sops/internal/telemetry"
+)
+
+// runConvert transcodes one durable artifact between the binary snapbin
+// wire format and the text interchange formats (JSON, JSONL, CSV), both
+// directions lossless except the CSV export (rounded floats, no way back).
+//
+// The input kind is sniffed, not declared: the seal envelope is unwrapped
+// if present, a snapbin frame header names its kind directly, and text
+// payloads are classified by their JSON shape (a manifest document carries
+// "spec", a checkpoint document "rng", a JSONL trace is a stream of sample
+// objects). The output format follows the -o extension: ".json"/".jsonl"
+// select text, ".csv" the trace table, anything else the sealed binary
+// form.
+func runConvert(in, out string) error {
+	if out == "" {
+		return fmt.Errorf("-convert requires -o <output path>")
+	}
+	raw, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	payload := raw
+	if seal.Sealed(raw) {
+		if payload, err = seal.Decode(raw); err != nil {
+			return err
+		}
+	}
+	wantText := strings.HasSuffix(out, ".json") || strings.HasSuffix(out, ".jsonl") ||
+		strings.HasSuffix(out, ".ndjson") || strings.HasSuffix(out, ".csv")
+
+	if snapbin.IsFrame(payload) {
+		h, err := snapbin.ParseHeader(payload)
+		if err != nil {
+			return err
+		}
+		switch h.Kind {
+		case snapbin.KindCheckpoint:
+			return convertCheckpoint(payload, out, wantText)
+		case snapbin.KindTrace:
+			samples, err := telemetry.ParseBinary(payload)
+			if err != nil {
+				return err
+			}
+			return writeTrace(samples, out)
+		case snapbin.KindManifest:
+			return convertManifest(payload, out, wantText)
+		default:
+			return fmt.Errorf("convert: frame kind %d has no conversion", h.Kind)
+		}
+	}
+
+	// Text input: classify by JSON shape — a manifest document carries
+	// "spec", a checkpoint document "rngState", and a JSONL trace is a
+	// stream of sample objects carrying "steps".
+	trimmed := strings.TrimSpace(string(payload))
+	if strings.HasPrefix(trimmed, "{") {
+		var probe struct {
+			Spec  json.RawMessage `json:"spec"`
+			Rng   json.RawMessage `json:"rngState"`
+			Steps json.RawMessage `json:"steps"`
+		}
+		head := trimmed
+		if i := strings.IndexByte(head, '\n'); i >= 0 && json.Valid([]byte(head[:i])) {
+			head = head[:i] // JSONL: classify by the first object only
+		}
+		if err := json.Unmarshal([]byte(head), &probe); err == nil {
+			switch {
+			case probe.Spec != nil:
+				return convertManifest(payload, out, wantText)
+			case probe.Rng != nil:
+				return convertCheckpoint(payload, out, wantText)
+			case probe.Steps != nil:
+				samples, err := telemetry.ParseJSONL(payload)
+				if err != nil {
+					return err
+				}
+				return writeTrace(samples, out)
+			}
+		}
+	}
+	return fmt.Errorf("convert: %s is not a recognized artifact (checkpoint, trace, or sweep manifest)", in)
+}
+
+// convertCheckpoint round-trips the checkpoint through a live System, so
+// the output is exactly what the matching writer produces: a sealed
+// binary frame, or the sealed JSON document for ".json". Restore+encode
+// is checkpoint-exact, so the converted file resumes the same trajectory.
+func convertCheckpoint(payload []byte, out string, wantText bool) error {
+	sys, err := sops.Restore(payload, nil)
+	if err != nil {
+		return err
+	}
+	if wantText {
+		data, err := sys.Checkpoint()
+		if err != nil {
+			return err
+		}
+		if err := seal.WriteFile(out, data, 0o644); err != nil {
+			return err
+		}
+	} else if err := sys.WriteCheckpoint(out); err != nil {
+		return err
+	}
+	fmt.Printf("converted checkpoint (step %d, n=%d) to %s\n", sys.Steps(), sys.Metrics().N, out)
+	return nil
+}
+
+// convertManifest transcodes a sweep manifest, keeping the spec key bytes
+// untouched so the converted file resumes under exactly the same spec.
+func convertManifest(payload []byte, out string, wantText bool) error {
+	data, err := sops.ConvertSweepManifest(payload, !wantText)
+	if err != nil {
+		return err
+	}
+	if err := seal.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("converted sweep manifest to %s\n", out)
+	return nil
+}
+
+// writeTrace re-emits parsed trace samples in the format the output
+// extension names (.sbt binary, .jsonl/.ndjson, or CSV).
+func writeTrace(samples []telemetry.Sample, out string) error {
+	rec := telemetry.NewRecorder(max(1, len(samples)), 0)
+	for _, s := range samples {
+		rec.Record(s)
+	}
+	if err := rec.WriteFile(out); err != nil {
+		return err
+	}
+	fmt.Printf("converted %d trace samples to %s\n", len(samples), out)
+	return nil
+}

@@ -18,8 +18,18 @@
 //
 // Runs are observable while in flight: -listen starts a local debug server
 // with live counters (/debug/sops), expvar (/debug/vars) and pprof
-// (/debug/pprof/), and -trace records the trajectory to a CSV or JSONL
-// file on the -trace-every cadence.
+// (/debug/pprof/), and -trace records the trajectory to a CSV, JSONL or
+// binary .sbt file on the -trace-every cadence.
+//
+// -convert transcodes durable artifacts between the binary snapbin wire
+// format and the text interchange formats, sniffing the input kind:
+//
+//	sops -convert run.ckpt -o run.json        # binary checkpoint → JSON
+//	sops -convert run.json -o run.ckpt        # and back, checkpoint-exact
+//	sops -convert trace.sbt -o trace.jsonl    # binary trace → JSON lines
+//	sops -convert trace.jsonl -o trace.sbt    # and back, losslessly
+//	sops -convert trace.sbt -o trace.csv      # one-way table export
+//	sops -convert sweep.ckpt -o sweep.json    # sweep manifest, either way
 package main
 
 import (
@@ -79,8 +89,11 @@ func run() error {
 		ckptEvery = flag.Uint64("checkpoint-every", 1_000_000, "steps between checkpoint writes")
 		resume    = flag.Bool("resume", false, "resume the run from the -checkpoint file")
 
-		listen     = flag.String("listen", "", "serve live status, expvar and pprof on this address (e.g. localhost:6060)")
-		trace      = flag.String("trace", "", "record the trajectory to this file (.csv, or .jsonl/.ndjson for JSON lines)")
+		listen = flag.String("listen", "", "serve live status, expvar and pprof on this address (e.g. localhost:6060)")
+		trace  = flag.String("trace", "", "record the trajectory to this file (.csv, .jsonl/.ndjson for JSON lines, or .sbt for the packed binary trace)")
+
+		convert    = flag.String("convert", "", "convert an artifact (checkpoint, trace, or sweep manifest) to the format -o names, then exit")
+		outPath    = flag.String("o", "", "output path for -convert (extension selects the format)")
 		traceEvery = flag.Uint64("trace-every", 100_000, "steps between trace samples")
 
 		faultSeed  = flag.Uint64("fault-seed", 0, "fault-injection seed (distributed runs)")
@@ -91,6 +104,10 @@ func run() error {
 		auditEvery = flag.Uint64("audit-every", 0, "verify invariants every this many activations (0 = off)")
 	)
 	flag.Parse()
+
+	if *convert != "" {
+		return runConvert(*convert, *outPath)
+	}
 
 	counts := make([]int, *k)
 	for i := range counts {

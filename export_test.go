@@ -1,0 +1,21 @@
+package sops
+
+// Test-only hooks over the wire-format selectors, so format-differential
+// tests and benchmarks can exercise the legacy JSON writers next to the
+// binary defaults.
+
+// SetCheckpointBinary flips the checkpoint wire-format hook and returns a
+// func restoring the previous setting.
+func SetCheckpointBinary(on bool) (restore func()) {
+	prev := checkpointBinary
+	checkpointBinary = on
+	return func() { checkpointBinary = prev }
+}
+
+// SetManifestBinary flips the sweep-manifest wire-format hook and returns
+// a func restoring the previous setting.
+func SetManifestBinary(on bool) (restore func()) {
+	prev := manifestBinary
+	manifestBinary = on
+	return func() { manifestBinary = prev }
+}

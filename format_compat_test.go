@@ -1,0 +1,184 @@
+package sops
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sops/internal/seal"
+)
+
+// setFormats flips both wire-format hooks for the duration of a test leg.
+func setFormats(t *testing.T, binary bool) {
+	t.Helper()
+	prevCk, prevMan := checkpointBinary, manifestBinary
+	checkpointBinary, manifestBinary = binary, binary
+	t.Cleanup(func() { checkpointBinary, manifestBinary = prevCk, prevMan })
+}
+
+// TestCheckpointCrossFormatResume pins format interchange on the checkpoint
+// surface: a run checkpointed under either wire format, restored under the
+// other era's default, continues the exact trajectory — the final serialized
+// state is byte-identical to the uninterrupted run's.
+func TestCheckpointCrossFormatResume(t *testing.T) {
+	const half, full = 20_000, 50_000
+	opts := Options{Counts: []int{8, 8}, Lambda: 4, Gamma: 4, Seed: 11}
+	ref, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.RunSteps(full)
+	want, err := ref.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, leg := range []struct {
+		name        string
+		writeBinary bool
+	}{
+		{"binary-written_restored-anywhere", true},
+		{"json-written_restored-under-binary-default", false},
+	} {
+		t.Run(leg.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "run.ckpt")
+			sys, err := New(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys.RunSteps(half)
+			prev := checkpointBinary
+			checkpointBinary = leg.writeBinary
+			err = sys.WriteCheckpoint(path)
+			checkpointBinary = prev
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Restore always runs with the current (binary) default and
+			// sniffs the stored format.
+			resumed, err := RestoreFile(path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resumed.RunSteps(full - resumed.Steps())
+			got, err := resumed.Checkpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("trajectory diverged after cross-format resume:\nwant %s\ngot  %s", want, got)
+			}
+		})
+	}
+}
+
+// TestSweepResumeAcrossManifestFormats pins format interchange on the sweep
+// surface: a sweep interrupted with its manifest and in-flight cells in one
+// wire format resumes under the other format's default and produces results
+// byte-identical to the uninterrupted sweep — in both directions.
+func TestSweepResumeAcrossManifestFormats(t *testing.T) {
+	baseline := resumeSpec(t.TempDir())
+	baseline.CheckpointPath = ""
+	want, err := Sweep(context.Background(), baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, leg := range []struct {
+		name                      string
+		writeBinary, resumeBinary bool
+	}{
+		{"json-then-binary", false, true},
+		{"binary-then-json", true, false},
+	} {
+		t.Run(leg.name, func(t *testing.T) {
+			setFormats(t, leg.writeBinary)
+			spec := resumeSpec(t.TempDir())
+			ctx, cancel := context.WithCancel(context.Background())
+			spec.Observe = func(done, total int) {
+				if done == 3 {
+					cancel()
+				}
+			}
+			if _, err := Sweep(ctx, spec); !errors.Is(err, context.Canceled) {
+				t.Fatalf("interrupted sweep returned %v", err)
+			}
+			if _, err := os.Stat(spec.CheckpointPath); err != nil {
+				t.Fatalf("no manifest written before interruption: %v", err)
+			}
+
+			setFormats(t, leg.resumeBinary)
+			spec.Observe = nil
+			got, err := ResumeSweep(context.Background(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotJSON, err := json.Marshal(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotJSON, wantJSON) {
+				t.Fatalf("cross-format resume diverged from uninterrupted run:\nwant %s\ngot  %s",
+					wantJSON, gotJSON)
+			}
+		})
+	}
+}
+
+// TestConvertSweepManifestRoundTrip: transcoding a manifest binary → JSON →
+// binary preserves the key and every cell record exactly.
+func TestConvertSweepManifestRoundTrip(t *testing.T) {
+	setFormats(t, true)
+	spec := resumeSpec(t.TempDir())
+	if _, err := Sweep(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := os.ReadFile(spec.CheckpointPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := seal.Decode(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asJSON, err := ConvertSweepManifest(payload, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ConvertSweepManifest(asJSON, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manifest frames carry no placement window, so the re-encoded frame is
+	// byte-identical, not merely record-equal.
+	if !bytes.Equal(payload, back) {
+		t.Fatalf("manifest binary → JSON → binary is not byte-identical")
+	}
+	key1, recs1, err := decodeManifestPayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key2, recs2, err := decodeManifestPayload(asJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(key1, key2) {
+		t.Fatalf("spec key changed across conversion")
+	}
+	if len(recs1) != len(recs2) {
+		t.Fatalf("cell count changed across conversion: %d vs %d", len(recs1), len(recs2))
+	}
+	for i := range recs1 {
+		if recs1[i] != recs2[i] {
+			t.Fatalf("cell %d changed across conversion: %+v vs %+v", i, recs1[i], recs2[i])
+		}
+	}
+}

@@ -11,13 +11,22 @@ import (
 	"strings"
 
 	"sops/internal/seal"
+	"sops/internal/snapbin"
 )
+
+// stateBinary selects the lifecycle-record wire format: true writes the
+// packed snapbin state document, false the legacy JSON. The file keeps the
+// state.json name either way — load sniffs the payload, so stores written
+// by daemons of either era reopen cleanly.
+var stateBinary = true
 
 // store is the on-disk layout of the job queue. Under the root directory,
 // each job owns one subdirectory named by its ID:
 //
 //	<root>/<id>/spec.json    — the submitted Spec, written once at submit
 //	<root>/<id>/state.json   — the lifecycle record, atomically replaced
+//	                           (a packed snapbin state document by default,
+//	                           JSON under the legacy hook; load sniffs)
 //	<root>/<id>/checkpoint   — run-job chain state (auto-checkpointed)
 //	<root>/<id>/sweep.ckpt   — sweep manifest (+ .cellNNNN in-flight cells)
 //
@@ -70,7 +79,13 @@ func (st *store) create(id string, spec *Spec, rec *record) error {
 
 // saveState atomically replaces job id's lifecycle record.
 func (st *store) saveState(id string, rec *record) error {
-	data, err := json.MarshalIndent(rec, "", "  ")
+	var data []byte
+	var err error
+	if stateBinary {
+		data, err = encodeRecord(rec)
+	} else {
+		data, err = json.MarshalIndent(rec, "", "  ")
+	}
 	if err != nil {
 		return fmt.Errorf("jobs: encode state: %w", err)
 	}
@@ -99,9 +114,17 @@ func (st *store) load(id string) (*Spec, *record, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("jobs: read state %s: %w", id, err)
 	}
-	rec := new(record)
-	if err := json.Unmarshal(stateData, rec); err != nil {
-		return nil, nil, fmt.Errorf("jobs: decode state %s: %w", id, err)
+	var rec *record
+	if snapbin.IsFrame(stateData) {
+		rec, err = decodeRecord(stateData)
+		if err != nil {
+			return nil, nil, fmt.Errorf("jobs: decode state %s: %w", id, err)
+		}
+	} else {
+		rec = new(record)
+		if err := json.Unmarshal(stateData, rec); err != nil {
+			return nil, nil, fmt.Errorf("jobs: decode state %s: %w", id, err)
+		}
 	}
 	return spec, rec, nil
 }

@@ -191,24 +191,37 @@ type EdgeCounts interface {
 func SegregationIndexStore(ts *psys.TileStore) float64 { return segregationOf(ts) }
 
 func segregationOf(cfg EdgeCounts) float64 {
-	e := cfg.Edges()
-	n := cfg.N()
-	if e == 0 || n < 2 {
+	var counts [psys.MaxColors]int
+	k := cfg.NumColors()
+	for i := 0; i < k; i++ {
+		counts[i] = cfg.ColorCount(psys.Color(i))
+	}
+	return SegregationDerived(cfg.Edges(), cfg.HetEdges(), cfg.N(), counts[:k])
+}
+
+// SegregationDerived computes the segregation index from its raw inputs:
+// total and heterogeneous edge counts, the particle total, and the
+// per-color particle counts. It is the single arithmetic sequence behind
+// SegregationIndex and SegregationIndexStore, exposed so decoders holding
+// only the counts (the binary trace codec) reproduce the index bit for
+// bit.
+func SegregationDerived(edges, hetEdges, n int, counts []int) float64 {
+	if edges == 0 || n < 2 {
 		return 0
 	}
 	// Probability a uniformly random pair of distinct particles has
 	// different colors: Σ_{i≠j} n_i n_j / (n(n-1)).
 	cross := 0
-	for i := 0; i < cfg.NumColors(); i++ {
-		for j := i + 1; j < cfg.NumColors(); j++ {
-			cross += cfg.ColorCount(psys.Color(i)) * cfg.ColorCount(psys.Color(j))
+	for i := 0; i < len(counts); i++ {
+		for j := i + 1; j < len(counts); j++ {
+			cross += counts[i] * counts[j]
 		}
 	}
-	expected := float64(e) * 2 * float64(cross) / float64(n*(n-1))
+	expected := float64(edges) * 2 * float64(cross) / float64(n*(n-1))
 	if expected == 0 {
 		return 0
 	}
-	return 1 - float64(cfg.HetEdges())/expected
+	return 1 - float64(hetEdges)/expected
 }
 
 // Exact reports whether any subset R of particles certifies

@@ -353,6 +353,31 @@ func (c *Config) Window() lattice.Window { return c.win }
 // miss the overflow particles and callers must fall back to point lists.
 func (c *Config) DenseOnly() bool { return c.overflow == nil }
 
+// RowCells returns the dense-store cell bytes — 0 for a vacant vertex,
+// color+1 for a particle — of the window row R = r, clipped to Q ∈
+// [loQ, hiQ], or nil when the row or range falls outside the window. It is
+// the zero-copy plane-extraction path of the binary snapshot encoder: the
+// returned slice aliases the store, so callers must treat it as read-only
+// and must not hold it across mutations. Overflow particles (possible only
+// for disconnected configurations) are not visible through it; check
+// DenseOnly first.
+func (c *Config) RowCells(r, loQ, hiQ int) []byte {
+	if r < c.win.Min.R || r >= c.win.Min.R+c.win.H {
+		return nil
+	}
+	if loQ < c.win.Min.Q {
+		loQ = c.win.Min.Q
+	}
+	if qMax := c.win.Min.Q + c.win.W - 1; hiQ > qMax {
+		hiQ = qMax
+	}
+	if hiQ < loQ {
+		return nil
+	}
+	i := c.win.Index(lattice.Point{Q: loQ, R: r})
+	return c.cells[i : i+hiQ-loQ+1]
+}
+
 // N returns the number of particles.
 func (c *Config) N() int { return c.n }
 

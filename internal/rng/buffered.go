@@ -92,6 +92,16 @@ func (b *Buffered) State() *Source {
 	return &s
 }
 
+// AppendState appends the 32-byte binary form of State to dst without
+// allocating: the replay runs on a stack copy of the refill mark.
+func (b *Buffered) AppendState(dst []byte) []byte {
+	s := b.mark
+	for k := 0; k < b.i; k++ {
+		s.Uint64()
+	}
+	return s.AppendBinary(dst)
+}
+
 // SetState repositions the buffered stream so that the next draws are
 // exactly the outputs of s, discarding any buffered lookahead.
 func (b *Buffered) SetState(s *Source) {

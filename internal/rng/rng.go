@@ -190,13 +190,18 @@ func hexVal(c byte) (byte, bool) {
 
 // MarshalBinary encodes the generator state (32 bytes, big endian).
 func (r *Source) MarshalBinary() ([]byte, error) {
-	out := make([]byte, 32)
-	for i, s := range r.s {
+	return r.AppendBinary(nil), nil
+}
+
+// AppendBinary appends the 32-byte binary state to dst — the
+// allocation-free form of MarshalBinary for writers that reuse a buffer.
+func (r *Source) AppendBinary(dst []byte) []byte {
+	for _, s := range r.s {
 		for b := 0; b < 8; b++ {
-			out[i*8+b] = byte(s >> (56 - 8*b))
+			dst = append(dst, byte(s>>(56-8*b)))
 		}
 	}
-	return out, nil
+	return dst
 }
 
 // UnmarshalBinary restores a state written by MarshalBinary.

@@ -58,12 +58,16 @@ var crcTable = crc64.MakeTable(crc64.ECMA)
 
 // Encode frames payload in the integrity envelope.
 func Encode(payload []byte) []byte {
-	out := make([]byte, overhead+len(payload))
-	copy(out, magic)
-	binary.LittleEndian.PutUint64(out[len(magic):], uint64(len(payload)))
-	copy(out[headerSize:], payload)
-	binary.LittleEndian.PutUint64(out[headerSize+len(payload):], crc64.Checksum(payload, crcTable))
-	return out
+	return AppendEncode(nil, payload)
+}
+
+// AppendEncode appends payload framed in the integrity envelope to dst —
+// the allocation-free form of Encode for writers that reuse a buffer.
+func AppendEncode(dst, payload []byte) []byte {
+	dst = append(dst, magic...)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint64(dst, crc64.Checksum(payload, crcTable))
 }
 
 // Sealed reports whether data begins with the envelope magic.
@@ -138,6 +142,17 @@ func PrevPath(path string) string { return path + ".prev" }
 // hard link (with a copy fallback), so there is no window in which path
 // holds anything but a complete previous or complete new artifact.
 func WriteFile(path string, data []byte, perm fs.FileMode) error {
+	return WriteSealed(path, Encode(data), perm)
+}
+
+// WriteSealed atomically replaces path with already-enveloped bytes (from
+// Encode or AppendEncode), with the same ".prev" rotation as WriteFile.
+// It lets a reusable-buffer producer seal and write without any per-write
+// allocation.
+func WriteSealed(path string, sealed []byte, perm fs.FileMode) error {
+	if !Sealed(sealed) {
+		return fmt.Errorf("seal: write %s: payload is not enveloped", path)
+	}
 	fsys := failfs.Get()
 	if _, err := fsys.Stat(path); err == nil {
 		prev := PrevPath(path)
@@ -150,7 +165,7 @@ func WriteFile(path string, data []byte, perm fs.FileMode) error {
 			}
 		}
 	}
-	if err := atomicio.WriteFile(path, Encode(data), perm); err != nil {
+	if err := atomicio.WriteFile(path, sealed, perm); err != nil {
 		return fmt.Errorf("seal: write %s: %w", path, err)
 	}
 	return nil

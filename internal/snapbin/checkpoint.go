@@ -1,0 +1,174 @@
+package snapbin
+
+import (
+	"fmt"
+
+	"sops/internal/lattice"
+	"sops/internal/psys"
+)
+
+// maxRngLen bounds the serialized RNG state to the header's u16 field.
+const maxRngLen = 1<<16 - 1
+
+// Checkpoint is the flat view of a chain checkpoint the binary frame
+// carries: bias parameters, counters, the serialized RNG state, the
+// configuration, and an optional particle placement order (consumed by the
+// resume path to rebuild overflow/iteration state deterministically).
+//
+// Body layout after the 40-byte header (whose Step/Win/N/RngLen/NumColors
+// fields hold Steps, the configuration window, N, len(Rng), and the color
+// count):
+//
+//	f64 lambda | f64 gamma | u8 flags (bit0 disableSwaps) | u64 seed
+//	u64 moves | u64 swaps | u64 rejected
+//	rngLen raw rng bytes
+//	config block (see config.go)
+//	u8 hasOrder | n × (varint ΔQ, varint ΔR) when hasOrder = 1
+type Checkpoint struct {
+	Lambda       float64
+	Gamma        float64
+	DisableSwaps bool
+	Seed         uint64
+
+	Steps    uint64
+	Moves    uint64
+	Swaps    uint64
+	Rejected uint64
+
+	Rng    []byte
+	Config *psys.Config
+	Order  []lattice.Point
+}
+
+const cpDisableSwaps = 1
+
+// EncodeCheckpoint encodes cp as a bare KindCheckpoint frame into the
+// encoder's reusable buffer. The returned slice is valid until the next
+// Encode call.
+func (e *Encoder) EncodeCheckpoint(cp *Checkpoint) ([]byte, error) {
+	cfg := cp.Config
+	if cfg == nil {
+		return nil, fmt.Errorf("snapbin: checkpoint without a configuration")
+	}
+	if len(cp.Rng) > maxRngLen {
+		return nil, fmt.Errorf("snapbin: %d-byte rng state exceeds %d", len(cp.Rng), maxRngLen)
+	}
+	numColors := cfg.NumColors()
+	h := Header{
+		Kind:        KindCheckpoint,
+		BitsPerCell: bitsFor(uint8(numColors)),
+		Step:        cp.Steps,
+		Win:         cfg.Window(),
+		N:           cfg.N(),
+		RngLen:      len(cp.Rng),
+		NumColors:   uint8(numColors),
+	}
+	buf := AppendHeader(e.buf[:0], h)
+	buf = AppendF64(buf, cp.Lambda)
+	buf = AppendF64(buf, cp.Gamma)
+	flags := byte(0)
+	if cp.DisableSwaps {
+		flags |= cpDisableSwaps
+	}
+	buf = append(buf, flags)
+	buf = appendU64(buf, cp.Seed)
+	buf = appendU64(buf, cp.Moves)
+	buf = appendU64(buf, cp.Swaps)
+	buf = appendU64(buf, cp.Rejected)
+	buf = append(buf, cp.Rng...)
+	buf = e.appendConfig(buf, cfg)
+	if cp.Order == nil {
+		buf = append(buf, 0)
+	} else {
+		buf = append(buf, 1)
+		prev := lattice.Point{}
+		for _, p := range cp.Order {
+			buf = AppendVarint(buf, int64(p.Q-prev.Q))
+			buf = AppendVarint(buf, int64(p.R-prev.R))
+			prev = p
+		}
+	}
+	e.buf = buf
+	return buf, nil
+}
+
+// DecodeCheckpoint decodes a bare KindCheckpoint frame. Every structural
+// property is validated; errors wrap ErrMalformed. The returned checkpoint
+// owns its memory — Rng and the configuration are fresh copies, so the
+// caller may reuse the input buffer.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	h, err := ParseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	if h.Kind != KindCheckpoint {
+		return nil, fmt.Errorf("%w: frame kind %d is not a checkpoint", ErrMalformed, h.Kind)
+	}
+	if h.Flags&FlagDelta != 0 {
+		return nil, fmt.Errorf("%w: checkpoint frames are never delta-coded", ErrMalformed)
+	}
+	r := NewReader(data[HeaderSize:])
+	cp := &Checkpoint{Steps: h.Step}
+	if cp.Lambda, err = r.F64(); err != nil {
+		return nil, err
+	}
+	if cp.Gamma, err = r.F64(); err != nil {
+		return nil, err
+	}
+	flags, err := r.U8()
+	if err != nil {
+		return nil, err
+	}
+	if flags&^byte(cpDisableSwaps) != 0 {
+		return nil, fmt.Errorf("%w: unknown checkpoint flags %#x", ErrMalformed, flags)
+	}
+	cp.DisableSwaps = flags&cpDisableSwaps != 0
+	if cp.Seed, err = r.U64(); err != nil {
+		return nil, err
+	}
+	if cp.Moves, err = r.U64(); err != nil {
+		return nil, err
+	}
+	if cp.Swaps, err = r.U64(); err != nil {
+		return nil, err
+	}
+	if cp.Rejected, err = r.U64(); err != nil {
+		return nil, err
+	}
+	rngView, err := r.Bytes(h.RngLen)
+	if err != nil {
+		return nil, err
+	}
+	cp.Rng = append([]byte(nil), rngView...)
+	if cp.Config, err = readConfig(r, h.BitsPerCell, h.N, h.NumColors); err != nil {
+		return nil, err
+	}
+	hasOrder, err := r.U8()
+	if err != nil {
+		return nil, err
+	}
+	switch hasOrder {
+	case 0:
+	case 1:
+		cp.Order = make([]lattice.Point, h.N)
+		prev := lattice.Point{}
+		for i := range cp.Order {
+			dq, err := r.Varint()
+			if err != nil {
+				return nil, err
+			}
+			dr, err := r.Varint()
+			if err != nil {
+				return nil, err
+			}
+			prev = lattice.Point{Q: prev.Q + int(dq), R: prev.R + int(dr)}
+			cp.Order[i] = prev
+		}
+	default:
+		return nil, fmt.Errorf("%w: order marker %d", ErrMalformed, hasOrder)
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}

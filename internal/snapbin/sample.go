@@ -1,0 +1,350 @@
+package snapbin
+
+import (
+	"fmt"
+	"math"
+
+	"sops/internal/metrics"
+	"sops/internal/psys"
+)
+
+// Delta codec for metric samples. Integer fields travel as zigzag deltas
+// against the previous sample (steps as a delta-of-deltas, so a constant
+// sampling cadence costs one byte); float fields are elided entirely when
+// the decoder can re-derive them bit-exactly and fall back to XOR-folded
+// raw bits otherwise. The encoder verifies every derivation against the
+// actual value before eliding, so the codec is lossless for arbitrary
+// snapshots — derivation hints only ever shrink the wire, never corrupt it.
+//
+// Derivable fields and their reconstruction:
+//
+//	min_perimeter  carried from the previous sample (constant along any
+//	               fixed-n trajectory; recomputing psys.MinPerimeter would
+//	               cost O(n) per sample and hand a corrupt frame an
+//	               allocation amplifier)
+//	het_edges      edges − hom_edges
+//	alpha          perimeter / min_perimeter (1 when min_perimeter = 0)
+//	segregation    metrics.SegregationDerived(edges, het, n, counts)
+//	largest_frac   size / counts[0], with the integer cluster size on the
+//	               wire as a zigzag delta
+//	energy         −edges·ln λ − hom·ln γ
+//
+// The last three need the trajectory's derivation hints (bias parameters
+// and per-color particle counts, constant along a run); without hints they
+// ride as raw bits.
+
+// Per-sample flag bits: raw (non-derived) encodings per field, plus the
+// presence of an explicit phase byte.
+const (
+	sfRawMinPerim = 1 << iota
+	sfRawAlpha
+	sfRawHet
+	sfRawSeg
+	sfRawLfrac
+	sfRawEnergy
+	sfPhase
+
+	sfKnown = sfRawMinPerim | sfRawAlpha | sfRawHet | sfRawSeg |
+		sfRawLfrac | sfRawEnergy | sfPhase
+)
+
+// Hints are the trajectory constants that let the decoder re-derive the
+// float observables: the chain's bias parameters and the per-color
+// particle counts (colors are immutable, so the counts never change along
+// a trajectory). Zero-valued hints are valid — every float then travels as
+// raw bits.
+type Hints struct {
+	HasParams bool
+	Lambda    float64
+	Gamma     float64
+	Counts    []int
+}
+
+// appendHints writes the hint block.
+func appendHints(dst []byte, h Hints) []byte {
+	flags := byte(0)
+	if h.HasParams {
+		flags |= 1
+	}
+	if len(h.Counts) > 0 {
+		flags |= 2
+	}
+	dst = append(dst, flags)
+	if h.HasParams {
+		dst = AppendF64(dst, h.Lambda)
+		dst = AppendF64(dst, h.Gamma)
+	}
+	if len(h.Counts) > 0 {
+		dst = AppendUvarint(dst, uint64(len(h.Counts)))
+		for _, c := range h.Counts {
+			dst = AppendUvarint(dst, uint64(c))
+		}
+	}
+	return dst
+}
+
+// readHints reads the hint block.
+func readHints(r *Reader) (Hints, error) {
+	var h Hints
+	flags, err := r.U8()
+	if err != nil {
+		return h, err
+	}
+	if flags&^byte(3) != 0 {
+		return h, fmt.Errorf("%w: unknown hint flags %#x", ErrMalformed, flags)
+	}
+	if flags&1 != 0 {
+		h.HasParams = true
+		if h.Lambda, err = r.F64(); err != nil {
+			return h, err
+		}
+		if h.Gamma, err = r.F64(); err != nil {
+			return h, err
+		}
+	}
+	if flags&2 != 0 {
+		k, err := r.Count(1)
+		if err != nil {
+			return h, err
+		}
+		if k > psys.MaxColors {
+			return h, fmt.Errorf("%w: %d hint colors exceeds the maximum %d", ErrMalformed, k, psys.MaxColors)
+		}
+		h.Counts = make([]int, k)
+		for i := range h.Counts {
+			c, err := r.Uvarint()
+			if err != nil {
+				return h, err
+			}
+			if c > 1<<31-1 {
+				return h, fmt.Errorf("%w: hint count %d out of range", ErrMalformed, c)
+			}
+			h.Counts[i] = int(c)
+		}
+	}
+	return h, nil
+}
+
+// sampleCodec carries the running delta state of one sample stream. The
+// zero value (plus hints) starts a stream; encode and decode sides advance
+// through identical state transitions.
+type sampleCodec struct {
+	hints      Hints
+	withEnergy bool
+
+	prev       metrics.Snapshot
+	prevDSteps int64
+	prevSize   int64
+	prevEnergy float64
+}
+
+// derivedAlpha mirrors metrics.Compression's arithmetic on decoded fields.
+func derivedAlpha(perimeter, minPerim int) float64 {
+	if minPerim == 0 {
+		return 1
+	}
+	return float64(perimeter) / float64(minPerim)
+}
+
+// derivedEnergy mirrors core.Energy's arithmetic on decoded fields.
+func derivedEnergy(edges, hom int, lambda, gamma float64) float64 {
+	return -float64(edges)*math.Log(lambda) - float64(hom)*math.Log(gamma)
+}
+
+// sameBits compares floats by representation, so derivation checks are
+// exact (and NaN-stable) rather than tolerance-based.
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// append encodes one sample against the codec state.
+func (c *sampleCodec) append(dst []byte, m metrics.Snapshot, energy float64) []byte {
+	flags := byte(0)
+	if m.N != c.prev.N || m.MinPerimeter != c.prev.MinPerimeter {
+		flags |= sfRawMinPerim
+	}
+	if !sameBits(derivedAlpha(m.Perimeter, m.MinPerimeter), m.Alpha) {
+		flags |= sfRawAlpha
+	}
+	if m.Edges-m.HomEdges != m.HetEdges {
+		flags |= sfRawHet
+	}
+	if len(c.hints.Counts) == 0 ||
+		!sameBits(metrics.SegregationDerived(m.Edges, m.HetEdges, m.N, c.hints.Counts), m.Segregation) {
+		flags |= sfRawSeg
+	}
+	size := int64(0)
+	if len(c.hints.Counts) > 0 && c.hints.Counts[0] > 0 {
+		count0 := float64(c.hints.Counts[0])
+		size = int64(math.Round(m.LargestFrac * count0))
+		if size < 0 || !sameBits(float64(size)/count0, m.LargestFrac) {
+			flags |= sfRawLfrac
+		}
+	} else {
+		flags |= sfRawLfrac
+	}
+	if c.withEnergy {
+		if !c.hints.HasParams || !sameBits(derivedEnergy(m.Edges, m.HomEdges, c.hints.Lambda, c.hints.Gamma), energy) {
+			flags |= sfRawEnergy
+		}
+	}
+	if m.Phase != c.prev.Phase {
+		flags |= sfPhase
+	}
+	dst = append(dst, flags)
+
+	dSteps := int64(m.Steps - c.prev.Steps)
+	dst = AppendVarint(dst, dSteps-c.prevDSteps)
+	dst = AppendVarint(dst, int64(m.N-c.prev.N))
+	dst = AppendVarint(dst, int64(m.Perimeter-c.prev.Perimeter))
+	if flags&sfRawMinPerim != 0 {
+		dst = AppendVarint(dst, int64(m.MinPerimeter-c.prev.MinPerimeter))
+	}
+	dst = AppendVarint(dst, int64(m.Edges-c.prev.Edges))
+	dst = AppendVarint(dst, int64(m.HomEdges-c.prev.HomEdges))
+	if flags&sfRawHet != 0 {
+		dst = AppendVarint(dst, int64(m.HetEdges-c.prev.HetEdges))
+	}
+	if flags&sfRawAlpha != 0 {
+		dst = AppendUvarint(dst, math.Float64bits(m.Alpha)^math.Float64bits(c.prev.Alpha))
+	}
+	if flags&sfRawSeg != 0 {
+		dst = AppendUvarint(dst, math.Float64bits(m.Segregation)^math.Float64bits(c.prev.Segregation))
+	}
+	if flags&sfRawLfrac != 0 {
+		dst = AppendUvarint(dst, math.Float64bits(m.LargestFrac)^math.Float64bits(c.prev.LargestFrac))
+	} else {
+		dst = AppendVarint(dst, size-c.prevSize)
+		c.prevSize = size
+	}
+	if c.withEnergy {
+		if flags&sfRawEnergy != 0 {
+			dst = AppendUvarint(dst, math.Float64bits(energy)^math.Float64bits(c.prevEnergy))
+		}
+		c.prevEnergy = energy
+	}
+	if flags&sfPhase != 0 {
+		dst = append(dst, byte(m.Phase))
+	}
+	c.prev, c.prevDSteps = m, dSteps
+	return dst
+}
+
+// read decodes one sample, mirroring append's state transitions exactly.
+func (c *sampleCodec) read(r *Reader) (metrics.Snapshot, float64, error) {
+	var m metrics.Snapshot
+	flags, err := r.U8()
+	if err != nil {
+		return m, 0, err
+	}
+	if flags&^byte(sfKnown) != 0 {
+		return m, 0, fmt.Errorf("%w: unknown sample flags %#x", ErrMalformed, flags)
+	}
+	readDelta := func(prev int) (int, error) {
+		d, err := r.Varint()
+		return prev + int(d), err
+	}
+	dd, err := r.Varint()
+	if err != nil {
+		return m, 0, err
+	}
+	dSteps := c.prevDSteps + dd
+	m.Steps = c.prev.Steps + uint64(dSteps)
+	if m.N, err = readDelta(c.prev.N); err != nil {
+		return m, 0, err
+	}
+	if m.Perimeter, err = readDelta(c.prev.Perimeter); err != nil {
+		return m, 0, err
+	}
+	if flags&sfRawMinPerim != 0 {
+		if m.MinPerimeter, err = readDelta(c.prev.MinPerimeter); err != nil {
+			return m, 0, err
+		}
+	} else {
+		if m.N != c.prev.N {
+			return m, 0, fmt.Errorf("%w: carried min-perimeter across a particle-count change", ErrMalformed)
+		}
+		m.MinPerimeter = c.prev.MinPerimeter
+	}
+	if m.Edges, err = readDelta(c.prev.Edges); err != nil {
+		return m, 0, err
+	}
+	if m.HomEdges, err = readDelta(c.prev.HomEdges); err != nil {
+		return m, 0, err
+	}
+	if flags&sfRawHet != 0 {
+		if m.HetEdges, err = readDelta(c.prev.HetEdges); err != nil {
+			return m, 0, err
+		}
+	} else {
+		m.HetEdges = m.Edges - m.HomEdges
+	}
+	readFloat := func(prev float64) (float64, error) {
+		x, err := r.Uvarint()
+		return math.Float64frombits(math.Float64bits(prev) ^ x), err
+	}
+	if flags&sfRawAlpha != 0 {
+		if m.Alpha, err = readFloat(c.prev.Alpha); err != nil {
+			return m, 0, err
+		}
+	} else {
+		m.Alpha = derivedAlpha(m.Perimeter, m.MinPerimeter)
+	}
+	if flags&sfRawSeg != 0 {
+		if m.Segregation, err = readFloat(c.prev.Segregation); err != nil {
+			return m, 0, err
+		}
+	} else {
+		if len(c.hints.Counts) == 0 {
+			return m, 0, fmt.Errorf("%w: derived segregation without count hints", ErrMalformed)
+		}
+		m.Segregation = metrics.SegregationDerived(m.Edges, m.HetEdges, m.N, c.hints.Counts)
+	}
+	if flags&sfRawLfrac != 0 {
+		if m.LargestFrac, err = readFloat(c.prev.LargestFrac); err != nil {
+			return m, 0, err
+		}
+	} else {
+		if len(c.hints.Counts) == 0 || c.hints.Counts[0] <= 0 {
+			return m, 0, fmt.Errorf("%w: derived cluster fraction without count hints", ErrMalformed)
+		}
+		d, err := r.Varint()
+		if err != nil {
+			return m, 0, err
+		}
+		size := c.prevSize + d
+		if size < 0 {
+			return m, 0, fmt.Errorf("%w: negative cluster size %d", ErrMalformed, size)
+		}
+		m.LargestFrac = float64(size) / float64(c.hints.Counts[0])
+		c.prevSize = size
+	}
+	energy := c.prevEnergy
+	if c.withEnergy {
+		if flags&sfRawEnergy != 0 {
+			if energy, err = readFloat(c.prevEnergy); err != nil {
+				return m, 0, err
+			}
+		} else {
+			if !c.hints.HasParams {
+				return m, 0, fmt.Errorf("%w: derived energy without parameter hints", ErrMalformed)
+			}
+			energy = derivedEnergy(m.Edges, m.HomEdges, c.hints.Lambda, c.hints.Gamma)
+		}
+		c.prevEnergy = energy
+	}
+	if flags&sfPhase != 0 {
+		b, err := r.U8()
+		if err != nil {
+			return m, 0, err
+		}
+		if b > uint8(metrics.ExpandedIntegrated) {
+			return m, 0, fmt.Errorf("%w: unknown phase %d", ErrMalformed, b)
+		}
+		m.Phase = metrics.Phase(b)
+	} else {
+		m.Phase = c.prev.Phase
+	}
+	c.prev, c.prevDSteps = m, dSteps
+	return m, energy, nil
+}

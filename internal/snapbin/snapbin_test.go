@@ -1,0 +1,558 @@
+package snapbin
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sops/internal/lattice"
+	"sops/internal/metrics"
+	"sops/internal/psys"
+)
+
+// mustPlace builds a configuration from (point, color) placements.
+func mustPlace(t *testing.T, pts []lattice.Point, cols []psys.Color) *psys.Config {
+	t.Helper()
+	cfg := psys.New()
+	for i, p := range pts {
+		if err := cfg.Place(p, cols[i]); err != nil {
+			t.Fatalf("place %v: %v", p, err)
+		}
+	}
+	return cfg
+}
+
+// randomConfig scatters n particles of k colors in a w×w box at origin.
+func randomConfig(t *testing.T, r *rand.Rand, n, k, w int, origin lattice.Point) *psys.Config {
+	t.Helper()
+	cfg := psys.New()
+	placed := 0
+	for placed < n {
+		p := lattice.Point{Q: origin.Q + r.Intn(w), R: origin.R + r.Intn(w)}
+		if cfg.Occupied(p) {
+			continue
+		}
+		if err := cfg.Place(p, psys.Color(r.Intn(k))); err != nil {
+			t.Fatalf("place %v: %v", p, err)
+		}
+		placed++
+	}
+	return cfg
+}
+
+// sameConfig compares two configurations cell by cell.
+func sameConfig(t *testing.T, want, got *psys.Config) {
+	t.Helper()
+	if want.N() != got.N() {
+		t.Fatalf("n: want %d, got %d", want.N(), got.N())
+	}
+	want.ForEach(func(p lattice.Point, col psys.Color) {
+		g, ok := got.At(p)
+		if !ok || g != col {
+			t.Fatalf("cell %v: want color %d, got (%d, %v)", p, col, g, ok)
+		}
+	})
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	values := []int64{0, 1, -1, 63, -64, 64, -65, 1 << 20, -(1 << 20), math.MaxInt64, math.MinInt64}
+	var buf []byte
+	for _, v := range values {
+		buf = AppendVarint(buf, v)
+	}
+	r := NewReader(buf)
+	for _, v := range values {
+		got, err := r.Varint()
+		if err != nil {
+			t.Fatalf("varint %d: %v", v, err)
+		}
+		if got != v {
+			t.Fatalf("varint: want %d, got %d", v, got)
+		}
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("done: %v", err)
+	}
+}
+
+func TestUvarintRejectsOverlong(t *testing.T) {
+	// 11 continuation bytes: longer than any canonical uint64.
+	data := bytes.Repeat([]byte{0x80}, 11)
+	if _, err := NewReader(data).Uvarint(); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("overlong varint: got %v", err)
+	}
+	// 10 bytes whose top byte overflows 64 bits.
+	data = append(bytes.Repeat([]byte{0x80}, 9), 0x02)
+	if _, err := NewReader(data).Uvarint(); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("overflowing varint: got %v", err)
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{
+		Kind:        KindCheckpoint,
+		BitsPerCell: 2,
+		Step:        123456789,
+		Win:         lattice.Window{Min: lattice.Point{Q: -40, R: -7}, W: 95, H: 81},
+		N:           100,
+		RngLen:      32,
+		NumColors:   2,
+	}
+	data := AppendHeader(nil, h)
+	if len(data) != HeaderSize {
+		t.Fatalf("header length %d, want %d", len(data), HeaderSize)
+	}
+	got, err := ParseHeader(data)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got != h {
+		t.Fatalf("round trip: want %+v, got %+v", h, got)
+	}
+}
+
+func TestXorRLERoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	prevs := [][]byte{nil, make([]byte, 1024)}
+	r.Read(prevs[1])
+	for _, prev := range prevs {
+		for trial := 0; trial < 50; trial++ {
+			cur := make([]byte, 1024)
+			// Sparse random differences from the baseline.
+			if prev != nil {
+				copy(cur, prev)
+			}
+			for i := 0; i < trial; i++ {
+				cur[r.Intn(len(cur))] = byte(r.Intn(256))
+			}
+			enc := appendXorRLE(nil, prev, cur)
+			out := make([]byte, len(cur))
+			rd := NewReader(enc)
+			if err := readXorRLE(rd, prev, out); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if err := rd.Done(); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if !bytes.Equal(out, cur) {
+				t.Fatalf("trial %d: plane mismatch", trial)
+			}
+		}
+	}
+}
+
+func checkpointFor(cfg *psys.Config, withOrder bool) *Checkpoint {
+	cp := &Checkpoint{
+		Lambda:   4,
+		Gamma:    0.4,
+		Seed:     99,
+		Steps:    1 << 40,
+		Moves:    12345,
+		Swaps:    678,
+		Rejected: 90123,
+		Rng:      bytes.Repeat([]byte{0xAB, 0x12}, 16),
+		Config:   cfg,
+	}
+	if withOrder {
+		cp.Order = cfg.Points()
+	}
+	return cp
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	cases := map[string]*psys.Config{
+		"empty":     psys.New(),
+		"single":    mustPlace(t, []lattice.Point{{Q: 5, R: -3}}, []psys.Color{1}),
+		"negative":  randomConfig(t, r, 60, 2, 20, lattice.Point{Q: -300, R: -451}),
+		"multitile": randomConfig(t, r, 400, 2, 200, lattice.Point{Q: -100, R: -100}),
+		"colors16":  randomConfig(t, r, 64, 16, 30, lattice.Point{}),
+		"colors4":   randomConfig(t, r, 64, 4, 30, lattice.Point{}),
+		"straddle":  randomConfig(t, r, 50, 2, 16, lattice.Point{Q: 56, R: 60}),
+	}
+	var enc Encoder
+	for name, cfg := range cases {
+		for _, withOrder := range []bool{false, true} {
+			cp := checkpointFor(cfg, withOrder)
+			frame, err := enc.EncodeCheckpoint(cp)
+			if err != nil {
+				t.Fatalf("%s: encode: %v", name, err)
+			}
+			got, err := DecodeCheckpoint(frame)
+			if err != nil {
+				t.Fatalf("%s: decode: %v", name, err)
+			}
+			if got.Lambda != cp.Lambda || got.Gamma != cp.Gamma || got.Seed != cp.Seed ||
+				got.Steps != cp.Steps || got.Moves != cp.Moves || got.Swaps != cp.Swaps ||
+				got.Rejected != cp.Rejected || got.DisableSwaps != cp.DisableSwaps {
+				t.Fatalf("%s: scalar fields: want %+v, got %+v", name, cp, got)
+			}
+			if !bytes.Equal(got.Rng, cp.Rng) {
+				t.Fatalf("%s: rng state mismatch", name)
+			}
+			sameConfig(t, cfg, got.Config)
+			if withOrder {
+				if len(got.Order) != len(cp.Order) {
+					t.Fatalf("%s: order length: want %d, got %d", name, len(cp.Order), len(got.Order))
+				}
+				for i := range cp.Order {
+					if got.Order[i] != cp.Order[i] {
+						t.Fatalf("%s: order[%d]: want %v, got %v", name, i, cp.Order[i], got.Order[i])
+					}
+				}
+			} else if got.Order != nil {
+				t.Fatalf("%s: unexpected order", name)
+			}
+
+			// Deterministic: re-encoding the decoded checkpoint reproduces
+			// the frame body byte for byte. (The header's advisory window
+			// geometry depends on placement order, so only the body is
+			// canonical.)
+			var enc2 Encoder
+			frame2, err := enc2.EncodeCheckpoint(got)
+			if err != nil {
+				t.Fatalf("%s: re-encode: %v", name, err)
+			}
+			if !bytes.Equal(frame[HeaderSize:], frame2[HeaderSize:]) {
+				t.Fatalf("%s: encoding not canonical", name)
+			}
+		}
+	}
+}
+
+func TestCheckpointDisableSwaps(t *testing.T) {
+	cfg := mustPlace(t, []lattice.Point{{Q: 0}}, []psys.Color{0})
+	cp := checkpointFor(cfg, false)
+	cp.DisableSwaps = true
+	var enc Encoder
+	frame, err := enc.EncodeCheckpoint(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCheckpoint(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.DisableSwaps {
+		t.Fatal("DisableSwaps not round-tripped")
+	}
+}
+
+// randomSnapshot fabricates a snapshot with no internal consistency, so
+// every derived field exercises its raw fallback.
+func randomSnapshot(r *rand.Rand) metrics.Snapshot {
+	return metrics.Snapshot{
+		Steps:        uint64(r.Int63n(1 << 45)),
+		N:            r.Intn(1000),
+		Perimeter:    r.Intn(4000),
+		MinPerimeter: r.Intn(200),
+		Alpha:        r.NormFloat64() * 10,
+		Edges:        r.Intn(3000),
+		HomEdges:     r.Intn(3000),
+		HetEdges:     r.Intn(3000),
+		Segregation:  r.NormFloat64(),
+		LargestFrac:  r.Float64(),
+		Phase:        metrics.Phase(r.Intn(5)),
+	}
+}
+
+// derivedSnapshot fabricates a snapshot whose floats all follow from its
+// ints under the hints, so every field takes the derived path.
+func derivedSnapshot(step uint64, h Hints) metrics.Snapshot {
+	n := 0
+	for _, c := range h.Counts {
+		n += c
+	}
+	edges, hom := 250+int(step%17), 200+int(step%11)
+	perim := 120 + int(step%13)
+	mp := psys.MinPerimeter(n)
+	size := int(step % uint64(h.Counts[0]+1))
+	m := metrics.Snapshot{
+		Steps:        step,
+		N:            n,
+		Perimeter:    perim,
+		MinPerimeter: mp,
+		Alpha:        float64(perim) / float64(mp),
+		Edges:        edges,
+		HomEdges:     hom,
+		HetEdges:     edges - hom,
+		Segregation:  metrics.SegregationDerived(edges, edges-hom, n, h.Counts),
+		LargestFrac:  float64(size) / float64(h.Counts[0]),
+		Phase:        metrics.CompressedSeparated,
+	}
+	return m
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	hints := Hints{HasParams: true, Lambda: 4, Gamma: 0.5, Counts: []int{60, 40}}
+	var samples []TraceSample
+	// Mix of fully-derived and adversarially random samples.
+	for i := 0; i < 200; i++ {
+		var s TraceSample
+		if i%3 == 0 {
+			s.Snap = randomSnapshot(r)
+			s.Energy = r.NormFloat64() * 100
+		} else {
+			s.Snap = derivedSnapshot(uint64(i)*1000, hints)
+			s.Energy = -float64(s.Snap.Edges)*math.Log(hints.Lambda) - float64(s.Snap.HomEdges)*math.Log(hints.Gamma)
+		}
+		samples = append(samples, s)
+	}
+	for _, h := range []Hints{hints, {}} {
+		var enc Encoder
+		frame := enc.EncodeTrace(h, len(samples), func(i int) (metrics.Snapshot, float64) {
+			return samples[i].Snap, samples[i].Energy
+		})
+		gotHints, got, err := DecodeTrace(frame)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if gotHints.HasParams != h.HasParams || gotHints.Lambda != h.Lambda ||
+			gotHints.Gamma != h.Gamma || len(gotHints.Counts) != len(h.Counts) {
+			t.Fatalf("hints: want %+v, got %+v", h, gotHints)
+		}
+		if len(got) != len(samples) {
+			t.Fatalf("sample count: want %d, got %d", len(samples), len(got))
+		}
+		for i := range samples {
+			if got[i].Snap != samples[i].Snap {
+				t.Fatalf("sample %d: want %+v, got %+v", i, samples[i].Snap, got[i].Snap)
+			}
+			if math.Float64bits(got[i].Energy) != math.Float64bits(samples[i].Energy) {
+				t.Fatalf("sample %d energy: want %v, got %v", i, samples[i].Energy, got[i].Energy)
+			}
+		}
+	}
+}
+
+func TestTraceSpecialFloats(t *testing.T) {
+	snaps := []TraceSample{
+		{Snap: metrics.Snapshot{Alpha: math.NaN(), Segregation: math.Inf(1), LargestFrac: math.Inf(-1)}, Energy: math.NaN()},
+		{Snap: metrics.Snapshot{Alpha: math.Copysign(0, -1)}, Energy: math.Inf(1)},
+	}
+	var enc Encoder
+	frame := enc.EncodeTrace(Hints{}, len(snaps), func(i int) (metrics.Snapshot, float64) {
+		return snaps[i].Snap, snaps[i].Energy
+	})
+	_, got, err := DecodeTrace(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range snaps {
+		w, g := snaps[i], got[i]
+		if math.Float64bits(w.Snap.Alpha) != math.Float64bits(g.Snap.Alpha) ||
+			math.Float64bits(w.Snap.Segregation) != math.Float64bits(g.Snap.Segregation) ||
+			math.Float64bits(w.Snap.LargestFrac) != math.Float64bits(g.Snap.LargestFrac) ||
+			math.Float64bits(w.Energy) != math.Float64bits(g.Energy) {
+			t.Fatalf("sample %d: special floats not preserved bit-exactly", i)
+		}
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	key := []byte(`{"lambdas":[2,4],"gammas":[0.3,3]}`)
+	var recs []ManifestRecord
+	for i := 0; i < 120; i++ {
+		recs = append(recs, ManifestRecord{
+			Index:   r.Intn(500),
+			Retries: r.Intn(3),
+			Snap:    randomSnapshot(r),
+		})
+	}
+	var enc Encoder
+	frame := enc.EncodeManifest(key, len(recs), func(i int) ManifestRecord { return recs[i] })
+	gotKey, got, err := DecodeManifest(frame)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !bytes.Equal(gotKey, key) {
+		t.Fatalf("key: want %q, got %q", key, gotKey)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("record count: want %d, got %d", len(recs), len(got))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: want %+v, got %+v", i, recs[i], got[i])
+		}
+	}
+}
+
+func TestConfigStreamRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	cfg := randomConfig(t, r, 80, 3, 24, lattice.Point{Q: -60, R: 50})
+	var se StreamEncoder
+	var sd StreamDecoder
+
+	step := uint64(0)
+	check := func() {
+		frame := se.Encode(cfg, step)
+		got, h, err := sd.Next(frame)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if h.Step != step {
+			t.Fatalf("step: want %d, got %d", step, h.Step)
+		}
+		sameConfig(t, cfg, got)
+		step++
+	}
+
+	check() // full frame
+	// Random occupied→vacant moves, including tile-boundary crossings.
+	for i := 0; i < 200; i++ {
+		pts := cfg.Points()
+		p := pts[r.Intn(len(pts))]
+		col, _ := cfg.At(p)
+		q := lattice.Point{Q: p.Q + r.Intn(5) - 2, R: p.R + r.Intn(5) - 2}
+		if cfg.Occupied(q) || p == q {
+			continue
+		}
+		if err := cfg.Remove(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := cfg.Place(q, col); err != nil {
+			t.Fatal(err)
+		}
+		check() // delta frame
+	}
+	// A second full frame mid-stream resets both sides.
+	se.Reset()
+	check()
+}
+
+func TestStreamDeltaFramesAreSmall(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	cfg := randomConfig(t, r, 500, 2, 60, lattice.Point{})
+	var se StreamEncoder
+	full := se.Encode(cfg, 0)
+
+	pts := cfg.Points()
+	p := pts[0]
+	col, _ := cfg.At(p)
+	var q lattice.Point
+	for trial := 0; ; trial++ {
+		q = lattice.Point{Q: p.Q + 1 + trial, R: p.R}
+		if !cfg.Occupied(q) {
+			break
+		}
+	}
+	cfg.Remove(p)
+	cfg.Place(q, col)
+	delta := se.Encode(cfg, 1)
+	if len(delta) >= len(full)/4 {
+		t.Fatalf("delta frame %dB not much smaller than full frame %dB", len(delta), len(full))
+	}
+}
+
+func TestStreamRejectsDeltaFirst(t *testing.T) {
+	cfg := psys.New()
+	cfg.Place(lattice.Point{Q: 1}, 0)
+	cfg.Place(lattice.Point{Q: 5}, 1)
+	var se StreamEncoder
+	se.Encode(cfg, 0) // full
+	cfg.Place(lattice.Point{Q: 2}, 1)
+	delta := append([]byte(nil), se.Encode(cfg, 1)...)
+	if delta[6]&FlagDelta == 0 {
+		t.Fatal("second frame is not a delta frame")
+	}
+
+	var sd StreamDecoder
+	if _, _, err := sd.Next(delta); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("delta before full: got %v", err)
+	}
+}
+
+// corruptions returns a set of deterministic single-byte mutations and
+// truncations of frame.
+func corruptions(frame []byte) [][]byte {
+	var out [][]byte
+	for i := 0; i < len(frame); i++ {
+		for _, bit := range []byte{0x01, 0x80, 0xFF} {
+			m := append([]byte(nil), frame...)
+			m[i] ^= bit
+			out = append(out, m)
+		}
+	}
+	for i := 0; i < len(frame); i += 1 + len(frame)/64 {
+		out = append(out, append([]byte(nil), frame[:i]...))
+	}
+	out = append(out, append(append([]byte(nil), frame...), 0))
+	out = append(out, append(append([]byte(nil), frame...), frame...))
+	return out
+}
+
+// TestDecodersNeverPanic drives every decoder over systematic corruptions
+// of valid frames: each must return a decoded value or an error — never
+// panic — and a successful decode of a mutated checkpoint must still obey
+// the structural invariants (header/config agreement is checked inside the
+// decoders themselves).
+func TestDecodersNeverPanic(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	cfg := randomConfig(t, r, 120, 3, 40, lattice.Point{Q: -20, R: -20})
+	var enc Encoder
+	cpFrame, err := enc.EncodeCheckpoint(checkpointFor(cfg, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpFrame = append([]byte(nil), cpFrame...)
+
+	hints := Hints{HasParams: true, Lambda: 4, Gamma: 0.5, Counts: []int{60, 60}}
+	var samples []TraceSample
+	for i := 0; i < 20; i++ {
+		samples = append(samples, TraceSample{Snap: randomSnapshot(r), Energy: r.NormFloat64()})
+	}
+	trFrame := append([]byte(nil), enc.EncodeTrace(hints, len(samples), func(i int) (metrics.Snapshot, float64) {
+		return samples[i].Snap, samples[i].Energy
+	})...)
+
+	var recs []ManifestRecord
+	for i := 0; i < 20; i++ {
+		recs = append(recs, ManifestRecord{Index: i * 3, Snap: randomSnapshot(r)})
+	}
+	mfFrame := append([]byte(nil), enc.EncodeManifest([]byte("key"), len(recs), func(i int) ManifestRecord { return recs[i] })...)
+
+	var se StreamEncoder
+	cfFull := append([]byte(nil), se.Encode(cfg, 0)...)
+	pts := cfg.Points()
+	col, _ := cfg.At(pts[0])
+	cfg.Remove(pts[0])
+	cfg.Place(lattice.Point{Q: 999, R: 999}, col)
+	cfDelta := append([]byte(nil), se.Encode(cfg, 1)...)
+
+	for _, frame := range [][]byte{cpFrame, trFrame, mfFrame, cfFull, cfDelta} {
+		for _, m := range corruptions(frame) {
+			DecodeCheckpoint(m)
+			DecodeTrace(m)
+			DecodeManifest(m)
+			var sd StreamDecoder
+			sd.Next(cfFull)
+			sd.Next(m)
+		}
+	}
+}
+
+func TestRowCellsMatchesAt(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	cfg := randomConfig(t, r, 150, 3, 48, lattice.Point{Q: -31, R: -17})
+	win := cfg.Window()
+	for rr := win.Min.R - 2; rr < win.Min.R+win.H+2; rr++ {
+		lo, hi := win.Min.Q-3, win.Min.Q+win.W+3
+		row := cfg.RowCells(rr, lo, hi)
+		cl := max(lo, win.Min.Q)
+		for k, v := range row {
+			p := lattice.Point{Q: cl + k, R: rr}
+			col, ok := cfg.At(p)
+			if v == 0 && ok {
+				t.Fatalf("row says vacant, At says color %d at %v", col, p)
+			}
+			if v != 0 && (!ok || psys.Color(v-1) != col) {
+				t.Fatalf("row says %d, At says (%d, %v) at %v", v, col, ok, p)
+			}
+		}
+	}
+}

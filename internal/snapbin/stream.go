@@ -1,0 +1,410 @@
+package snapbin
+
+import (
+	"fmt"
+	"sort"
+
+	"sops/internal/lattice"
+	"sops/internal/psys"
+)
+
+// Configuration streams: a sequence of KindConfig frames in which the
+// first frame is full and later frames are delta-coded (FlagDelta) against
+// the stream state — per tile, an XOR-RLE coding against that tile's
+// previous plane. A chain that moves one particle per step changes at most
+// two cells, so a delta frame costs a few dozen bytes regardless of system
+// size. Tiles that empty out are carried as an XOR back to all-zeros and
+// dropped; tiles that appear are coded against a zero baseline.
+//
+// Both ends keep the same per-tile plane state, so encoding and decoding
+// advance through identical transitions; a decoder can only enter a stream
+// at a full frame.
+
+// StreamEncoder encodes a sequence of configurations as config frames,
+// delta-coding each against the previous. The zero value is ready; the
+// first Encode (and any Encode after Reset or a color-count change) emits
+// a full frame. Not safe for concurrent use.
+type StreamEncoder struct {
+	enc       Encoder
+	planes    map[lattice.TileCoord][]byte
+	numColors uint8
+	started   bool
+
+	coords []lattice.TileCoord // sort scratch
+	free   [][]byte            // retired plane buffers for reuse
+}
+
+// Reset discards stream state; the next Encode emits a full frame.
+func (se *StreamEncoder) Reset() {
+	for tc, plane := range se.planes {
+		se.free = append(se.free, plane)
+		delete(se.planes, tc)
+	}
+	se.started = false
+}
+
+// Encode appends the next stream frame for cfg — full if the stream just
+// started (or the color count changed), delta otherwise — into the
+// encoder's reusable buffer. The returned slice is valid until the next
+// Encode call. Configurations with overflow particles always encode full.
+func (se *StreamEncoder) Encode(cfg *psys.Config, step uint64) []byte {
+	numColors := uint8(cfg.NumColors())
+	if !se.started || numColors != se.numColors || !cfg.DenseOnly() {
+		se.Reset()
+		se.numColors = numColors
+		frame := se.encodeFull(cfg, step)
+		// Seed the stream state from the configuration just encoded, so
+		// the next frame can delta against it (unless overflow particles
+		// force full frames).
+		se.started = cfg.DenseOnly()
+		if se.started {
+			se.capturePlanes(cfg)
+		}
+		return frame
+	}
+	return se.encodeDelta(cfg, step)
+}
+
+func (se *StreamEncoder) header(cfg *psys.Config, step uint64, flags uint8) Header {
+	return Header{
+		Kind:        KindConfig,
+		Flags:       flags,
+		BitsPerCell: bitsFor(se.numColors),
+		Step:        step,
+		Win:         cfg.Window(),
+		N:           cfg.N(),
+		NumColors:   se.numColors,
+	}
+}
+
+// encodeFull emits a full config frame via the shared config block codec.
+func (se *StreamEncoder) encodeFull(cfg *psys.Config, step uint64) []byte {
+	e := &se.enc
+	e.buf = AppendHeader(e.buf[:0], se.header(cfg, step, 0))
+	e.buf = e.appendConfig(e.buf, cfg)
+	return e.buf
+}
+
+// capturePlanes snapshots cfg's occupied tile planes into the stream
+// state.
+func (se *StreamEncoder) capturePlanes(cfg *psys.Config) {
+	if se.planes == nil {
+		se.planes = make(map[lattice.TileCoord][]byte)
+	}
+	e := &se.enc
+	bpc := bitsFor(se.numColors)
+	win := cfg.Window()
+	if win.Empty() || cfg.N() == 0 {
+		return
+	}
+	loT := lattice.TileOf(win.Min)
+	hiT := lattice.TileOf(win.Max())
+	for tr := loT.TR; tr <= hiT.TR; tr++ {
+		for tq := loT.TQ; tq <= hiT.TQ; tq++ {
+			tc := lattice.TileCoord{TQ: tq, TR: tr}
+			if e.scanTile(cfg, tc, bpc) == 0 {
+				continue
+			}
+			plane := se.newPlane(bpc)
+			copy(plane, e.plane[:planeBytes(bpc)])
+			se.planes[tc] = plane
+		}
+	}
+}
+
+// newPlane returns a plane buffer of the right depth, reusing retired
+// buffers when possible.
+func (se *StreamEncoder) newPlane(bpc uint8) []byte {
+	pb := planeBytes(bpc)
+	if n := len(se.free); n > 0 {
+		b := se.free[n-1]
+		se.free = se.free[:n-1]
+		if cap(b) >= pb {
+			return b[:pb]
+		}
+	}
+	return make([]byte, pb)
+}
+
+// encodeDelta emits a delta frame: every tile whose plane changed since
+// the previous frame, XOR-RLE coded against it, updating the stream state
+// in the same pass.
+func (se *StreamEncoder) encodeDelta(cfg *psys.Config, step uint64) []byte {
+	e := &se.enc
+	bpc := bitsFor(se.numColors)
+	pb := planeBytes(bpc)
+
+	// The candidate tile set is the union of previously occupied tiles and
+	// the tiles of the current window; walk it in canonical order.
+	se.coords = se.coords[:0]
+	win := cfg.Window()
+	var loT, hiT lattice.TileCoord
+	haveWin := !win.Empty() && cfg.N() > 0
+	if haveWin {
+		loT = lattice.TileOf(win.Min)
+		hiT = lattice.TileOf(win.Max())
+	}
+	for tc := range se.planes {
+		if haveWin && tc.TQ >= loT.TQ && tc.TQ <= hiT.TQ && tc.TR >= loT.TR && tc.TR <= hiT.TR {
+			continue // covered by the window walk below
+		}
+		se.coords = append(se.coords, tc)
+	}
+	if haveWin {
+		for tr := loT.TR; tr <= hiT.TR; tr++ {
+			for tq := loT.TQ; tq <= hiT.TQ; tq++ {
+				se.coords = append(se.coords, lattice.TileCoord{TQ: tq, TR: tr})
+			}
+		}
+	}
+	sort.Slice(se.coords, func(i, j int) bool { return tileLess(se.coords[i], se.coords[j]) })
+
+	// Two passes: count changed tiles, then emit. The plane scan is cheap
+	// (a row-view walk), and two passes avoid buffering tile records.
+	changed := 0
+	for _, tc := range se.coords {
+		if se.tileChanged(cfg, tc, bpc) {
+			changed++
+		}
+	}
+	e.buf = AppendHeader(e.buf[:0], se.header(cfg, step, FlagDelta))
+	e.buf = append(e.buf, se.numColors)
+	e.buf = AppendUvarint(e.buf, uint64(changed))
+	prevC := lattice.TileCoord{}
+	for _, tc := range se.coords {
+		if !se.tileChanged(cfg, tc, bpc) {
+			continue
+		}
+		// e.plane holds the current plane after tileChanged's scan.
+		prev := se.planes[tc]
+		e.buf = AppendVarint(e.buf, int64(tc.TQ-prevC.TQ))
+		e.buf = AppendVarint(e.buf, int64(tc.TR-prevC.TR))
+		e.buf = appendXorRLE(e.buf, prev, e.plane[:pb])
+		prevC = tc
+
+		// Advance the stream state to the new plane.
+		cur := e.plane[:pb]
+		if isZeroPlane(cur) {
+			if prev != nil {
+				se.free = append(se.free, prev)
+				delete(se.planes, tc)
+			}
+		} else {
+			if prev == nil {
+				prev = se.newPlane(bpc)
+				se.planes[tc] = prev
+			}
+			copy(prev, cur)
+		}
+	}
+	return e.buf
+}
+
+// tileChanged scans tile tc of cfg into e.plane and reports whether it
+// differs from the stream state.
+func (se *StreamEncoder) tileChanged(cfg *psys.Config, tc lattice.TileCoord, bpc uint8) bool {
+	e := &se.enc
+	pb := planeBytes(bpc)
+	found := e.scanTile(cfg, tc, bpc)
+	prev := se.planes[tc]
+	if prev == nil {
+		return found > 0
+	}
+	cur := e.plane[:pb]
+	for i, b := range prev {
+		if cur[i] != b {
+			return true
+		}
+	}
+	return false
+}
+
+// isZeroPlane reports an all-vacant plane.
+func isZeroPlane(p []byte) bool {
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// StreamDecoder decodes a config frame sequence, mirroring StreamEncoder's
+// state transitions. The zero value is ready. Not safe for concurrent use.
+type StreamDecoder struct {
+	planes    map[lattice.TileCoord][]byte
+	numColors uint8
+	started   bool
+
+	coords []lattice.TileCoord
+}
+
+// Next decodes the next frame of the stream and returns the configuration
+// it encodes, plus the frame header (whose Step field timestamps it). A
+// delta frame before any full frame, or any structural violation, is
+// rejected with ErrMalformed.
+func (sd *StreamDecoder) Next(frame []byte) (*psys.Config, Header, error) {
+	h, err := ParseHeader(frame)
+	if err != nil {
+		return nil, h, err
+	}
+	if h.Kind != KindConfig {
+		return nil, h, fmt.Errorf("%w: frame kind %d is not a config frame", ErrMalformed, h.Kind)
+	}
+	if h.RngLen != 0 {
+		return nil, h, fmt.Errorf("%w: config frame declares rng state", ErrMalformed)
+	}
+	r := NewReader(frame[HeaderSize:])
+	if h.Flags&FlagDelta == 0 {
+		cfg, err := readConfig(r, h.BitsPerCell, h.N, h.NumColors)
+		if err != nil {
+			return nil, h, err
+		}
+		if err := r.Done(); err != nil {
+			return nil, h, err
+		}
+		sd.reset(h.NumColors)
+		sd.capture(cfg, h.BitsPerCell)
+		sd.started = true
+		return cfg, h, nil
+	}
+	if !sd.started {
+		return nil, h, fmt.Errorf("%w: delta frame before any full frame", ErrMalformed)
+	}
+	if h.NumColors != sd.numColors {
+		return nil, h, fmt.Errorf("%w: delta frame changes color count %d → %d", ErrMalformed, sd.numColors, h.NumColors)
+	}
+	cfg, err := sd.applyDelta(r, h)
+	if err != nil {
+		// A failed delta leaves the stream state unusable; force a full
+		// frame before any further decode.
+		sd.started = false
+		return nil, h, err
+	}
+	return cfg, h, nil
+}
+
+func (sd *StreamDecoder) reset(numColors uint8) {
+	for tc := range sd.planes {
+		delete(sd.planes, tc)
+	}
+	if sd.planes == nil {
+		sd.planes = make(map[lattice.TileCoord][]byte)
+	}
+	sd.numColors = numColors
+	sd.started = false
+}
+
+// capture snapshots cfg's planes into the decoder state.
+func (sd *StreamDecoder) capture(cfg *psys.Config, bpc uint8) {
+	pb := planeBytes(bpc)
+	var enc Encoder
+	win := cfg.Window()
+	if win.Empty() || cfg.N() == 0 {
+		return
+	}
+	loT := lattice.TileOf(win.Min)
+	hiT := lattice.TileOf(win.Max())
+	for tr := loT.TR; tr <= hiT.TR; tr++ {
+		for tq := loT.TQ; tq <= hiT.TQ; tq++ {
+			tc := lattice.TileCoord{TQ: tq, TR: tr}
+			if enc.scanTile(cfg, tc, bpc) == 0 {
+				continue
+			}
+			plane := make([]byte, pb)
+			copy(plane, enc.plane[:pb])
+			sd.planes[tc] = plane
+		}
+	}
+}
+
+// applyDelta folds one delta frame into the plane state and rebuilds the
+// configuration.
+func (sd *StreamDecoder) applyDelta(r *Reader, h Header) (*psys.Config, error) {
+	numColors, err := r.U8()
+	if err != nil {
+		return nil, err
+	}
+	if numColors != sd.numColors {
+		return nil, fmt.Errorf("%w: delta body declares %d colors, stream has %d", ErrMalformed, numColors, sd.numColors)
+	}
+	bpc := bitsFor(sd.numColors)
+	if h.BitsPerCell != bpc {
+		return nil, fmt.Errorf("%w: %d bits per cell for %d colors (want %d)", ErrMalformed, h.BitsPerCell, sd.numColors, bpc)
+	}
+	tiles, err := r.Count(4)
+	if err != nil {
+		return nil, err
+	}
+	pb := planeBytes(bpc)
+	var plane [lattice.TileArea]byte
+	prevC := lattice.TileCoord{}
+	for t := 0; t < tiles; t++ {
+		dq, err := r.Varint()
+		if err != nil {
+			return nil, err
+		}
+		dr, err := r.Varint()
+		if err != nil {
+			return nil, err
+		}
+		tc := lattice.TileCoord{TQ: prevC.TQ + int(dq), TR: prevC.TR + int(dr)}
+		if t > 0 && !tileLess(prevC, tc) {
+			return nil, fmt.Errorf("%w: tile %v out of canonical order", ErrMalformed, tc)
+		}
+		prev := sd.planes[tc]
+		if err := readXorRLE(r, prev, plane[:pb]); err != nil {
+			return nil, err
+		}
+		if isZeroPlane(plane[:pb]) {
+			if prev == nil {
+				return nil, fmt.Errorf("%w: delta removes absent tile %v", ErrMalformed, tc)
+			}
+			delete(sd.planes, tc)
+		} else {
+			if prev == nil {
+				prev = make([]byte, pb)
+				sd.planes[tc] = prev
+			}
+			copy(prev, plane[:pb])
+		}
+		prevC = tc
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return sd.rebuild(h)
+}
+
+// rebuild constructs the configuration the plane state describes,
+// validating cell values and the header's particle count.
+func (sd *StreamDecoder) rebuild(h Header) (*psys.Config, error) {
+	sd.coords = sd.coords[:0]
+	for tc := range sd.planes {
+		sd.coords = append(sd.coords, tc)
+	}
+	sort.Slice(sd.coords, func(i, j int) bool { return tileLess(sd.coords[i], sd.coords[j]) })
+	cfg := psys.New()
+	bpc := bitsFor(sd.numColors)
+	for _, tc := range sd.coords {
+		plane := sd.planes[tc]
+		origin := tc.Origin()
+		for i := 0; i < lattice.TileArea; i++ {
+			v := getPlane(plane, i, bpc)
+			if v == 0 {
+				continue
+			}
+			if v > sd.numColors {
+				return nil, fmt.Errorf("%w: cell value %d exceeds %d color classes", ErrMalformed, v, sd.numColors)
+			}
+			p := lattice.Point{Q: origin.Q + i&(lattice.TileSize-1), R: origin.R + i>>lattice.TileShift}
+			if err := cfg.Place(p, psys.Color(v-1)); err != nil {
+				return nil, fmt.Errorf("%w: place %v: %v", ErrMalformed, p, err)
+			}
+		}
+	}
+	if cfg.N() != h.N {
+		return nil, fmt.Errorf("%w: decoded %d particles, header declares %d", ErrMalformed, cfg.N(), h.N)
+	}
+	return cfg, nil
+}

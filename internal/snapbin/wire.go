@@ -1,0 +1,166 @@
+package snapbin
+
+import (
+	"fmt"
+	"math"
+)
+
+// Wire primitives: append-style writers (callers own the buffer, so steady
+// state allocates nothing) and a strict bounds-checked reader. The reader
+// is the single consumption path of every decoder in the package; it never
+// indexes past the input, and its errors all wrap ErrMalformed.
+
+// AppendUvarint appends v in LEB128 unsigned varint encoding.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// AppendVarint appends v zigzag-folded into an unsigned varint, so small
+// magnitudes of either sign stay short.
+func AppendVarint(dst []byte, v int64) []byte {
+	return AppendUvarint(dst, uint64(v)<<1^uint64(v>>63))
+}
+
+// AppendF64 appends the raw little-endian IEEE 754 bits of v.
+func AppendF64(dst []byte, v float64) []byte {
+	return appendU64(dst, math.Float64bits(v))
+}
+
+// AppendString appends a length-prefixed byte string.
+func AppendString(dst []byte, s string) []byte {
+	dst = AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendBytes appends a length-prefixed byte slice.
+func AppendBytes(dst, b []byte) []byte {
+	dst = AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// Reader consumes a frame body strictly: every read is bounds-checked
+// against the remaining input and every failure wraps ErrMalformed. The
+// zero value is not useful; construct with NewReader.
+type Reader struct {
+	data []byte
+	off  int
+}
+
+// NewReader returns a reader over data.
+func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// Remaining returns the number of unconsumed bytes.
+func (r *Reader) Remaining() int { return len(r.data) - r.off }
+
+// Done returns nil when the input is fully consumed and an ErrMalformed
+// error naming the trailing byte count otherwise — decoders call it last,
+// so a frame with garbage appended is rejected rather than ignored.
+func (r *Reader) Done() error {
+	if n := r.Remaining(); n != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrMalformed, n)
+	}
+	return nil
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() (byte, error) {
+	if r.off >= len(r.data) {
+		return 0, fmt.Errorf("%w: truncated byte", ErrMalformed)
+	}
+	b := r.data[r.off]
+	r.off++
+	return b, nil
+}
+
+// U64 reads a fixed 8-byte little-endian value.
+func (r *Reader) U64() (uint64, error) {
+	if r.Remaining() < 8 {
+		return 0, fmt.Errorf("%w: truncated u64", ErrMalformed)
+	}
+	v := readU64(r.data[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+// F64 reads fixed little-endian IEEE 754 bits.
+func (r *Reader) F64() (float64, error) {
+	v, err := r.U64()
+	return math.Float64frombits(v), err
+}
+
+// Uvarint reads an unsigned varint of at most 10 bytes.
+func (r *Reader) Uvarint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 70; shift += 7 {
+		if r.off >= len(r.data) {
+			return 0, fmt.Errorf("%w: truncated varint", ErrMalformed)
+		}
+		b := r.data[r.off]
+		r.off++
+		if shift == 63 && b > 1 {
+			return 0, fmt.Errorf("%w: varint overflows 64 bits", ErrMalformed)
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: varint longer than 10 bytes", ErrMalformed)
+}
+
+// Varint reads a zigzag-folded signed varint.
+func (r *Reader) Varint() (int64, error) {
+	u, err := r.Uvarint()
+	return int64(u>>1) ^ -int64(u&1), err
+}
+
+// Bytes reads exactly n raw bytes, returning a view into the input.
+func (r *Reader) Bytes(n int) ([]byte, error) {
+	if n < 0 || r.Remaining() < n {
+		return nil, fmt.Errorf("%w: truncated %d-byte field", ErrMalformed, n)
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+// LenBytes reads a length-prefixed byte slice, bounding the declared
+// length by the bytes actually present.
+func (r *Reader) LenBytes() ([]byte, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("%w: field declares %d bytes, %d remain", ErrMalformed, n, r.Remaining())
+	}
+	return r.Bytes(int(n))
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() (string, error) {
+	b, err := r.LenBytes()
+	return string(b), err
+}
+
+// Count reads an element count and bounds it by the remaining input under
+// the assumption that each element occupies at least minBytes bytes — the
+// guard that keeps a corrupt count field from driving a decoder into a
+// huge preallocation or a near-endless loop.
+func (r *Reader) Count(minBytes int) (int, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	if n > uint64(r.Remaining()/minBytes) {
+		return 0, fmt.Errorf("%w: count %d exceeds the %d remaining bytes", ErrMalformed, n, r.Remaining())
+	}
+	return int(n), nil
+}

@@ -1,13 +1,18 @@
 package telemetry
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
+	"strconv"
 	"strings"
 	"sync"
 
 	"sops/internal/atomicio"
 	"sops/internal/metrics"
+	"sops/internal/seal"
+	"sops/internal/snapbin"
 )
 
 // Sample is one point of a recorded trajectory: the configuration's metric
@@ -37,6 +42,11 @@ type Recorder struct {
 	start   int // index of the oldest sample
 	n       int // samples currently held
 	dropped uint64
+	// hints carries the run constants (λ, γ, color census) that let the
+	// binary trace codec elide derivable fields; see SetDerivation.
+	hints snapbin.Hints
+	enc   snapbin.Encoder
+	out   []byte // reusable encode scratch for EncodeBinary and WriteFile
 }
 
 // NewRecorder returns a recorder holding at most capacity samples (minimum
@@ -51,6 +61,21 @@ func NewRecorder(capacity int, every uint64) *Recorder {
 
 // Every returns the recorder's step cadence.
 func (r *Recorder) Every() uint64 { return r.every }
+
+// SetDerivation hands the recorder the run constants the binary trace
+// codec can recompute samples from: the chain parameters λ and γ (for the
+// energy column) and the per-color particle census (for segregation and
+// the largest-cluster fraction). Binary traces written without hints are
+// still lossless — the codec stores any underivable field raw — so this
+// is a size optimization, not a requirement.
+func (r *Recorder) SetDerivation(lambda, gamma float64, counts []int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hints.HasParams = true
+	r.hints.Lambda = lambda
+	r.hints.Gamma = gamma
+	r.hints.Counts = append(r.hints.Counts[:0], counts...)
+}
 
 // Offer records s if it is due under the cadence — the first offer, and
 // thereafter any offer at least Every steps after the last recorded one —
@@ -131,7 +156,10 @@ func appendCSV(b []byte, s Sample) []byte {
 }
 
 // jsonSample is the JSONL wire form of a Sample, with stable lower-case
-// keys matching the CSV columns.
+// keys matching the CSV columns. appendJSONSample must stay byte-for-byte
+// equivalent to json.Marshal of this struct (the differential test pins
+// that), so the struct remains the format's source of truth and the
+// decoder for ParseJSONL.
 type jsonSample struct {
 	Steps       uint64  `json:"steps"`
 	N           int     `json:"n"`
@@ -147,58 +175,216 @@ type jsonSample struct {
 	Energy      float64 `json:"energy"`
 }
 
+// appendJSONFloat appends f in encoding/json's float64 format: shortest
+// round-trip form, 'f' notation except for magnitudes below 1e-6 or at
+// least 1e21, which use 'e' notation with the exponent's leading zero
+// trimmed. NaN and infinities are unrepresentable, as in encoding/json.
+func appendJSONFloat(b []byte, f float64) ([]byte, error) {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return nil, fmt.Errorf("telemetry: unsupported float value %v", f)
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b, nil
+}
+
+// appendJSONSample formats one sample as a JSONL row, byte-identical to
+// json.Marshal of the corresponding jsonSample but with zero allocations.
+// Phase names never need escaping (lower-case words and hyphens), so the
+// string field is appended verbatim.
+func appendJSONSample(b []byte, s Sample) ([]byte, error) {
+	m := s.Snap
+	var err error
+	b = append(b, `{"steps":`...)
+	b = strconv.AppendUint(b, m.Steps, 10)
+	b = append(b, `,"n":`...)
+	b = strconv.AppendInt(b, int64(m.N), 10)
+	b = append(b, `,"perimeter":`...)
+	b = strconv.AppendInt(b, int64(m.Perimeter), 10)
+	b = append(b, `,"min_perimeter":`...)
+	b = strconv.AppendInt(b, int64(m.MinPerimeter), 10)
+	b = append(b, `,"alpha":`...)
+	if b, err = appendJSONFloat(b, m.Alpha); err != nil {
+		return nil, err
+	}
+	b = append(b, `,"edges":`...)
+	b = strconv.AppendInt(b, int64(m.Edges), 10)
+	b = append(b, `,"hom_edges":`...)
+	b = strconv.AppendInt(b, int64(m.HomEdges), 10)
+	b = append(b, `,"het_edges":`...)
+	b = strconv.AppendInt(b, int64(m.HetEdges), 10)
+	b = append(b, `,"segregation":`...)
+	if b, err = appendJSONFloat(b, m.Segregation); err != nil {
+		return nil, err
+	}
+	b = append(b, `,"largest_frac":`...)
+	if b, err = appendJSONFloat(b, m.LargestFrac); err != nil {
+		return nil, err
+	}
+	b = append(b, `,"phase":"`...)
+	b = append(b, m.Phase.String()...)
+	b = append(b, `","energy":`...)
+	if b, err = appendJSONFloat(b, s.Energy); err != nil {
+		return nil, err
+	}
+	return append(b, '}'), nil
+}
+
 // EncodeCSV renders the held samples as a CSV trace (header + one row per
 // sample, oldest first).
 func (r *Recorder) EncodeCSV() []byte {
-	samples := r.Samples()
-	b := make([]byte, 0, 64*(len(samples)+1))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.appendCSVLocked(make([]byte, 0, 64*(r.n+1)))
+}
+
+func (r *Recorder) appendCSVLocked(b []byte) []byte {
 	b = append(b, traceColumns...)
 	b = append(b, '\n')
-	for _, s := range samples {
-		b = appendCSV(b, s)
+	for i := 0; i < r.n; i++ {
+		b = appendCSV(b, r.ring[(r.start+i)%len(r.ring)])
 	}
 	return b
 }
 
 // EncodeJSONL renders the held samples as JSON Lines, one object per
-// sample, oldest first.
+// sample, oldest first. Rows are built by appendJSONSample, which encodes
+// directly into the output buffer instead of a per-sample json.Marshal.
 func (r *Recorder) EncodeJSONL() ([]byte, error) {
-	samples := r.Samples()
-	b := make([]byte, 0, 128*len(samples))
-	for _, s := range samples {
-		m := s.Snap
-		row, err := json.Marshal(jsonSample{
-			Steps: m.Steps, N: m.N, Perimeter: m.Perimeter,
-			MinPerim: m.MinPerimeter, Alpha: m.Alpha, Edges: m.Edges,
-			HomEdges: m.HomEdges, HetEdges: m.HetEdges,
-			Segregation: m.Segregation, LargestFrac: m.LargestFrac,
-			Phase: m.Phase.String(), Energy: s.Energy,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("telemetry: encode sample: %w", err)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.appendJSONLLocked(make([]byte, 0, 128*r.n))
+}
+
+func (r *Recorder) appendJSONLLocked(b []byte) ([]byte, error) {
+	for i := 0; i < r.n; i++ {
+		var err error
+		if b, err = appendJSONSample(b, r.ring[(r.start+i)%len(r.ring)]); err != nil {
+			return nil, err
 		}
-		b = append(b, row...)
 		b = append(b, '\n')
 	}
 	return b, nil
 }
 
+// EncodeBinary renders the held samples as one sealed snapbin trace frame
+// — the ".sbt" artifact format. The returned slice aliases an internal
+// buffer reused by the next encode or flush; callers that retain it past
+// that must copy. Once the buffer has grown to the trace size, encoding
+// allocates nothing.
+func (r *Recorder) EncodeBinary() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.encodeBinaryLocked()
+}
+
+func (r *Recorder) encodeBinaryLocked() []byte {
+	frame := r.enc.EncodeTrace(r.hints, r.n, func(i int) (metrics.Snapshot, float64) {
+		s := &r.ring[(r.start+i)%len(r.ring)]
+		return s.Snap, s.Energy
+	})
+	r.out = seal.AppendEncode(r.out[:0], frame)
+	return r.out
+}
+
 // WriteFile flushes the trace atomically to path, choosing the format from
-// the extension: ".jsonl" (or ".ndjson") writes JSON Lines, everything else
-// CSV. The write goes through atomicio, so a crash mid-flush never leaves a
-// truncated trace.
+// the extension: ".sbt" writes a sealed binary snapbin trace, ".jsonl" (or
+// ".ndjson") JSON Lines, everything else CSV. All three formats encode
+// into a reusable scratch buffer, so steady-state flushes allocate nothing
+// beyond the write itself. The write goes through atomicio, so a crash
+// mid-flush never leaves a truncated trace. The recorder is locked for the
+// duration of the flush.
 func (r *Recorder) WriteFile(path string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var data []byte
-	if strings.HasSuffix(path, ".jsonl") || strings.HasSuffix(path, ".ndjson") {
+	switch {
+	case strings.HasSuffix(path, ".sbt"):
+		data = r.encodeBinaryLocked()
+	case strings.HasSuffix(path, ".jsonl") || strings.HasSuffix(path, ".ndjson"):
 		var err error
-		if data, err = r.EncodeJSONL(); err != nil {
+		if data, err = r.appendJSONLLocked(r.out[:0]); err != nil {
 			return err
 		}
-	} else {
-		data = r.EncodeCSV()
+		r.out = data
+	default:
+		r.out = r.appendCSVLocked(r.out[:0])
+		data = r.out
 	}
 	if err := atomicio.WriteFile(path, data, 0o644); err != nil {
 		return fmt.Errorf("telemetry: write trace: %w", err)
 	}
 	return nil
+}
+
+// ParseBinary decodes a binary trace artifact — a snapbin trace frame,
+// sealed or bare — into samples, oldest first. It is the read side of
+// EncodeBinary, used by the trace converter.
+func ParseBinary(data []byte) ([]Sample, error) {
+	if seal.Sealed(data) {
+		payload, err := seal.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: binary trace: %w", err)
+		}
+		data = payload
+	}
+	_, ts, err := snapbin.DecodeTrace(data)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: binary trace: %w", err)
+	}
+	out := make([]Sample, len(ts))
+	for i, t := range ts {
+		out[i] = Sample{Snap: t.Snap, Energy: t.Energy}
+	}
+	return out, nil
+}
+
+// ParseJSONL decodes a JSON Lines trace written by EncodeJSONL back into
+// samples, oldest first. Blank lines are skipped.
+func ParseJSONL(data []byte) ([]Sample, error) {
+	var out []Sample
+	for lineNo := 1; len(data) > 0; lineNo++ {
+		line := data
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, data = data[:i], data[i+1:]
+		} else {
+			data = nil
+		}
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var js jsonSample
+		if err := json.Unmarshal(line, &js); err != nil {
+			return nil, fmt.Errorf("telemetry: trace line %d: %w", lineNo, err)
+		}
+		var phase metrics.Phase
+		if err := phase.UnmarshalText([]byte(js.Phase)); err != nil {
+			// String renders unclassified phases as "Phase(d)"; accept
+			// them so every encodable sample round-trips.
+			var d uint8
+			if _, serr := fmt.Sscanf(js.Phase, "Phase(%d)", &d); serr != nil {
+				return nil, fmt.Errorf("telemetry: trace line %d: %w", lineNo, err)
+			}
+			phase = metrics.Phase(d)
+		}
+		out = append(out, Sample{Snap: metrics.Snapshot{
+			Steps: js.Steps, N: js.N, Perimeter: js.Perimeter,
+			MinPerimeter: js.MinPerim, Alpha: js.Alpha, Edges: js.Edges,
+			HomEdges: js.HomEdges, HetEdges: js.HetEdges,
+			Segregation: js.Segregation, LargestFrac: js.LargestFrac,
+			Phase: phase,
+		}, Energy: js.Energy})
+	}
+	return out, nil
 }

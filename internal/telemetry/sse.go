@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -39,14 +40,23 @@ func SSE(w http.ResponseWriter, r *http.Request, interval time.Duration, next fu
 	}
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
+	// One frame buffer and encoder per connection, reused across events:
+	// a long-lived watcher costs amortized-zero encode allocations instead
+	// of a Marshal slice plus Fprintf boxing per tick.
+	var frame bytes.Buffer
+	enc := json.NewEncoder(&frame)
 	for {
 		payload, done := next()
 		if payload != nil {
-			data, err := json.Marshal(payload)
-			if err != nil {
+			frame.Reset()
+			frame.WriteString("data: ")
+			if err := enc.Encode(payload); err != nil { // Encode appends the first '\n'
 				return fmt.Errorf("telemetry: encode event: %w", err)
 			}
-			fmt.Fprintf(w, "data: %s\n\n", data)
+			frame.WriteByte('\n')
+			if _, err := w.Write(frame.Bytes()); err != nil {
+				return fmt.Errorf("telemetry: write event: %w", err)
+			}
 			fl.Flush()
 		}
 		if done {

@@ -1,0 +1,208 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sops/internal/metrics"
+	"sops/internal/rng"
+	"sops/internal/seal"
+)
+
+// traceSamples builds a plausible trajectory: derivable fields genuinely
+// derived from (λ, γ, counts) where chosen, plus adversarial floats.
+func traceSamples(n int) []Sample {
+	r := rng.New(7)
+	out := make([]Sample, n)
+	steps := uint64(0)
+	for i := range out {
+		steps += uint64(r.Intn(1000))
+		m := metrics.Snapshot{
+			Steps:        steps,
+			N:            100,
+			Perimeter:    36 + r.Intn(100),
+			MinPerimeter: 36,
+			Edges:        200 + r.Intn(100),
+			HetEdges:     r.Intn(80),
+			Segregation:  r.Float64(),
+			LargestFrac:  r.Float64(),
+			Phase:        metrics.Phase(1 + r.Intn(4)),
+		}
+		m.HomEdges = m.Edges - m.HetEdges
+		m.Alpha = float64(m.Perimeter) / float64(m.MinPerimeter)
+		out[i] = Sample{Snap: m, Energy: -float64(m.Edges)*math.Log(4) - float64(m.HomEdges)*math.Log(2)}
+	}
+	return out
+}
+
+func recorderWith(samples []Sample) *Recorder {
+	rec := NewRecorder(len(samples)+1, 0)
+	for _, s := range samples {
+		rec.Record(s)
+	}
+	return rec
+}
+
+// TestEncodeJSONLMatchesEncodingJSON pins the append-style JSONL encoder
+// to encoding/json's output byte for byte, so the hand-rolled fast path
+// can never drift from the documented interchange format.
+func TestEncodeJSONLMatchesEncodingJSON(t *testing.T) {
+	samples := traceSamples(200)
+	// Adversarial floats: exponent-format boundaries, negative zero, and
+	// values that exercise the shortest-representation path.
+	edge := []float64{0, math.Copysign(0, -1), 1e-7, -9.9e-7, 1e-6, 1e21, -1.5e300, 5e-324, 0.1, 1.0 / 3.0}
+	for i, f := range edge {
+		s := samples[i]
+		s.Snap.Alpha, s.Snap.Segregation, s.Energy = f, -f, f
+		samples[i] = s
+	}
+	rec := recorderWith(samples)
+	got, err := rec.EncodeJSONL()
+	if err != nil {
+		t.Fatalf("EncodeJSONL: %v", err)
+	}
+	var want []byte
+	for _, s := range samples {
+		m := s.Snap
+		row, err := json.Marshal(jsonSample{
+			Steps: m.Steps, N: m.N, Perimeter: m.Perimeter,
+			MinPerim: m.MinPerimeter, Alpha: m.Alpha, Edges: m.Edges,
+			HomEdges: m.HomEdges, HetEdges: m.HetEdges,
+			Segregation: m.Segregation, LargestFrac: m.LargestFrac,
+			Phase: m.Phase.String(), Energy: s.Energy,
+		})
+		if err != nil {
+			t.Fatalf("json.Marshal: %v", err)
+		}
+		want = append(want, row...)
+		want = append(want, '\n')
+	}
+	if !bytes.Equal(got, want) {
+		for i := range got {
+			if i >= len(want) || got[i] != want[i] {
+				lo := max(0, i-40)
+				t.Fatalf("JSONL diverges from encoding/json at byte %d:\n got %q\nwant %q",
+					i, got[lo:min(len(got), i+40)], want[lo:min(len(want), i+40)])
+			}
+		}
+		t.Fatalf("JSONL length mismatch: got %d want %d bytes", len(got), len(want))
+	}
+
+	// Non-finite floats must error like encoding/json does.
+	bad := recorderWith([]Sample{{Energy: math.NaN()}})
+	if _, err := bad.EncodeJSONL(); err == nil {
+		t.Fatalf("EncodeJSONL accepted NaN")
+	}
+	bad = recorderWith([]Sample{{Energy: math.Inf(1)}})
+	if _, err := bad.EncodeJSONL(); err == nil {
+		t.Fatalf("EncodeJSONL accepted +Inf")
+	}
+}
+
+func TestTraceBinaryRoundTrip(t *testing.T) {
+	samples := traceSamples(500)
+	rec := recorderWith(samples)
+	counts := []int{50, 50}
+	rec.SetDerivation(4, 2, counts)
+	frame := rec.EncodeBinary()
+	got, err := ParseBinary(frame)
+	if err != nil {
+		t.Fatalf("ParseBinary: %v", err)
+	}
+	if len(got) != len(samples) {
+		t.Fatalf("round trip returned %d samples, want %d", len(got), len(samples))
+	}
+	for i := range got {
+		if got[i] != samples[i] {
+			t.Fatalf("sample %d mismatch:\n got %+v\nwant %+v", i, got[i], samples[i])
+		}
+	}
+	// The sealed binary trace should be far smaller than either text form.
+	csv := rec.EncodeCSV()
+	jsonl, err := rec.EncodeJSONL()
+	if err != nil {
+		t.Fatalf("EncodeJSONL: %v", err)
+	}
+	// These samples carry adversarially random floats (incompressible by
+	// design), so this is a floor; traces of real trajectories with
+	// derivation hints do far better (see EXPERIMENTS E27).
+	if len(frame)*2 > len(csv) || len(frame)*8 > len(jsonl) {
+		t.Errorf("binary trace not compact: %d bytes vs %d CSV, %d JSONL", len(frame), len(csv), len(jsonl))
+	}
+}
+
+func TestJSONLRoundTripThroughParse(t *testing.T) {
+	samples := traceSamples(100)
+	rec := recorderWith(samples)
+	data, err := rec.EncodeJSONL()
+	if err != nil {
+		t.Fatalf("EncodeJSONL: %v", err)
+	}
+	got, err := ParseJSONL(data)
+	if err != nil {
+		t.Fatalf("ParseJSONL: %v", err)
+	}
+	if len(got) != len(samples) {
+		t.Fatalf("parsed %d samples, want %d", len(got), len(samples))
+	}
+	for i := range got {
+		if got[i] != samples[i] {
+			t.Fatalf("sample %d mismatch:\n got %+v\nwant %+v", i, got[i], samples[i])
+		}
+	}
+}
+
+func TestWriteFileSbt(t *testing.T) {
+	samples := traceSamples(50)
+	rec := recorderWith(samples)
+	rec.SetDerivation(4, 2, []int{50, 50})
+	path := filepath.Join(t.TempDir(), "trace.sbt")
+	if err := rec.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if !seal.Sealed(data) {
+		t.Fatalf(".sbt trace is not sealed")
+	}
+	got, err := ParseBinary(data)
+	if err != nil {
+		t.Fatalf("ParseBinary: %v", err)
+	}
+	if len(got) != len(samples) || got[len(got)-1] != samples[len(samples)-1] {
+		t.Fatalf(".sbt round trip mismatch")
+	}
+}
+
+// TestEncodeScratchContracts pins the zero-allocation promises of the
+// flush paths: once the recorder's scratch buffers have grown to size,
+// binary and JSONL encodes allocate nothing per flush.
+func TestEncodeScratchContracts(t *testing.T) {
+	samples := traceSamples(1000)
+	rec := recorderWith(samples)
+	rec.SetDerivation(4, 2, []int{50, 50})
+	rec.EncodeBinary() // grow scratch
+	if allocs := testing.AllocsPerRun(20, func() { rec.EncodeBinary() }); allocs > 0 {
+		t.Errorf("EncodeBinary allocates %.1f objects per flush, want 0", allocs)
+	}
+	var jsonlScratch []byte
+	encode := func() {
+		rec.mu.Lock()
+		defer rec.mu.Unlock()
+		b, err := rec.appendJSONLLocked(jsonlScratch[:0])
+		if err != nil {
+			t.Fatalf("appendJSONL: %v", err)
+		}
+		jsonlScratch = b
+	}
+	encode()
+	if allocs := testing.AllocsPerRun(20, encode); allocs > 0 {
+		t.Errorf("JSONL encode allocates %.1f objects per flush, want 0", allocs)
+	}
+}

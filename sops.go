@@ -41,6 +41,7 @@ import (
 	"sops/internal/psys"
 	"sops/internal/rng"
 	"sops/internal/seal"
+	"sops/internal/snapbin"
 	"sops/internal/telemetry"
 	"sops/internal/viz"
 )
@@ -218,7 +219,20 @@ type System struct {
 	// steps, so a killed process loses at most one interval of work.
 	ckptPath  string
 	ckptEvery uint64
+
+	// enc, sealed and cpView are the reusable scratch of the binary
+	// checkpoint writer; after the first write, checkpointing allocates
+	// nothing.
+	enc    snapbin.Encoder
+	sealed []byte
+	cpView snapbin.Checkpoint
 }
+
+// checkpointBinary selects the wire format of the checkpoint writers:
+// the snapbin binary frame (default) or the legacy JSON document. Both
+// restore through the same sniffing readers; the JSON leg exists for the
+// documented text interchange and is pinned by cross-format tests.
+var checkpointBinary = true
 
 // New builds a System from options.
 func New(opts Options) (*System, error) {
@@ -350,6 +364,21 @@ type RunSpec struct {
 // the run stops, including on cancellation; a checkpoint write failure
 // stops the run and is returned.
 //
+// deriveTrace hands rec the run constants — λ, γ and the per-color
+// particle census — that let binary trace flushes elide derivable
+// columns. The census is fixed for the run: moves and swaps of chain M
+// both conserve per-color counts.
+func (s *System) deriveTrace(rec *Recorder) {
+	params := s.chain.Params()
+	cfg := s.chain.Config()
+	var counts [psys.MaxColors]int
+	k := cfg.NumColors()
+	for i := 0; i < k; i++ {
+		counts[i] = cfg.ColorCount(psys.Color(i))
+	}
+	rec.SetDerivation(params.Lambda, params.Gamma, counts[:k])
+}
+
 // Run is the single entry point behind the older RunSteps, RunContext,
 // RunWith and RunWithContext, which survive as thin wrappers.
 func (s *System) Run(ctx context.Context, spec RunSpec) (uint64, error) {
@@ -362,6 +391,9 @@ func (s *System) Run(ctx context.Context, spec RunSpec) (uint64, error) {
 			s.chain.SetProbe(spec.Telemetry.Probe)
 		}
 		rec = spec.Telemetry.Recorder
+	}
+	if rec != nil {
+		s.deriveTrace(rec)
 	}
 	if spec.Observer == nil && rec == nil {
 		return s.runCheckpointed(ctx, spec.Steps)
@@ -439,6 +471,9 @@ func (s *System) runSharded(ctx context.Context, spec RunSpec) (uint64, error) {
 			}
 		}
 		rec = spec.Telemetry.Recorder
+	}
+	if rec != nil {
+		s.deriveTrace(rec)
 	}
 
 	sample := func() Snapshot {
@@ -635,16 +670,93 @@ func (s *System) SetAutoCheckpoint(path string, every uint64) {
 	s.ckptPath, s.ckptEvery = path, every
 }
 
-// The checkpoint surface comes in three symmetric pairs over one codec:
+// The checkpoint surface comes in three symmetric pairs:
 //
 //	Checkpoint        / Restore      — []byte
 //	WriteCheckpointTo / RestoreFrom  — io.Writer / io.Reader
 //	WriteCheckpoint   / RestoreFile  — filesystem path (atomic write)
 //
-// Every pair serializes exactly the same JSON document, so state written
-// through any of them restores through any other — a job server can stream
-// a checkpoint over HTTP, persist it to disk, and resume from either copy.
-// See Example (Checkpoint).
+// The writer pairs emit the snapbin binary wire format inside the seal
+// integrity envelope; Checkpoint keeps producing the documented JSON
+// interchange document. Every reader sniffs — envelope magic, then frame
+// magic — so state written through any writer (either format, any
+// release) restores through any reader: a job server can stream a
+// checkpoint over HTTP, persist it to disk, and resume from either copy.
+// `sops -convert` translates between the two formats losslessly. See
+// Example (Checkpoint).
+
+// encodeBinaryCheckpoint encodes the chain state as a sealed snapbin
+// frame into the System's reusable scratch: no allocation at steady
+// state. The returned slice is valid until the next encode.
+func (s *System) encodeBinaryCheckpoint() ([]byte, error) {
+	p := s.chain.Params()
+	st := s.chain.Stats()
+	s.cpView.Lambda, s.cpView.Gamma = p.Lambda, p.Gamma
+	s.cpView.DisableSwaps, s.cpView.Seed = p.DisableSwaps, p.Seed
+	s.cpView.Steps, s.cpView.Moves = st.Steps, st.Moves
+	s.cpView.Swaps, s.cpView.Rejected = st.Swaps, st.Rejected
+	s.cpView.Rng = s.chain.AppendRngState(s.cpView.Rng[:0])
+	s.cpView.Config = s.chain.Config()
+	s.cpView.Order = s.chain.Positions()
+	frame, err := s.enc.EncodeCheckpoint(&s.cpView)
+	if err != nil {
+		return nil, fmt.Errorf("sops: encode checkpoint: %w", err)
+	}
+	s.sealed = seal.AppendEncode(s.sealed[:0], frame)
+	return s.sealed, nil
+}
+
+// restoreBinary rebuilds a System from a bare snapbin checkpoint frame.
+func restoreBinary(data []byte, th *Thresholds) (*System, error) {
+	bcp, err := snapbin.DecodeCheckpoint(data)
+	if err != nil {
+		return nil, fmt.Errorf("sops: decode checkpoint: %w", err)
+	}
+	if len(bcp.Rng) != 32 {
+		return nil, fmt.Errorf("sops: decode checkpoint: rng state is %d bytes, want 32", len(bcp.Rng))
+	}
+	order := make([][2]int, len(bcp.Order))
+	for i, p := range bcp.Order {
+		order[i] = [2]int{p.Q, p.R}
+	}
+	cp := core.Checkpoint{
+		Params: core.Params{
+			Lambda:       bcp.Lambda,
+			Gamma:        bcp.Gamma,
+			DisableSwaps: bcp.DisableSwaps,
+			Seed:         bcp.Seed,
+		},
+		Stats: core.Stats{
+			Steps:    bcp.Steps,
+			Moves:    bcp.Moves,
+			Swaps:    bcp.Swaps,
+			Rejected: bcp.Rejected,
+		},
+		Rng:    hexEncode(bcp.Rng),
+		Config: bcp.Config,
+		Order:  order,
+	}
+	chain, err := core.Resume(&cp)
+	if err != nil {
+		return nil, fmt.Errorf("sops: %w", err)
+	}
+	thresholds := metrics.DefaultThresholds()
+	if th != nil {
+		thresholds = *th
+	}
+	return &System{chain: chain, th: thresholds, meter: metrics.NewMeter(thresholds)}, nil
+}
+
+// hexEncode renders b as lowercase hex — the textual rng codec of the
+// JSON checkpoint document.
+func hexEncode(b []byte) string {
+	const digits = "0123456789abcdef"
+	out := make([]byte, 2*len(b))
+	for i, v := range b {
+		out[2*i], out[2*i+1] = digits[v>>4], digits[v&0xf]
+	}
+	return string(out)
+}
 
 // WriteCheckpoint atomically writes the System's checkpoint (see
 // Checkpoint) to path inside an integrity envelope: the sealed state is
@@ -655,21 +767,39 @@ func (s *System) SetAutoCheckpoint(path string, every uint64) {
 // the trajectory. The file previously at path is kept as path+".prev",
 // the last-good generation RestoreFile falls back to.
 func (s *System) WriteCheckpoint(path string) error {
-	data, err := s.Checkpoint()
+	if !checkpointBinary {
+		data, err := s.Checkpoint()
+		if err != nil {
+			return err
+		}
+		if err := seal.WriteFile(path, data, 0o644); err != nil {
+			return fmt.Errorf("sops: write checkpoint: %w", err)
+		}
+		return nil
+	}
+	sealed, err := s.encodeBinaryCheckpoint()
 	if err != nil {
 		return err
 	}
-	if err := seal.WriteFile(path, data, 0o644); err != nil {
+	if err := seal.WriteSealed(path, sealed, 0o644); err != nil {
 		return fmt.Errorf("sops: write checkpoint: %w", err)
 	}
 	return nil
 }
 
-// WriteCheckpointTo writes the System's checkpoint (see Checkpoint) to w.
-// Unlike WriteCheckpoint it makes no atomicity promise — that is the
-// stream's concern — which is what a network or pipe destination wants.
+// WriteCheckpointTo writes the System's checkpoint to w as one sealed
+// binary frame (the same bytes WriteCheckpoint puts on disk). Unlike
+// WriteCheckpoint it makes no atomicity promise — that is the stream's
+// concern — which is what a network or pipe destination wants. The write
+// itself allocates nothing at steady state.
 func (s *System) WriteCheckpointTo(w io.Writer) error {
-	data, err := s.Checkpoint()
+	var data []byte
+	var err error
+	if checkpointBinary {
+		data, err = s.encodeBinaryCheckpoint()
+	} else {
+		data, err = s.Checkpoint()
+	}
 	if err != nil {
 		return err
 	}
@@ -717,12 +847,13 @@ func (s *System) Checkpoint() ([]byte, error) {
 	return cp.MarshalJSON()
 }
 
-// Restore rebuilds a System from a Checkpoint blob. Blobs carrying the
-// integrity envelope (read whole from a file WriteCheckpoint produced) are
-// verified and unwrapped first, so every checkpoint reader accepts every
-// checkpoint writer's output; bare JSON from Checkpoint or
-// WriteCheckpointTo restores as before. th overrides the
-// phase-classification thresholds (nil for defaults).
+// Restore rebuilds a System from a Checkpoint blob. The format is
+// sniffed: blobs carrying the integrity envelope (read whole from a file
+// WriteCheckpoint produced) are verified and unwrapped first, then a
+// snapbin frame magic selects the binary decoder and anything else is
+// decoded as the JSON document — so every checkpoint reader accepts every
+// checkpoint writer's output, either format, any release. th overrides
+// the phase-classification thresholds (nil for defaults).
 func Restore(data []byte, th *Thresholds) (*System, error) {
 	if seal.Sealed(data) {
 		payload, err := seal.Decode(data)
@@ -730,6 +861,9 @@ func Restore(data []byte, th *Thresholds) (*System, error) {
 			return nil, fmt.Errorf("sops: checkpoint: %w", err)
 		}
 		data = payload
+	}
+	if snapbin.IsFrame(data) {
+		return restoreBinary(data, th)
 	}
 	var cp core.Checkpoint
 	if err := cp.UnmarshalJSON(data); err != nil {

@@ -10,7 +10,14 @@ import (
 	"sync"
 
 	"sops/internal/seal"
+	"sops/internal/snapbin"
 )
+
+// manifestBinary selects the sweep-manifest wire format: true writes the
+// packed snapbin manifest frame, false the legacy JSON document. Both are
+// wrapped in the seal envelope and load sniffs which one it is reading, so
+// the hook only affects new writes; flipping it mid-sweep is safe.
+var manifestBinary = true
 
 // ErrSweepCheckpointMismatch reports a sweep manifest that was written
 // under a different SweepSpec than the one trying to resume from it.
@@ -64,6 +71,8 @@ type sweepCheckpointer struct {
 	recorded   map[int]bool
 	attempts   map[int]int
 	sinceWrite int
+	enc        snapbin.Encoder // reusable binary-manifest encode scratch
+	sealed     []byte
 }
 
 // newSweepCheckpointer builds the checkpointer for spec, or nil when the
@@ -128,21 +137,17 @@ func (ck *sweepCheckpointer) load() (map[int]sweepCellRecord, error) {
 	case err != nil:
 		return nil, fmt.Errorf("sops: read sweep checkpoint: %w", err)
 	}
-	var m sweepManifest
-	if err := json.Unmarshal(data, &m); err != nil {
+	key, recs, err := decodeManifestPayload(data)
+	if err != nil {
 		return nil, fmt.Errorf("sops: decode sweep checkpoint: %w", err)
 	}
-	stored := new(bytes.Buffer)
-	if err := json.Compact(stored, m.Key); err != nil {
-		return nil, fmt.Errorf("sops: decode sweep checkpoint key: %w", err)
-	}
-	if !bytes.Equal(stored.Bytes(), ck.key) {
+	if !bytes.Equal(key, ck.key) {
 		return nil, ErrSweepCheckpointMismatch
 	}
-	completed := make(map[int]sweepCellRecord, len(m.Done))
+	completed := make(map[int]sweepCellRecord, len(recs))
 	ck.mu.Lock()
 	defer ck.mu.Unlock()
-	for _, rec := range m.Done {
+	for _, rec := range recs {
 		if ck.recorded[rec.Index] {
 			continue
 		}
@@ -151,6 +156,66 @@ func (ck *sweepCheckpointer) load() (map[int]sweepCellRecord, error) {
 		completed[rec.Index] = rec
 	}
 	return completed, nil
+}
+
+// decodeManifestPayload parses an unsealed sweep manifest in either wire
+// format, sniffing the snapbin magic, and returns the canonical spec key
+// it was written under plus its completed cells.
+func decodeManifestPayload(data []byte) ([]byte, []sweepCellRecord, error) {
+	if snapbin.IsFrame(data) {
+		key, mrecs, err := snapbin.DecodeManifest(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		recs := make([]sweepCellRecord, len(mrecs))
+		for i, mr := range mrecs {
+			recs[i] = sweepCellRecord{Index: mr.Index, Retries: mr.Retries, Snap: mr.Snap}
+		}
+		return key, recs, nil
+	}
+	var m sweepManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, nil, err
+	}
+	stored := new(bytes.Buffer)
+	if err := json.Compact(stored, m.Key); err != nil {
+		return nil, nil, fmt.Errorf("spec key: %w", err)
+	}
+	return stored.Bytes(), m.Done, nil
+}
+
+// encodeManifestPayload renders a sweep manifest in the requested wire
+// format, unsealed.
+func encodeManifestPayload(key []byte, recs []sweepCellRecord, binary bool) ([]byte, error) {
+	if binary {
+		var enc snapbin.Encoder
+		return enc.EncodeManifest(key, len(recs), func(i int) snapbin.ManifestRecord {
+			rec := &recs[i]
+			return snapbin.ManifestRecord{Index: rec.Index, Retries: rec.Retries, Snap: rec.Snap}
+		}), nil
+	}
+	data, err := json.Marshal(sweepManifest{Key: key, Done: recs})
+	if err != nil {
+		return nil, fmt.Errorf("encode manifest: %w", err)
+	}
+	return data, nil
+}
+
+// ConvertSweepManifest transcodes an unsealed sweep-manifest payload (from
+// inside its seal envelope) to the requested wire format: binary selects
+// the packed snapbin manifest frame, otherwise the JSON document. The
+// conversion is lossless in both directions — resuming a sweep from the
+// converted manifest completes exactly the cells the original recorded.
+func ConvertSweepManifest(payload []byte, binary bool) ([]byte, error) {
+	key, recs, err := decodeManifestPayload(payload)
+	if err != nil {
+		return nil, fmt.Errorf("sops: decode sweep manifest: %w", err)
+	}
+	out, err := encodeManifestPayload(key, recs, binary)
+	if err != nil {
+		return nil, fmt.Errorf("sops: %w", err)
+	}
+	return out, nil
 }
 
 // beginAttempt counts an execution attempt of cell i, so the manifest can
@@ -218,8 +283,22 @@ func (ck *sweepCheckpointer) flush() error {
 }
 
 // writeLocked atomically replaces the sealed manifest, keeping the
-// previous generation; ck.mu must be held.
+// previous generation; ck.mu must be held. The binary format encodes into
+// a scratch buffer the checkpointer reuses across writes, so the periodic
+// manifest rewrite does not allocate once the buffer has grown to size.
 func (ck *sweepCheckpointer) writeLocked() error {
+	if manifestBinary {
+		frame := ck.enc.EncodeManifest(ck.key, len(ck.done), func(i int) snapbin.ManifestRecord {
+			rec := &ck.done[i]
+			return snapbin.ManifestRecord{Index: rec.Index, Retries: rec.Retries, Snap: rec.Snap}
+		})
+		ck.sealed = seal.AppendEncode(ck.sealed[:0], frame)
+		if err := seal.WriteSealed(ck.path, ck.sealed, 0o644); err != nil {
+			return fmt.Errorf("sops: write sweep checkpoint: %w", err)
+		}
+		ck.sinceWrite = 0
+		return nil
+	}
 	data, err := json.Marshal(sweepManifest{Key: ck.key, Done: ck.done})
 	if err != nil {
 		return fmt.Errorf("sops: encode sweep checkpoint: %w", err)
