@@ -33,7 +33,7 @@ func TestWriteCheckpointRestoreFile(t *testing.T) {
 	}
 }
 
-// TestAutoCheckpoint: RunContext writes checkpoints on its configured
+// TestAutoCheckpoint: Run writes checkpoints on its configured
 // interval, and a System resumed from the mid-run checkpoint finishes on
 // the same trajectory as the uninterrupted run.
 func TestAutoCheckpoint(t *testing.T) {
@@ -43,7 +43,7 @@ func TestAutoCheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	sys.SetAutoCheckpoint(path, 10_000)
-	if _, err := sys.RunContext(context.Background(), 25_000); err != nil {
+	if _, err := sys.Run(context.Background(), RunSpec{Steps: 25_000}); err != nil {
 		t.Fatal(err)
 	}
 	// The final interval flush makes the file current with the live System.

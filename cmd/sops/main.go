@@ -39,6 +39,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 
 	"sops"
 	"sops/internal/atomicio"
@@ -65,8 +67,51 @@ func friendly(err error) string {
 		return "-gamma must be positive and finite"
 	case errors.Is(err, sops.ErrBadLayout):
 		return "initial layout must be the spiral default or -line"
+	case errors.Is(err, sops.ErrUnknownModel):
+		return "-model must name a registered model; see -list-models"
+	case errors.Is(err, sops.ErrBadCoupling):
+		return "-couplings must list name=value pairs the -model declares; see -list-models"
 	}
 	return err.Error()
+}
+
+// parseCouplings parses the -couplings flag: comma-separated name=value
+// pairs, e.g. "lambda=4,alpha=6".
+func parseCouplings(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]float64)
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("-couplings entry %q is not name=value", pair)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-couplings %s: %v", name, err)
+		}
+		out[strings.TrimSpace(name)] = v
+	}
+	return out, nil
+}
+
+// listModels prints the registered models, their couplings and their
+// observables.
+func listModels() {
+	for _, m := range sops.Models() {
+		fmt.Printf("%s\n", m.Name)
+		for _, c := range m.Couplings {
+			kind := ""
+			if c.Integer {
+				kind = ", integer"
+			}
+			fmt.Printf("  coupling %-12s (default %g%s)\n", c.Name, c.Default, kind)
+		}
+		for _, o := range m.Observables {
+			fmt.Printf("  observable %s\n", o)
+		}
+	}
 }
 
 func run() error {
@@ -75,6 +120,9 @@ func run() error {
 		k         = flag.Int("k", 2, "number of color classes (split evenly)")
 		lambda    = flag.Float64("lambda", 4, "neighbor bias λ")
 		gamma     = flag.Float64("gamma", 4, "like-color bias γ")
+		model     = flag.String("model", "", "dynamics model to run (default separation; see -list-models)")
+		couplings = flag.String("couplings", "", "model coupling overrides as name=value,... (e.g. alpha=6,beta=2)")
+		listM     = flag.Bool("list-models", false, "list registered models with their couplings and observables, then exit")
 		iters     = flag.Uint64("iters", 5_000_000, "chain iterations")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		line      = flag.Bool("line", false, "start from a line instead of a spiral")
@@ -105,8 +153,16 @@ func run() error {
 	)
 	flag.Parse()
 
+	if *listM {
+		listModels()
+		return nil
+	}
 	if *convert != "" {
 		return runConvert(*convert, *outPath)
+	}
+	coupMap, err := parseCouplings(*couplings)
+	if err != nil {
+		return err
 	}
 
 	counts := make([]int, *k)
@@ -121,6 +177,9 @@ func run() error {
 		layout = sops.LayoutLine
 	}
 	if *workers > 0 {
+		if *model != "" && *model != "separation" {
+			return fmt.Errorf("the distributed amoebot runtime runs only the separation model (got -model %s)", *model)
+		}
 		faults := sops.FaultOptions{
 			Seed:      *faultSeed,
 			CrashProb: *crashProb,
@@ -131,7 +190,6 @@ func run() error {
 		return runDistributed(counts, layout, *separated, *lambda, *gamma, *noswap, *seed, *iters, *workers, *ascii, faults, *auditEvery, *listen)
 	}
 	var sys *sops.System
-	var err error
 	if *resume {
 		if *ckpt == "" {
 			return fmt.Errorf("-resume requires -checkpoint")
@@ -147,6 +205,8 @@ func run() error {
 			Separated:    *separated,
 			Lambda:       *lambda,
 			Gamma:        *gamma,
+			Model:        *model,
+			Couplings:    coupMap,
 			DisableSwaps: *noswap,
 			Seed:         *seed,
 		})
@@ -242,6 +302,14 @@ func run() error {
 	fmt.Printf("accepted: %d moves, %d swaps, %d rejected (%.1f%% acceptance)\n",
 		st.Moves, st.Swaps, st.Rejected,
 		100*float64(st.Moves+st.Swaps)/float64(st.Steps))
+	if name := sys.Model(); name != "separation" {
+		names, vals := sys.Observables()
+		parts := make([]string, len(names))
+		for i := range names {
+			parts[i] = fmt.Sprintf("%s=%.4f", names[i], vals[i])
+		}
+		fmt.Printf("model %s: %s\n", name, strings.Join(parts, " "))
+	}
 	if *ascii {
 		fmt.Println(sys.ASCII())
 	}

@@ -44,9 +44,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"sops"
 	"sops/internal/failfs"
 	"sops/internal/jobs"
 	"sops/internal/telemetry"
@@ -108,11 +110,18 @@ func main() {
 		log.Fatal(err)
 	}
 
+	models := make([]string, 0, 4)
+	for _, mi := range sops.Models() {
+		models = append(models, mi.Name)
+	}
+	log.Printf("models registered: %s", strings.Join(models, ", "))
+
 	debug := telemetry.NewServer(telemetry.Sources{
 		Health: m.Health(),
 		Info: map[string]any{
 			"service": "sopsd",
 			"dir":     *dir,
+			"models":  models,
 		},
 	})
 	mux := http.NewServeMux()

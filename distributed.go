@@ -88,16 +88,6 @@ func (d *Distributed) RunContext(ctx context.Context, activations uint64, worker
 	return d.run(ctx, activations, workers, d.sched.Uint64())
 }
 
-// Run executes the activation budget with an explicitly seeded scheduler
-// and returns the accepted move and swap counts.
-//
-// Deprecated: use RunContext, which derives scheduler seeds from
-// Options.Seed and supports cancellation.
-func (d *Distributed) Run(activations uint64, workers int, seed uint64) (moves, swaps uint64, err error) {
-	_, moves, swaps, err = d.run(context.Background(), activations, workers, seed)
-	return moves, swaps, err
-}
-
 // run dispatches to the sequential or concurrent scheduler and accounts
 // for the activations performed.
 func (d *Distributed) run(ctx context.Context, activations uint64, workers int, seed uint64) (performed, moves, swaps uint64, err error) {

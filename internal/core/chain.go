@@ -123,6 +123,25 @@ type Chain struct {
 	// tables holds the precomputed power and integer acceptance
 	// threshold tables of the Metropolis filters (see thresholds.go).
 	tables acceptTables
+
+	// model is the dynamics the chain runs (model.go). fast marks the
+	// built-in separation model, which Step routes through the original
+	// devirtualized kernel; every other model runs the generic table-driven
+	// path below. coup is the full coupling vector in model order; coupNow
+	// aliases coup for unscheduled models and holds the scheduler's
+	// effective energy couplings otherwise. mt is the generic acceptance
+	// table (built only when the generic path is live), dE the reusable
+	// exponent scratch, and gather a persistent gather target so passing
+	// its address through the Model interface never allocates per step.
+	model   Model
+	fast    bool
+	coup    []float64
+	coupNow []float64
+	mt      modelTables
+	dE      []int8
+	sched   Scheduler
+	nextReb uint64 // absolute step at which effective couplings change next
+	gather  psys.PairGather
 }
 
 // ErrEmptyConfig is returned when constructing a chain with no particles.
@@ -132,10 +151,51 @@ var ErrEmptyConfig = errors.New("core: configuration has no particles")
 // connected; M requires a connected start (Lemma 6).
 var ErrDisconnected = errors.New("core: initial configuration is disconnected")
 
-// New creates a chain operating on cfg. The chain takes ownership of cfg:
-// callers must not mutate it while the chain runs (use Snapshot for copies).
+// New creates a chain running the paper's separation dynamics on cfg. The
+// chain takes ownership of cfg: callers must not mutate it while the chain
+// runs (use Snapshot for copies).
 func New(cfg *psys.Config, params Params) (*Chain, error) {
+	return NewWithModel(cfg, params, Separation, []float64{params.Lambda, params.Gamma})
+}
+
+// NewWithModel creates a chain running model m on cfg with the given full
+// coupling vector (nil selects the model's defaults). params supplies the
+// seed and the swap switch; its Lambda/Gamma are normalized from the
+// model's couplings of those names (1 when absent) so legacy surfaces
+// reading Params stay meaningful. The built-in separation model runs the
+// original devirtualized kernel; any other model runs the generic
+// table-driven path, with scheduled models (Scheduler) rebuilding their
+// acceptance tables at stage boundaries.
+func NewWithModel(cfg *psys.Config, params Params, m Model, coup []float64) (*Chain, error) {
+	if m == nil {
+		m = Separation
+	}
+	if b, ok := m.(Binder); ok {
+		m = b.Bind(cfg.NumColors())
+	}
+	if coup == nil {
+		coup = DefaultCouplings(m)
+	} else {
+		coup = append([]float64(nil), coup...)
+	}
+	_, fast := m.(separationModel)
+	if fast {
+		params.Lambda, params.Gamma = coup[0], coup[1]
+	} else {
+		params.Lambda, params.Gamma = 1, 1
+		if i := CouplingIndex(m, "lambda"); i >= 0 {
+			params.Lambda = coup[i]
+		}
+		if i := CouplingIndex(m, "gamma"); i >= 0 {
+			params.Gamma = coup[i]
+		}
+	}
+	// Validate params first so the fast path keeps its legacy error text,
+	// then the full coupling vector (which also covers non-energy knobs).
 	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ValidateCouplings(m, coup); err != nil {
 		return nil, err
 	}
 	if cfg.N() == 0 {
@@ -148,11 +208,76 @@ func New(cfg *psys.Config, params Params) (*Chain, error) {
 		cfg:    cfg,
 		params: params,
 		rand:   rng.NewBuffered(params.Seed),
+		model:  m,
+		fast:   fast,
+		coup:   coup,
 	}
 	c.positions = cfg.Points()
 	c.reindex()
-	c.rebuildTables()
+	if c.fast {
+		c.coupNow = c.coup
+		c.nextReb = math.MaxUint64
+		c.rebuildTables()
+		return c, nil
+	}
+	c.dE = make([]int8, m.NumExponents())
+	if s, ok := m.(Scheduler); ok {
+		c.sched = s
+		c.coupNow = append([]float64(nil), c.coup...)
+		c.syncSchedule()
+	} else {
+		c.coupNow = c.coup
+		c.nextReb = math.MaxUint64
+		c.mt.rebuild(c.model, c.coupNow[:m.NumExponents()])
+	}
 	return c, nil
+}
+
+// syncSchedule recomputes the effective energy couplings for the chain's
+// current absolute step count and rebuilds the acceptance tables. Called
+// at construction, after a checkpoint restore, and from the step loop
+// when the scheduler's announced boundary is crossed.
+func (c *Chain) syncSchedule() {
+	k := c.model.NumExponents()
+	c.nextReb = c.sched.Effective(c.coup, c.stats.Steps, c.coupNow[:k])
+	c.mt.rebuild(c.model, c.coupNow[:k])
+}
+
+// forceGeneric reroutes a chain off the devirtualized separation fast
+// path and onto the generic model kernel. Differential tests use it to
+// pin the two paths bit-identical; it is not meaningful for chains
+// already on the generic path.
+func (c *Chain) forceGeneric() {
+	if !c.fast {
+		return
+	}
+	c.fast = false
+	c.dE = make([]int8, c.model.NumExponents())
+	c.mt.rebuild(c.model, c.coupNow[:c.model.NumExponents()])
+}
+
+// Model returns the dynamics the chain runs.
+func (c *Chain) Model() Model { return c.model }
+
+// ModelName returns the registry name of the chain's dynamics.
+func (c *Chain) ModelName() string { return c.model.Name() }
+
+// Couplings returns a copy of the chain's full (nominal) coupling vector,
+// in the model's declared order.
+func (c *Chain) Couplings() []float64 { return append([]float64(nil), c.coup...) }
+
+// Observables evaluates the model's exported order parameters over the
+// live configuration, or (nil, nil) for a model that ships none. Values
+// are computed at the effective couplings in force.
+func (c *Chain) Observables() ([]string, []float64) {
+	o, ok := c.model.(Observables)
+	if !ok {
+		return nil, nil
+	}
+	names := o.ObservableNames()
+	out := make([]float64, len(names))
+	o.Observe(c.cfg, c.coupNow, out)
+	return names, out
 }
 
 // reindex rebuilds posIndex over the configuration's current storage
@@ -253,6 +378,9 @@ func (c *Chain) N() int { return len(c.positions) }
 // (Degree/Property4/Property5/Float64), which the committed golden
 // trajectories and the psys differential fuzz targets enforce.
 func (c *Chain) Step() Outcome {
+	if !c.fast {
+		return c.stepModel()
+	}
 	c.stats.Steps++
 	if c.probe != nil && c.stats.Steps-c.probeBase.Steps >= probeBatch {
 		c.FlushProbe()
@@ -275,6 +403,79 @@ func (c *Chain) Step() Outcome {
 	return Rejected
 }
 
+// stepModel is Step for a chain on the generic model kernel: the same
+// draw sequence and proposal structure as the fast path, with validity
+// probed from the model-built tables and exponents extracted through the
+// Model interface into the chain's scratch vector. The gather lands in a
+// persistent chain field so passing its address through the interface
+// never allocates. Scheduled models rebuild their acceptance tables when
+// the step counter crosses the scheduler's announced boundary (Steps was
+// already incremented, hence the −1).
+func (c *Chain) stepModel() Outcome {
+	c.stats.Steps++
+	if c.probe != nil && c.stats.Steps-c.probeBase.Steps >= probeBatch {
+		c.FlushProbe()
+	}
+	if c.stats.Steps-1 >= c.nextReb {
+		c.syncSchedule()
+	}
+	l := c.positions[c.rand.Intn(len(c.positions))]
+	dir := lattice.Direction(c.rand.Intn(lattice.NumDirections))
+	c.gather = c.cfg.GatherPair(l, dir)
+	g := &c.gather
+
+	if _, occupied := g.LpColor(); occupied {
+		if o := c.trySwapModel(l, l.Neighbor(dir), g); o != Rejected {
+			return o
+		}
+		c.stats.Rejected++
+		return Rejected
+	}
+	if o := c.tryMoveModel(l, l.Neighbor(dir), g); o != Rejected {
+		return o
+	}
+	c.stats.Rejected++
+	return Rejected
+}
+
+// tryMoveModel is tryMove on the generic kernel.
+func (c *Chain) tryMoveModel(l, lp lattice.Point, g *psys.PairGather) Outcome {
+	if !c.mt.moveOK[g.Dir()][g.Occ()] {
+		return Rejected
+	}
+	c.model.MoveExponents(g, c.dE)
+	if !c.accept(c.mt.thresh[c.mt.flat(c.dE)]) {
+		return Rejected
+	}
+	c.applyMove(l, lp)
+	return Moved
+}
+
+// trySwapModel is trySwap on the generic kernel. The model may veto the
+// swap outright (no draw consumed); an accepted same-color swap is a
+// no-op on the configuration and counts as Rejected, as on the fast path.
+func (c *Chain) trySwapModel(l, lp lattice.Point, g *psys.PairGather) Outcome {
+	if c.params.DisableSwaps {
+		return Rejected
+	}
+	if !c.model.SwapExponents(g, c.dE) {
+		return Rejected
+	}
+	if !c.accept(c.mt.thresh[c.mt.flat(c.dE)]) {
+		return Rejected
+	}
+	ci, _ := g.LColor()
+	cj, _ := g.LpColor()
+	if ci == cj {
+		return Rejected
+	}
+	if err := c.cfg.ApplySwap(l, lp); err != nil {
+		panic("core: invariant violation applying swap: " + err.Error())
+	}
+	c.stats.Swaps++
+	return Swapped
+}
+
 // tryMove implements steps 3–8 of Algorithm 1: P expands toward the
 // unoccupied node lp and contracts there if the movement conditions and the
 // Metropolis filter allow, otherwise contracts back to l.
@@ -286,6 +487,13 @@ func (c *Chain) tryMove(l, lp lattice.Point, g *psys.PairGather) Outcome {
 	if !c.accept(c.tables.moveThreshold(dLambda, dGamma)) {
 		return Rejected // condition (iii)
 	}
+	c.applyMove(l, lp)
+	return Moved
+}
+
+// applyMove commits an accepted move, maintaining the particle index and
+// counters. Shared by the fast and generic kernels.
+func (c *Chain) applyMove(l, lp lattice.Point) {
 	idx := c.posIndex[c.posWin.Index(l)]
 	if err := c.cfg.ApplyMove(l, lp); err != nil {
 		panic("core: invariant violation applying validated move: " + err.Error())
@@ -298,7 +506,6 @@ func (c *Chain) tryMove(l, lp lattice.Point, g *psys.PairGather) Outcome {
 		c.reindex()
 	}
 	c.stats.Moves++
-	return Moved
 }
 
 // trySwap implements steps 9–10 of Algorithm 1: P at l and Q at lp exchange

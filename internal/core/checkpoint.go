@@ -22,6 +22,15 @@ type Checkpoint struct {
 	// slice). Uniform particle choice draws an index into this slice, so
 	// trajectory-exact resumption must preserve it.
 	Order [][2]int `json:"order"`
+	// Model and Couplings identify the dynamics for non-separation chains.
+	// Both are omitted for the separation model — its couplings live in
+	// Params — so separation checkpoints are byte-identical to pre-registry
+	// documents, and documents without the fields resume as separation.
+	// Scheduled models carry no schedule state here: effective couplings
+	// are a pure function of Couplings and Stats.Steps, recomputed on
+	// resume.
+	Model     string    `json:"model,omitempty"`
+	Couplings []float64 `json:"couplings,omitempty"`
 }
 
 // Checkpoint captures the chain's complete state.
@@ -34,13 +43,18 @@ func (c *Chain) Checkpoint() (*Checkpoint, error) {
 	for i, p := range c.positions {
 		order[i] = [2]int{p.Q, p.R}
 	}
-	return &Checkpoint{
+	cp := &Checkpoint{
 		Params: c.params,
 		Stats:  c.stats,
 		Rng:    string(state),
 		Config: c.Snapshot(),
 		Order:  order,
-	}, nil
+	}
+	if !c.fast {
+		cp.Model = c.model.Name()
+		cp.Couplings = c.Couplings()
+	}
+	return cp, nil
 }
 
 // MarshalJSON encodes the checkpoint (Params is flat; the rng state is
@@ -63,7 +77,15 @@ func Resume(cp *Checkpoint) (*Chain, error) {
 	if cp.Config == nil {
 		return nil, fmt.Errorf("core: checkpoint has no configuration")
 	}
-	ch, err := New(cp.Config.Clone(), cp.Params)
+	model, err := LookupModel(cp.Model)
+	if err != nil {
+		return nil, err
+	}
+	coup := cp.Couplings
+	if cp.Model == "" || cp.Model == "separation" {
+		coup = []float64{cp.Params.Lambda, cp.Params.Gamma}
+	}
+	ch, err := NewWithModel(cp.Config.Clone(), cp.Params, model, coup)
 	if err != nil {
 		return nil, err
 	}
@@ -96,6 +118,12 @@ func Resume(cp *Checkpoint) (*Chain, error) {
 		ch.reindex()
 	}
 	ch.stats = cp.Stats
+	if ch.sched != nil {
+		// Effective couplings are a function of the absolute step count,
+		// which was just restored: recompute them so the resumed chain's
+		// acceptance tables match the checkpointed chain's exactly.
+		ch.syncSchedule()
+	}
 	return ch, nil
 }
 
@@ -105,10 +133,42 @@ func Resume(cp *Checkpoint) (*Chain, error) {
 // escape the metastability visible in long simulation runs. The stationary
 // characterization of Lemma 9 applies only while parameters are held fixed.
 func (c *Chain) SetParams(params Params) error {
+	if !c.fast {
+		return fmt.Errorf("core: SetParams applies only to the separation model (chain runs %q); use SetCouplings", c.model.Name())
+	}
 	if err := params.Validate(); err != nil {
 		return err
 	}
 	c.params = params
+	c.coup[0], c.coup[1] = params.Lambda, params.Gamma
 	c.rebuildTables()
+	return nil
+}
+
+// SetCouplings replaces the chain's full coupling vector mid-run, keeping
+// the configuration, statistics and random stream, and rebuilding the
+// acceptance tables — SetParams generalized to any model. For scheduled
+// models the new nominal couplings take effect through the schedule.
+func (c *Chain) SetCouplings(coup []float64) error {
+	if err := ValidateCouplings(c.model, coup); err != nil {
+		return err
+	}
+	copy(c.coup, coup)
+	if c.fast {
+		c.params.Lambda, c.params.Gamma = coup[0], coup[1]
+		c.rebuildTables()
+		return nil
+	}
+	if i := CouplingIndex(c.model, "lambda"); i >= 0 {
+		c.params.Lambda = coup[i]
+	}
+	if i := CouplingIndex(c.model, "gamma"); i >= 0 {
+		c.params.Gamma = coup[i]
+	}
+	if c.sched != nil {
+		c.syncSchedule()
+	} else {
+		c.mt.rebuild(c.model, c.coupNow[:c.model.NumExponents()])
+	}
 	return nil
 }

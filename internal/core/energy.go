@@ -16,8 +16,9 @@ func Energy(cfg *psys.Config, params Params) float64 {
 		float64(cfg.HomEdges())*math.Log(params.Gamma)
 }
 
-// Energy returns the Hamiltonian of the chain's current configuration.
-func (c *Chain) Energy() float64 { return Energy(c.cfg, c.params) }
+// Energy returns the Hamiltonian of the chain's current configuration
+// under its model, at the effective couplings in force.
+func (c *Chain) Energy() float64 { return c.model.Energy(c.cfg, c.coupNow) }
 
 // EnergyStore is Energy over a tile store, from its O(1) cached counts.
 func EnergyStore(ts *psys.TileStore, params Params) float64 {
@@ -25,5 +26,6 @@ func EnergyStore(ts *psys.TileStore, params Params) float64 {
 		float64(ts.HomEdges())*math.Log(params.Gamma)
 }
 
-// Energy returns the Hamiltonian of the executor's current configuration.
-func (s *Sharded) Energy() float64 { return EnergyStore(s.store, s.params) }
+// Energy returns the Hamiltonian of the executor's current configuration
+// under its model, at the effective couplings in force.
+func (s *Sharded) Energy() float64 { return s.model.Energy(s.store, s.coupNow) }

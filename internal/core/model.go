@@ -1,0 +1,313 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"sops/internal/lattice"
+	"sops/internal/psys"
+)
+
+// This file defines the pluggable-dynamics substrate: a Model is a local
+// Hamiltonian plus a move-validity predicate, expressed in exactly the
+// shape the table-driven kernel consumes. The kernel itself (chain.go,
+// sharded.go) stays table-driven for every model — at init it asks the
+// model for its validity decision on each of the 6×256 (direction, ring
+// occupancy) cells and for its coupling constants, and precomputes one
+// integer acceptance threshold per exponent vector, so a step under any
+// model is still: one gather, one table probe, a few popcounts, one
+// integer compare. The paper's separation dynamics (Algorithm 1) is the
+// first registered model and runs bit-identical to the pre-substrate
+// kernel; the alignment chain of Kedia–Oh–Randall and an annealed
+// compression→separation schedule prove the substrate opens new
+// workloads without touching the executors.
+
+// MaxModelExp bounds the magnitude of every exponent a model may return:
+// DeltaExponents results must lie in [-MaxModelExp, MaxModelExp]. The
+// per-proposal exponents of any pair Hamiltonian over the 8-cell ring are
+// within ±10 (two ±5 popcount differences), so the bound is not a real
+// restriction — it sizes the precomputed threshold tables.
+const MaxModelExp = maxExp
+
+// Coupling describes one named coupling constant of a model, in the order
+// the model's exponent vector and threshold tables use.
+type Coupling struct {
+	// Name identifies the coupling on every wire surface (Options JSON,
+	// sweep axes, CLI flags). By convention a coupling playing the role of
+	// the paper's λ or γ is named "lambda" resp. "gamma", which lets the
+	// legacy scalar option fields keep working for any model that has them.
+	Name string
+	// Default is the value used when the caller does not set the coupling.
+	Default float64
+	// Integer marks couplings that must hold a positive integer (schedule
+	// knobs such as stage counts); they never appear as energy exponents.
+	Integer bool
+}
+
+// ConfigView is the read-only occupancy interface models observe — both
+// *psys.Config (serial chain) and *psys.TileStore (sharded executor)
+// satisfy it, so a model's Energy and Observables run unchanged under
+// either executor.
+type ConfigView interface {
+	N() int
+	Edges() int
+	HomEdges() int
+	NumColors() int
+	ColorCount(col psys.Color) int
+	At(p lattice.Point) (psys.Color, bool)
+	ForEach(f func(p lattice.Point, col psys.Color))
+}
+
+// Model is a local stochastic dynamics: a validity predicate over packed
+// pair neighborhoods plus a Hamiltonian expressed as integer exponents
+// over named coupling constants. A proposal with exponent vector dE is
+// accepted by a Metropolis filter on Π_i coupling_i^dE_i; the kernel
+// precomputes that product's integer acceptance threshold for every
+// exponent vector at init, so implementations are consulted per step only
+// for the (cheap, popcount-shaped) exponent extraction.
+//
+// Implementations must be deterministic pure functions of their inputs
+// and safe for concurrent use — the sharded executor calls them from P
+// workers. Exponents must lie within ±MaxModelExp.
+type Model interface {
+	// Name is the registry key and the wire-format model tag.
+	Name() string
+	// Couplings lists the model's coupling constants in exponent order.
+	// The first NumExponents entries are the energy couplings; any
+	// remaining entries are non-energy knobs (schedules etc.).
+	Couplings() []Coupling
+	// NumExponents is the length of the exponent vectors MoveExponents
+	// and SwapExponents fill: the number of leading energy couplings.
+	NumExponents() int
+	// Valid reports whether a move proposal in direction dir with ring
+	// occupancy mask occ (target vacant) is permitted. It is consulted
+	// only at table-build time — per step the decision is a table probe.
+	Valid(dir lattice.Direction, occ uint8) bool
+	// MoveExponents fills dE (length NumExponents) with the Metropolis
+	// exponents of a move proposal. Called only when the move is Valid.
+	MoveExponents(g *psys.PairGather, dE []int8)
+	// SwapExponents fills dE with the exponents of a swap proposal, or
+	// returns false when the model does not permit the swap at all.
+	SwapExponents(g *psys.PairGather, dE []int8) bool
+	// Energy is the Hamiltonian value of a full configuration under the
+	// given energy-coupling values (length ≥ NumExponents); the chain's
+	// stationary distribution is π(σ) ∝ exp(−Energy(σ)).
+	Energy(v ConfigView, coup []float64) float64
+}
+
+// Binder is implemented by models that specialize to a configuration at
+// chain construction — e.g. reading its color count to fix the
+// orientation modulus. The executors call Bind once with the
+// configuration's color count and use the returned instance; the registry
+// holds the unbound prototype.
+type Binder interface {
+	Bind(numColors int) Model
+}
+
+// Scheduler is implemented by models whose effective energy couplings
+// change over the run (annealed schedules). Effective must be a pure
+// function of the nominal couplings and the absolute step count — that is
+// what makes schedules checkpoint-exact: a resumed chain recomputes the
+// identical effective couplings from its restored step counter, with no
+// separate schedule state to serialize.
+type Scheduler interface {
+	// Effective fills eff (length NumExponents) with the energy-coupling
+	// values in force at the given absolute step, reading nominal values
+	// from coup (the full coupling vector), and returns the first step
+	// strictly greater than step at which the effective values change
+	// next — math.MaxUint64 when they never change again.
+	Effective(coup []float64, step uint64, eff []float64) (next uint64)
+}
+
+// Observables is implemented by models that export per-model order
+// parameters through the telemetry funnel.
+type Observables interface {
+	// ObservableNames lists the observables, fixed per model.
+	ObservableNames() []string
+	// Observe fills out (length len(ObservableNames())) with the current
+	// values over v under energy couplings coup.
+	Observe(v ConfigView, coup []float64, out []float64)
+}
+
+// ErrUnknownModel reports a model name absent from the registry — e.g. a
+// wire document or flag naming a model this build does not ship.
+var ErrUnknownModel = errors.New("core: unknown model")
+
+// ErrBadCoupling reports a coupling value or name a model rejects.
+var ErrBadCoupling = errors.New("core: bad coupling")
+
+var (
+	modelMu  sync.RWMutex
+	modelReg = map[string]Model{}
+)
+
+// RegisterModel adds m to the model registry under m.Name(). It panics on
+// a duplicate or empty name, or on a model whose shape the kernel cannot
+// table-drive — registration is an init-time act.
+func RegisterModel(m Model) {
+	name := m.Name()
+	k := m.NumExponents()
+	if name == "" {
+		panic("core: RegisterModel with empty name")
+	}
+	if k < 1 || k > len(m.Couplings()) {
+		panic(fmt.Sprintf("core: model %q has %d exponents over %d couplings", name, k, len(m.Couplings())))
+	}
+	seen := map[string]bool{}
+	for _, c := range m.Couplings() {
+		if c.Name == "" || seen[c.Name] {
+			panic(fmt.Sprintf("core: model %q has duplicate or empty coupling name %q", name, c.Name))
+		}
+		seen[c.Name] = true
+	}
+	modelMu.Lock()
+	defer modelMu.Unlock()
+	if _, dup := modelReg[name]; dup {
+		panic(fmt.Sprintf("core: model %q registered twice", name))
+	}
+	modelReg[name] = m
+}
+
+// LookupModel resolves a model name. The empty string is the paper's
+// separation dynamics — wire documents from before the model registry
+// carry no model field and decode to it. Unknown names are rejected with
+// an error wrapping ErrUnknownModel.
+func LookupModel(name string) (Model, error) {
+	if name == "" {
+		name = "separation"
+	}
+	modelMu.RLock()
+	m, ok := modelReg[name]
+	modelMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownModel, name, ModelNames())
+	}
+	return m, nil
+}
+
+// ModelNames returns the registered model names, sorted.
+func ModelNames() []string {
+	modelMu.RLock()
+	names := make([]string, 0, len(modelReg))
+	for name := range modelReg {
+		names = append(names, name)
+	}
+	modelMu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// ValidateCouplings checks a full coupling vector against the model's
+// declared couplings: every value finite and positive, Integer couplings
+// integral and ≥ 1. Errors wrap ErrBadCoupling and name the coupling.
+func ValidateCouplings(m Model, coup []float64) error {
+	cs := m.Couplings()
+	if len(coup) != len(cs) {
+		return fmt.Errorf("%w: model %q takes %d couplings, got %d", ErrBadCoupling, m.Name(), len(cs), len(coup))
+	}
+	for i, c := range cs {
+		v := coup[i]
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return fmt.Errorf("%w: %s %v must be positive and finite", ErrBadCoupling, c.Name, v)
+		}
+		if c.Integer && (v != math.Trunc(v) || v < 1) {
+			return fmt.Errorf("%w: %s %v must be a positive integer", ErrBadCoupling, c.Name, v)
+		}
+	}
+	return nil
+}
+
+// DefaultCouplings returns the model's coupling vector at declared
+// defaults.
+func DefaultCouplings(m Model) []float64 {
+	cs := m.Couplings()
+	coup := make([]float64, len(cs))
+	for i, c := range cs {
+		coup[i] = c.Default
+	}
+	return coup
+}
+
+// CouplingIndex returns the position of the named coupling in m's vector,
+// or -1.
+func CouplingIndex(m Model, name string) int {
+	for i, c := range m.Couplings() {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// modelTables is the generic counterpart of acceptTables: per-direction
+// validity tables and a flat integer acceptance-threshold table over the
+// model's full exponent-vector space, rebuilt from any Model at init (and
+// at schedule boundaries). The serial chain embeds one; the sharded
+// executor shares a single rebuilt copy across its read-only workers.
+type modelTables struct {
+	k   int // exponent-vector length (model.NumExponents)
+	dim int // 2·maxExp + 1, the per-exponent index range
+
+	// moveOK[d][m] caches model.Valid(d, m).
+	moveOK [lattice.NumDirections][1 << 8]bool
+
+	// thresh[flat(dE)] encodes min(1, Π_i eff_i^dE_i) as the integer
+	// acceptance threshold; len(thresh) = dim^k. Moves and swaps share the
+	// table — they differ only in which exponents are nonzero.
+	thresh []uint64
+}
+
+// rebuild recomputes the tables for m at effective energy couplings eff
+// (length k). The per-vector probability product is formed left to right
+// from a 1.0 accumulator, so for the separation model (eff = [λ, γ]) the
+// float64 value is exactly the powLambda[a]·powGamma[b] product the
+// hardwired tables use — the thresholds, and hence every acceptance
+// decision, are bit-identical.
+func (t *modelTables) rebuild(m Model, eff []float64) {
+	k := m.NumExponents()
+	t.k, t.dim = k, 2*maxExp+1
+	for d := lattice.Direction(0); d < lattice.NumDirections; d++ {
+		for occ := 0; occ < 1<<8; occ++ {
+			t.moveOK[d][occ] = m.Valid(d, uint8(occ))
+		}
+	}
+	pow := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		pow[i] = make([]float64, t.dim)
+		for e := -maxExp; e <= maxExp; e++ {
+			pow[i][e+maxExp] = math.Pow(eff[i], float64(e))
+		}
+	}
+	size := 1
+	for i := 0; i < k; i++ {
+		size *= t.dim
+	}
+	if cap(t.thresh) < size {
+		t.thresh = make([]uint64, size)
+	}
+	t.thresh = t.thresh[:size]
+	for idx := 0; idx < size; idx++ {
+		prob := 1.0
+		rem := idx
+		for i := k - 1; i >= 0; i-- {
+			prob *= pow[i][rem%t.dim]
+			rem /= t.dim
+		}
+		t.thresh[idx] = acceptThreshold(prob)
+	}
+}
+
+// flat maps an exponent vector to its threshold-table index, most
+// significant exponent first: Σ_i (dE_i + maxExp)·dim^(k−1−i). A vector
+// outside ±maxExp panics on the table probe — a loud failure for a model
+// violating the MaxModelExp contract, never a silent wrong threshold.
+func (t *modelTables) flat(dE []int8) int {
+	idx := 0
+	for _, e := range dE {
+		idx = idx*t.dim + int(e) + maxExp
+	}
+	return idx
+}

@@ -1,0 +1,648 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"sops/internal/lattice"
+	"sops/internal/psys"
+)
+
+// TestModelRegistry pins the registry contract: the built-in models are
+// present, the empty name resolves to separation (wire back-compat), and
+// unknown names fail with the named error.
+func TestModelRegistry(t *testing.T) {
+	for _, want := range []string{"separation", "alignment", "anneal"} {
+		m, err := LookupModel(want)
+		if err != nil {
+			t.Fatalf("LookupModel(%q): %v", want, err)
+		}
+		if m.Name() != want {
+			t.Fatalf("LookupModel(%q) resolved %q", want, m.Name())
+		}
+	}
+	m, err := LookupModel("")
+	if err != nil || m.Name() != "separation" {
+		t.Fatalf("empty model name resolved (%v, %v), want separation", m, err)
+	}
+	if _, err := LookupModel("no-such-model"); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("unknown model error %v does not wrap ErrUnknownModel", err)
+	}
+	names := ModelNames()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("ModelNames not sorted: %v", names)
+		}
+	}
+}
+
+func TestValidateCouplings(t *testing.T) {
+	if err := ValidateCouplings(Separation, []float64{4, 4}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		m    Model
+		coup []float64
+	}{
+		{Separation, []float64{4}},             // wrong arity
+		{Separation, []float64{0, 4}},          // non-positive
+		{Separation, []float64{4, math.NaN()}}, // NaN
+		{Anneal, []float64{4, 16, 2.5, 1000}},  // non-integral stage count
+		{Anneal, []float64{4, 16, 3, 0}},       // integer coupling below 1
+		{Alignment, []float64{4, 4, math.Inf(1)}},
+	}
+	for _, tc := range cases {
+		if err := ValidateCouplings(tc.m, tc.coup); !errors.Is(err, ErrBadCoupling) {
+			t.Errorf("ValidateCouplings(%s, %v) = %v, want ErrBadCoupling", tc.m.Name(), tc.coup, err)
+		}
+	}
+}
+
+// TestModelTablesMatchLegacy verifies the central bit-identity claim at the
+// table level: the generic modelTables built from the separation model hold
+// exactly the thresholds of the hardwired acceptTables, for every reachable
+// exponent vector, across bias regimes.
+func TestModelTablesMatchLegacy(t *testing.T) {
+	for _, p := range []Params{
+		{Lambda: 4, Gamma: 4},
+		{Lambda: 0.5, Gamma: 0.7},
+		{Lambda: 1, Gamma: 1},
+		{Lambda: 6.25, Gamma: 81.0 / 79.0},
+	} {
+		var legacy acceptTables
+		legacy.rebuild(p)
+		var mt modelTables
+		mt.rebuild(Separation, []float64{p.Lambda, p.Gamma})
+		dE := make([]int8, 2)
+		for a := -maxExp; a <= maxExp; a++ {
+			for b := -maxExp; b <= maxExp; b++ {
+				dE[0], dE[1] = int8(a), int8(b)
+				if got, want := mt.thresh[mt.flat(dE)], legacy.moveThreshold(a, b); got != want {
+					t.Fatalf("λ=%g γ=%g: thresh(%d,%d) = %d, legacy %d", p.Lambda, p.Gamma, a, b, got, want)
+				}
+			}
+		}
+		for k := -maxExp; k <= maxExp; k++ {
+			dE[0], dE[1] = 0, int8(k)
+			if got, want := mt.thresh[mt.flat(dE)], legacy.swapThreshold(k); got != want {
+				t.Fatalf("λ=%g γ=%g: swap thresh(%d) = %d, legacy %d", p.Lambda, p.Gamma, k, got, want)
+			}
+		}
+		for d := lattice.Direction(0); d < lattice.NumDirections; d++ {
+			for occ := 0; occ < 1<<8; occ++ {
+				if mt.moveOK[d][occ] != psys.MoveOK(d, uint8(occ)) {
+					t.Fatalf("moveOK[%v][%#x] diverges from psys.MoveOK", d, occ)
+				}
+			}
+		}
+	}
+}
+
+// FuzzModelTables fuzzes the bias parameters and requires the generic
+// separation tables to stay bit-identical to the legacy tables everywhere.
+func FuzzModelTables(f *testing.F) {
+	f.Add(4.0, 4.0)
+	f.Add(0.5, 0.5)
+	f.Add(1.0, 1e6)
+	f.Add(1e-6, 1.0247)
+	f.Fuzz(func(t *testing.T, lambda, gamma float64) {
+		p := Params{Lambda: lambda, Gamma: gamma}
+		if p.Validate() != nil {
+			t.Skip()
+		}
+		var legacy acceptTables
+		legacy.rebuild(p)
+		var mt modelTables
+		mt.rebuild(Separation, []float64{lambda, gamma})
+		dE := make([]int8, 2)
+		for a := -maxExp; a <= maxExp; a++ {
+			for b := -maxExp; b <= maxExp; b++ {
+				dE[0], dE[1] = int8(a), int8(b)
+				if got, want := mt.thresh[mt.flat(dE)], legacy.moveThreshold(a, b); got != want {
+					t.Fatalf("λ=%g γ=%g: thresh(%d,%d) = %d, legacy %d", lambda, gamma, a, b, got, want)
+				}
+			}
+		}
+	})
+}
+
+// chainFingerprint summarizes a chain's complete dynamical state for
+// differential comparison.
+func chainFingerprint(t *testing.T, c *Chain) (Stats, uint64, string) {
+	t.Helper()
+	cp, err := c.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Stats(), c.Config().Hash(), cp.Rng
+}
+
+// TestSeparationModelDifferential is the tentpole equivalence proof at the
+// trajectory level: the same seeded separation chain stepped through the
+// devirtualized fast path and through the generic Model interface produces
+// bit-identical trajectories — equal configurations, statistics and random
+// stream positions at every comparison point.
+func TestSeparationModelDifferential(t *testing.T) {
+	cfg, err := Initial(LayoutSpiral, Bichromatic(200), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := Params{Lambda: 4, Gamma: 4, Seed: 21}
+	fast, err := New(cfg.Clone(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := New(cfg, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.forceGeneric()
+	for leg := 0; leg < 20; leg++ {
+		fast.Run(5_000)
+		gen.Run(5_000)
+		fs, fh, fr := chainFingerprint(t, fast)
+		gs, gh, gr := chainFingerprint(t, gen)
+		if fs != gs {
+			t.Fatalf("leg %d: stats diverge: fast %+v generic %+v", leg, fs, gs)
+		}
+		if fh != gh {
+			t.Fatalf("leg %d: configurations diverge", leg)
+		}
+		if fr != gr {
+			t.Fatalf("leg %d: rng streams diverge", leg)
+		}
+	}
+}
+
+// TestSeparationModelDifferentialSwapless covers the DisableSwaps leg of
+// the same equivalence: the move-only kernel must also be bit-identical.
+func TestSeparationModelDifferentialSwapless(t *testing.T) {
+	cfg, err := Initial(LayoutLine, Bichromatic(120), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := Params{Lambda: 3, Gamma: 2, Seed: 77, DisableSwaps: true}
+	fast, err := New(cfg.Clone(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := New(cfg, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.forceGeneric()
+	fast.Run(60_000)
+	gen.Run(60_000)
+	fs, fh, fr := chainFingerprint(t, fast)
+	gs, gh, gr := chainFingerprint(t, gen)
+	if fs != gs || fh != gh || fr != gr {
+		t.Fatal("swapless fast and generic paths diverge")
+	}
+	if fs.Swaps != 0 {
+		t.Fatalf("DisableSwaps chain recorded %d swaps", fs.Swaps)
+	}
+}
+
+// TestAlignmentExponentsMatchEnergy is the correctness audit for the
+// alignment kernel: along a run, for every (particle, direction) proposal
+// of the live configuration, the claimed exponent vector must reproduce
+// the exact Hamiltonian difference of applying the operation —
+// E(σ′) − E(σ) = −Σ_i dE_i·ln(coup_i) — computed by brute force on a
+// cloned configuration.
+func TestAlignmentExponentsMatchEnergy(t *testing.T) {
+	cfg, err := Initial(LayoutLine, []int{16, 16, 16}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coup := []float64{3, 5, 2} // lambda, alpha, beta
+	ch, err := NewWithModel(cfg, Params{Seed: 11}, Alignment, coup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ch.Model()
+	logc := []float64{math.Log(coup[0]), math.Log(coup[1]), math.Log(coup[2])}
+	dE := make([]int8, m.NumExponents())
+	audits := 0
+	for leg := 0; leg < 10; leg++ {
+		ch.Run(4_000)
+		c := ch.Config()
+		base := m.Energy(c, coup)
+		for _, pt := range c.Particles() {
+			for d := lattice.Direction(0); d < lattice.NumDirections; d++ {
+				g := c.GatherPair(pt.Pos, d)
+				lp := pt.Pos.Neighbor(d)
+				clone := c.Clone()
+				var want float64
+				if lpc, occupied := g.LpColor(); occupied {
+					if !m.SwapExponents(&g, dE) {
+						continue // vetoed proposal, nothing to audit
+					}
+					if lc, _ := g.LColor(); lc == lpc {
+						// Same-color swaps are configuration no-ops accepted at
+						// α^{−2} by convention (the separation kernel's γ^{−2});
+						// their exponent vector is pinned, not energy-derived.
+						if dE[0] != 0 || dE[1] != -2 || dE[2] != 0 {
+							t.Fatalf("same-color swap exponents %v, want [0 -2 0]", dE)
+						}
+						audits++
+						continue
+					}
+					if err := clone.ApplySwap(pt.Pos, lp); err != nil {
+						t.Fatal(err)
+					}
+					want = m.Energy(clone, coup) - base
+				} else {
+					if !c.MoveValid(pt.Pos, lp) {
+						continue
+					}
+					m.MoveExponents(&g, dE)
+					if err := clone.ApplyMove(pt.Pos, lp); err != nil {
+						t.Fatal(err)
+					}
+					want = m.Energy(clone, coup) - base
+				}
+				got := 0.0
+				for i, e := range dE {
+					got -= float64(e) * logc[i]
+				}
+				if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+					t.Fatalf("leg %d: proposal at %v dir %v: exponents %v claim ΔE=%g, brute force %g",
+						leg, pt.Pos, d, dE, got, want)
+				}
+				for _, e := range dE {
+					if e < -maxExp || e > maxExp {
+						t.Fatalf("exponent %d outside table headroom ±%d", e, maxExp)
+					}
+				}
+				audits++
+			}
+		}
+	}
+	if audits == 0 {
+		t.Fatal("audit swept no proposals")
+	}
+}
+
+// TestAlignmentChainEndToEnd runs the alignment chain and checks the
+// lattice-gas invariants hold, the statistics account for every step, and
+// the exported observables are sane.
+func TestAlignmentChainEndToEnd(t *testing.T) {
+	cfg, err := Initial(LayoutSpiral, []int{20, 20, 20, 20}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := NewWithModel(cfg, Params{Seed: 3}, Alignment, []float64{4, 6, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Run(150_000)
+	if err := ch.Config().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	st := ch.Stats()
+	if st.Steps != 150_000 || st.Moves+st.Swaps+st.Rejected != st.Steps {
+		t.Fatalf("inconsistent stats: %+v", st)
+	}
+	names, vals := ch.Observables()
+	if len(names) != 3 || len(vals) != 3 {
+		t.Fatalf("observables %v %v", names, vals)
+	}
+	for i, v := range vals {
+		if math.IsNaN(v) || v < 0 || v > 1+1e-12 {
+			t.Fatalf("observable %s = %v outside [0,1]", names[i], v)
+		}
+	}
+	// Strong aligned bias must pull alignedFrac well above the uniform 1/4.
+	if vals[0] < 0.3 {
+		t.Fatalf("alignedFrac %v did not rise above uniform with α=6", vals[0])
+	}
+}
+
+// TestAlignmentCheckpointResume pins trajectory-exact resume through the
+// JSON checkpoint document for a non-separation model: the model name and
+// coupling vector round-trip, and the resumed chain continues bit-identical.
+func TestAlignmentCheckpointResume(t *testing.T) {
+	cfg, err := Initial(LayoutSpiral, []int{15, 15, 15}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coup := []float64{4, 6, 2}
+	ch, err := NewWithModel(cfg, Params{Seed: 8}, Alignment, coup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Run(30_000)
+	cp, err := ch.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Model != "alignment" {
+		t.Fatalf("checkpoint model %q", cp.Model)
+	}
+	data, err := cp.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Checkpoint
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Resume(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ModelName() != "alignment" {
+		t.Fatalf("resumed model %q", res.ModelName())
+	}
+	ch.Run(30_000)
+	res.Run(30_000)
+	os, oh, orng := chainFingerprint(t, ch)
+	rs, rh, rrng := chainFingerprint(t, res)
+	if os != rs || oh != rh || orng != rrng {
+		t.Fatal("resumed alignment chain diverges from the original")
+	}
+}
+
+// TestAnnealEffective pins the schedule arithmetic: stage boundaries,
+// geometric γ interpolation, the pure-compression opening stage, and the
+// terminal stage's "no further rebuild" sentinel.
+func TestAnnealEffective(t *testing.T) {
+	s, ok := Anneal.(Scheduler)
+	if !ok {
+		t.Fatal("anneal model does not implement Scheduler")
+	}
+	coup := []float64{4, 16, 3, 1_000} // λ, γ, stages, stageSteps
+	eff := make([]float64, 2)
+	cases := []struct {
+		step    uint64
+		gamma   float64
+		nextReb uint64
+	}{
+		{0, 1, 1_000}, // stage 0: pure compression
+		{999, 1, 1_000},
+		{1_000, 4, 2_000}, // stage 1: 16^(1/2)
+		{1_999, 4, 2_000},
+		{2_000, 16, math.MaxUint64}, // final stage: full γ
+		{1 << 40, 16, math.MaxUint64},
+	}
+	for _, tc := range cases {
+		next := s.Effective(coup, tc.step, eff)
+		if eff[0] != 4 {
+			t.Fatalf("step %d: effective λ %v changed", tc.step, eff[0])
+		}
+		if math.Abs(eff[1]-tc.gamma) > 1e-12 {
+			t.Fatalf("step %d: effective γ %v, want %v", tc.step, eff[1], tc.gamma)
+		}
+		if next != tc.nextReb {
+			t.Fatalf("step %d: next rebuild %d, want %d", tc.step, next, tc.nextReb)
+		}
+	}
+	// A single-stage schedule is the plain separation chain at γ.
+	if s.Effective([]float64{4, 16, 1, 500}, 0, eff); eff[1] != 16 {
+		t.Fatalf("single-stage effective γ %v, want 16", eff[1])
+	}
+}
+
+// TestAnnealCheckpointExactResume is the annealed-schedule acceptance
+// criterion: checkpoint an anneal chain at an awkward point (mid-stage,
+// with a stage boundary still ahead), resume it, and require the resumed
+// chain to cross the boundary and finish bit-identical to the
+// uninterrupted run — the schedule recomputes purely from the restored
+// step counter.
+func TestAnnealCheckpointExactResume(t *testing.T) {
+	coup := []float64{4, 16, 3, 2_000} // boundaries at 2k and 4k steps
+	mk := func() *Chain {
+		cfg, err := Initial(LayoutSpiral, Bichromatic(150), 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := NewWithModel(cfg, Params{Seed: 42}, Anneal, coup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ch
+	}
+	full := mk()
+	full.Run(9_000)
+
+	split := mk()
+	split.Run(3_100) // inside stage 1, boundary at 4_000 ahead
+	cp, err := split.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Model != "anneal" || len(cp.Couplings) != 4 {
+		t.Fatalf("anneal checkpoint carries model %q couplings %v", cp.Model, cp.Couplings)
+	}
+	data, err := cp.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Checkpoint
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Resume(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Run(9_000 - 3_100)
+
+	fs, fh, fr := chainFingerprint(t, full)
+	rs, rh, rr := chainFingerprint(t, res)
+	if fs != rs {
+		t.Fatalf("stats diverge: full %+v resumed %+v", fs, rs)
+	}
+	if fh != rh || fr != rr {
+		t.Fatal("resumed anneal chain diverges from the uninterrupted run across a stage boundary")
+	}
+
+	// The terminal stage must be running the full separation bias.
+	names, vals := res.Observables()
+	if names[0] != "gammaEff" || vals[0] != 16 {
+		t.Fatalf("final-stage %s = %v, want 16", names[0], vals[0])
+	}
+}
+
+// TestSetCouplingsGeneric covers mid-run retuning on the generic path:
+// SetParams is refused (couplings own the bias now), SetCouplings rebuilds
+// the tables, and a bad vector is rejected with the named error.
+func TestSetCouplingsGeneric(t *testing.T) {
+	cfg, err := Initial(LayoutSpiral, []int{12, 12}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := NewWithModel(cfg, Params{Seed: 2}, Alignment, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.SetParams(Params{Lambda: 4, Gamma: 4}); err == nil {
+		t.Fatal("SetParams accepted on a non-separation chain")
+	}
+	if err := ch.SetCouplings([]float64{2, 8, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ch.Couplings(); got[1] != 8 {
+		t.Fatalf("couplings after SetCouplings: %v", got)
+	}
+	if err := ch.SetCouplings([]float64{2, -1, 3}); !errors.Is(err, ErrBadCoupling) {
+		t.Fatalf("bad coupling accepted: %v", err)
+	}
+	ch.Run(10_000)
+	if err := ch.Config().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedAlignmentSerializabilityAudit extends the sharded
+// serializability argument to a non-separation model: the alignment model
+// shares the separation validity predicate, so the ticket-sorted log of a
+// concurrent alignment run must replay serially onto the same final
+// configuration with every move valid in the serial order.
+func TestShardedAlignmentSerializabilityAudit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second concurrent audit")
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+
+	const n = 6_000
+	counts := []int{n / 3, n / 3, n / 3}
+	cfg, err := Initial(LayoutSpiral, counts, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		t.Run(fmt.Sprintf("P%d", workers), func(t *testing.T) {
+			initial := cfg.Clone()
+			s, err := NewShardedWithModel(cfg.Clone(), Params{Seed: uint64(300 + workers)}, Alignment,
+				[]float64{4, 6, 2}, ShardedOptions{
+					Workers:   workers,
+					Seed:      uint64(300 + workers),
+					RecordLog: true,
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const steps = 4 * n
+			done, err := s.Run(context.Background(), steps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done != steps {
+				t.Fatalf("done = %d, want %d", done, steps)
+			}
+			st := s.Stats()
+			if st.Steps != steps || st.Moves+st.Swaps+st.Rejected != st.Steps {
+				t.Fatalf("inconsistent stats: %+v", st)
+			}
+			log := s.Log()
+			if uint64(len(log)) != st.Moves+st.Swaps {
+				t.Fatalf("log has %d records, stats count %d accepted", len(log), st.Moves+st.Swaps)
+			}
+			if err := ReplayLog(initial, log); err != nil {
+				t.Fatal(err)
+			}
+			final, err := s.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !initial.Equal(final) {
+				t.Fatal("serial replay does not reproduce the concurrent alignment run")
+			}
+			if err := initial.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestShardedAnnealSchedule drives the scheduled model on the sharded
+// executor: epoch budgets must stop exactly at stage boundaries so every
+// proposal is judged under the stage's tables, and the invariants hold
+// after crossing into the terminal stage.
+func TestShardedAnnealSchedule(t *testing.T) {
+	cfg, err := Initial(LayoutSpiral, Bichromatic(2_000), 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coup := []float64{4, 16, 3, 9_000}
+	s, err := NewShardedWithModel(cfg, Params{Seed: 23}, Anneal, coup, ShardedOptions{
+		Workers: 4,
+		Seed:    23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 30_000 // crosses both boundaries (9k, 18k)
+	done, err := s.Run(context.Background(), steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != steps {
+		t.Fatalf("done = %d, want %d", done, steps)
+	}
+	st := s.Stats()
+	if st.Steps != steps || st.Moves+st.Swaps+st.Rejected != st.Steps {
+		t.Fatalf("inconsistent stats: %+v", st)
+	}
+	final, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := final.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store().Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkChainStepModelGeneric is the pluggable-substrate overhead
+// gate: the exact workload of the root package's BenchmarkChainStep
+// (n = 100 bichromatic line, λ = γ = 4, burned in to the compressed
+// steady state) rerouted off the devirtualized separation fast path and
+// through the generic Model dispatch. CI maps this entry onto
+// BenchmarkChainStep in BENCH_PR4.json, so ns/op here bounds what the
+// interface seam costs every non-separation model; allocs/op must stay 0.
+func BenchmarkChainStepModelGeneric(b *testing.B) {
+	cfg := mustInitial(b, LayoutLine, Bichromatic(100), 1)
+	ch, err := New(cfg, Params{Lambda: 4, Gamma: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch.forceGeneric()
+	ch.Run(200_000) // burn in to the compressed steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Step()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/sec")
+}
+
+// BenchmarkChainStepAlignment measures a real non-separation workload on
+// the generic path: the 3-color alignment Hamiltonian at the same scale
+// as the separation kernel benchmarks.
+func BenchmarkChainStepAlignment(b *testing.B) {
+	cfg := mustInitial(b, LayoutLine, []int{34, 33, 33}, 1)
+	m, err := LookupModel("alignment")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := NewWithModel(cfg, Params{Lambda: 4, Gamma: 4, Seed: 1}, m,
+		[]float64{4, 6, 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch.Run(200_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Step()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/sec")
+}

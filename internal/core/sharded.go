@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -73,6 +74,23 @@ type Sharded struct {
 	wlogs  [][]MoveRecord
 
 	locks [numStripes]sync.Mutex
+
+	// Pluggable-dynamics state, mirroring Chain: fast marks the built-in
+	// separation model (original worker kernel); any other model runs the
+	// generic worker against the shared read-only mt tables. For scheduled
+	// models the epoch driver clamps epoch budgets at schedule boundaries
+	// and rebuilds mt between epochs — workers never observe a table
+	// change mid-epoch. stepOff is the absolute step count of the run this
+	// executor continues (ShardedOptions.StepOffset), so schedules resume
+	// exactly.
+	model   Model
+	fast    bool
+	coup    []float64
+	coupNow []float64
+	mt      modelTables
+	sched   Scheduler
+	nextReb uint64
+	stepOff uint64
 }
 
 // ShardedOptions configures a sharded executor.
@@ -89,6 +107,11 @@ type ShardedOptions struct {
 	// EpochProposals caps the proposals per epoch (re-bucketing
 	// granularity); 0 picks an automatic value of ~4n.
 	EpochProposals uint64
+	// StepOffset is the absolute step count of the run this executor
+	// continues. Only scheduled models read it: their effective couplings
+	// are a function of StepOffset plus the proposals performed so far, so
+	// a resumed run anneals exactly where the checkpointed one left off.
+	StepOffset uint64
 }
 
 // OpKind distinguishes logged operations.
@@ -141,39 +164,73 @@ func stripeOf(p lattice.Point) int {
 }
 
 // NewSharded builds a sharded executor over a copy of cfg, which must be
-// nonempty and connected. The original cfg is not retained.
+// nonempty and connected, running the separation dynamics. The original
+// cfg is not retained.
 func NewSharded(cfg *psys.Config, params Params, opts ShardedOptions) (*Sharded, error) {
-	if err := params.Validate(); err != nil {
-		return nil, err
-	}
+	return NewShardedWithModel(cfg, params, Separation, []float64{params.Lambda, params.Gamma}, opts)
+}
+
+// NewShardedWithModel builds a sharded executor over a copy of cfg
+// running model m with the given full coupling vector (nil selects the
+// model's defaults). Every worker makes its decisions through the same
+// shared, read-only acceptance tables, rebuilt from the model at init
+// (and, for scheduled models, between epochs at stage boundaries).
+func NewShardedWithModel(cfg *psys.Config, params Params, m Model, coup []float64, opts ShardedOptions) (*Sharded, error) {
 	if cfg.N() == 0 {
 		return nil, ErrEmptyConfig
 	}
 	if !cfg.Connected() {
 		return nil, ErrDisconnected
 	}
-	return newSharded(psys.NewTileStoreFrom(cfg), cfg.Points(), params, opts)
+	return newSharded(psys.NewTileStoreFrom(cfg), cfg.Points(), params, m, coup, opts)
 }
 
 // NewShardedFromStore builds a sharded executor that takes ownership of
-// store, which must hold a nonempty connected configuration. It is the
-// entry point for configurations too stringy to densify.
+// store, which must hold a nonempty connected configuration, running the
+// separation dynamics. It is the entry point for configurations too
+// stringy to densify.
 func NewShardedFromStore(store *psys.TileStore, params Params, opts ShardedOptions) (*Sharded, error) {
-	if err := params.Validate(); err != nil {
-		return nil, err
-	}
 	if store.N() == 0 {
 		return nil, ErrEmptyConfig
 	}
 	if !store.Connected() {
 		return nil, ErrDisconnected
 	}
-	return newSharded(store, store.Points(), params, opts)
+	return newSharded(store, store.Points(), params, Separation, []float64{params.Lambda, params.Gamma}, opts)
 }
 
-func newSharded(store *psys.TileStore, positions []lattice.Point, params Params, opts ShardedOptions) (*Sharded, error) {
+func newSharded(store *psys.TileStore, positions []lattice.Point, params Params, m Model, coup []float64, opts ShardedOptions) (*Sharded, error) {
 	if opts.Workers < 1 {
 		opts.Workers = 1
+	}
+	if m == nil {
+		m = Separation
+	}
+	if b, ok := m.(Binder); ok {
+		m = b.Bind(store.NumColors())
+	}
+	if coup == nil {
+		coup = DefaultCouplings(m)
+	} else {
+		coup = append([]float64(nil), coup...)
+	}
+	_, fast := m.(separationModel)
+	if fast {
+		params.Lambda, params.Gamma = coup[0], coup[1]
+	} else {
+		params.Lambda, params.Gamma = 1, 1
+		if i := CouplingIndex(m, "lambda"); i >= 0 {
+			params.Lambda = coup[i]
+		}
+		if i := CouplingIndex(m, "gamma"); i >= 0 {
+			params.Gamma = coup[i]
+		}
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ValidateCouplings(m, coup); err != nil {
+		return nil, err
 	}
 	s := &Sharded{
 		store:     store,
@@ -184,13 +241,40 @@ func newSharded(store *psys.TileStore, positions []lattice.Point, params Params,
 		scratch:   make([]lattice.Point, len(positions)),
 		rngs:      make([]*rng.Buffered, opts.Workers),
 		wlogs:     make([][]MoveRecord, opts.Workers),
+		model:     m,
+		fast:      fast,
+		coup:      coup,
+		stepOff:   opts.StepOffset,
+		nextReb:   math.MaxUint64,
 	}
-	s.tables.rebuild(params)
+	if s.fast {
+		s.coupNow = s.coup
+		s.tables.rebuild(params)
+	} else if sched, ok := m.(Scheduler); ok {
+		s.sched = sched
+		s.coupNow = append([]float64(nil), s.coup...)
+		s.syncSchedule(s.stepOff)
+	} else {
+		s.coupNow = s.coup
+		s.mt.rebuild(s.model, s.coupNow[:m.NumExponents()])
+	}
 	for w := range s.rngs {
 		s.rngs[w] = rng.NewBuffered(rng.SeedAt(opts.Seed, uint64(w)))
 	}
 	return s, nil
 }
+
+// syncSchedule recomputes the effective couplings for absolute step abs
+// and rebuilds the shared acceptance tables. Called only between epochs
+// (or at construction), never while workers run.
+func (s *Sharded) syncSchedule(abs uint64) {
+	k := s.model.NumExponents()
+	s.nextReb = s.sched.Effective(s.coup, abs, s.coupNow[:k])
+	s.mt.rebuild(s.model, s.coupNow[:k])
+}
+
+// Model returns the dynamics the executor runs.
+func (s *Sharded) Model() Model { return s.model }
 
 // Params returns the executor's bias parameters.
 func (s *Sharded) Params() Params { return s.params }
@@ -267,6 +351,21 @@ func (s *Sharded) Run(ctx context.Context, steps uint64) (uint64, error) {
 		if steps-done < budget {
 			budget = steps - done
 		}
+		if s.sched != nil {
+			// Rebuild tables if an earlier epoch carried the run up to a
+			// stage boundary, then clamp this epoch's budget so no worker
+			// proposes past the next boundary — every proposal of an epoch
+			// runs under the effective couplings of the epoch's starting
+			// step, which keeps the schedule exact without per-step
+			// coordination (workers never exceed their budget share).
+			abs := s.stepOff + s.stats.Steps
+			if abs >= s.nextReb {
+				s.syncSchedule(abs)
+			}
+			if room := s.nextReb - abs; s.nextReb != math.MaxUint64 && room < budget {
+				budget = room
+			}
+		}
 		n := s.runEpoch(budget)
 		if n == 0 {
 			return done, ErrNoProgress
@@ -313,7 +412,11 @@ func (s *Sharded) runEpoch(budget uint64) uint64 {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			s.runWorker(w, parts[w], bandLo[w], bandHi[w], budgets[w], &escape, &results[w])
+			if s.fast {
+				s.runWorker(w, parts[w], bandLo[w], bandHi[w], budgets[w], &escape, &results[w])
+			} else {
+				s.runWorkerModel(w, parts[w], bandLo[w], bandHi[w], budgets[w], &escape, &results[w])
+			}
 		}(w)
 	}
 	wg.Wait()
@@ -525,6 +628,115 @@ func (s *Sharded) runWorker(w int, parts []lattice.Point, lo, hi int, budget uin
 				if lp.R < lo-bandCollar || lp.R >= hi+bandCollar {
 					// The particle left its collar: end the epoch so the
 					// next partition restores every band's margin headroom.
+					escape.Store(true)
+					break
+				}
+			} else {
+				st.Rejected++
+				if locked > 0 {
+					s.unlockRegion(&stripes, locked)
+				}
+			}
+		} else {
+			st.Rejected++
+			if locked > 0 {
+				s.unlockRegion(&stripes, locked)
+			}
+		}
+
+		if st.Steps-flushed.Steps >= shardProbeBatch {
+			flush()
+		}
+	}
+	flush()
+	s.wlogs[w] = wlog
+	res.stats = st
+}
+
+// runWorkerModel is runWorker on the generic model kernel: the identical
+// ownership, locking, collar and probe discipline, with validity probed
+// from the shared model-built tables and exponents extracted through the
+// Model interface into a per-worker scratch vector. The tables are
+// read-only for the whole epoch; models are required to be safe for
+// concurrent use.
+func (s *Sharded) runWorkerModel(w int, parts []lattice.Point, lo, hi int, budget uint64, escape *atomic.Bool, res *workerResult) {
+	r := s.rngs[w]
+	single := s.workers == 1
+	record := s.opts.RecordLog
+	lockFreeLo, lockFreeHi := lo+bandMargin, hi-bandMargin
+	var st Stats
+	var flushed Stats
+	var stripes [10]int
+	wlog := s.wlogs[w]
+	m := s.model
+	dE := make([]int8, m.NumExponents())
+	var g psys.PairGather
+
+	sink := s.probe
+	if s.workerProbes != nil {
+		sink = s.workerProbes[w]
+	}
+	flush := func() {
+		if sink == nil {
+			return
+		}
+		sink.Add(st.Steps-flushed.Steps, st.Moves-flushed.Moves,
+			st.Swaps-flushed.Swaps, st.Rejected-flushed.Rejected)
+		flushed = st
+	}
+
+	for st.Steps < budget && !escape.Load() {
+		st.Steps++
+		idx := r.Intn(len(parts))
+		l := parts[idx]
+		dir := lattice.Direction(r.Intn(lattice.NumDirections))
+
+		locked := 0
+		if !single && (l.R < lockFreeLo || l.R >= lockFreeHi) {
+			locked = s.lockRegion(l, dir, &stripes)
+		}
+		g = s.store.GatherPair(l, dir)
+
+		if _, occupied := g.LpColor(); occupied {
+			accepted := false
+			if !s.params.DisableSwaps && m.SwapExponents(&g, dE) &&
+				acceptDraw(r, s.mt.thresh[s.mt.flat(dE)]) {
+				ci, _ := g.LColor()
+				cj, _ := g.LpColor()
+				if ci != cj {
+					lp := l.Neighbor(dir)
+					if err := s.store.ApplySwap(l, lp); err != nil {
+						panic("core: invariant violation applying sharded swap: " + err.Error())
+					}
+					if record {
+						wlog = append(wlog, MoveRecord{Ticket: s.ticket.Add(1), Worker: w, Kind: OpSwap, L: l, Lp: lp})
+					}
+					st.Swaps++
+					accepted = true
+				}
+			}
+			if !accepted {
+				st.Rejected++
+			}
+			if locked > 0 {
+				s.unlockRegion(&stripes, locked)
+			}
+		} else if s.mt.moveOK[g.Dir()][g.Occ()] {
+			m.MoveExponents(&g, dE)
+			if acceptDraw(r, s.mt.thresh[s.mt.flat(dE)]) {
+				lp := l.Neighbor(dir)
+				if err := s.store.ApplyMove(l, lp); err != nil {
+					panic("core: invariant violation applying sharded move: " + err.Error())
+				}
+				if record {
+					wlog = append(wlog, MoveRecord{Ticket: s.ticket.Add(1), Worker: w, Kind: OpMove, L: l, Lp: lp})
+				}
+				parts[idx] = lp
+				st.Moves++
+				if locked > 0 {
+					s.unlockRegion(&stripes, locked)
+				}
+				if lp.R < lo-bandCollar || lp.R >= hi+bandCollar {
 					escape.Store(true)
 					break
 				}

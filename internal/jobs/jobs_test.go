@@ -476,3 +476,87 @@ func TestManagerRunSuspendResume(t *testing.T) {
 		t.Fatalf("resumed result differs from uninterrupted run:\n got %s\nwant %s", got, want)
 	}
 }
+
+// TestManagerModelJobsSuspendResume closes the pluggable-dynamics loop at
+// the daemon layer: an annealed run job (whose γ schedule crosses stage
+// boundaries mid-checkpoint) and an alignment coupling-axis sweep both
+// survive a manager shutdown and finish byte-identical to uninterrupted
+// executions — the checkpoint-exact contract is model-generic, not a
+// separation special case.
+func TestManagerModelJobsSuspendResume(t *testing.T) {
+	specs := map[string]*Spec{
+		"anneal-run": {Run: &RunJob{
+			Options: sops.Options{
+				Counts: []int{8, 8}, Model: "anneal", Lambda: 4, Gamma: 16,
+				Couplings: map[string]float64{"stages": 3, "stageSteps": 60_000},
+				Seed:      5,
+			},
+			Steps: 200_000,
+		}},
+		"alignment-sweep": {Sweep: &sops.SweepSpec{
+			Model:        "alignment",
+			Couplings:    map[string]float64{"lambda": 4, "beta": 2},
+			CouplingAxes: map[string][]float64{"alpha": {2, 6}},
+			Seeds:        []uint64{1, 2},
+			Counts:       []int{4, 4, 4},
+			Steps:        40_000,
+		}},
+	}
+	for name, spec := range specs {
+		t.Run(name, func(t *testing.T) {
+			ref, err := Open(Config{Dir: t.TempDir(), Workers: 1, Logf: t.Logf})
+			if err != nil {
+				t.Fatal(err)
+			}
+			refSt, err := ref.Submit(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refFinal := waitFor(t, ref, refSt.ID, terminal)
+			ref.Close()
+			if refFinal.State != StateDone {
+				t.Fatalf("reference job → %s (%s)", refFinal.State, refFinal.Error)
+			}
+
+			dir := t.TempDir()
+			m1, err := Open(Config{Dir: dir, Workers: 1, CheckpointEvery: 20_000,
+				SweepCheckpointSteps: 5_000, Logf: t.Logf})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := m1.Submit(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Let the job make durable progress, then pull the plug.
+			waitFor(t, m1, st.ID, func(s Status) bool { return s.State == StateRunning })
+			deadline := time.Now().Add(10 * time.Second)
+			for time.Now().Before(deadline) {
+				if _, err := os.Stat(m1.st.checkpointPath(st.ID)); err == nil {
+					break
+				}
+				if _, err := os.Stat(filepath.Join(dir, st.ID, "sweep.ckpt")); err == nil {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+			m1.Close()
+
+			m2, err := Open(Config{Dir: dir, Workers: 1, CheckpointEvery: 20_000,
+				SweepCheckpointSteps: 5_000, Logf: t.Logf})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m2.Close()
+			final := waitFor(t, m2, st.ID, terminal)
+			if final.State != StateDone {
+				t.Fatalf("resumed job → %s (%s)", final.State, final.Error)
+			}
+			got, _ := json.Marshal(final.Result)
+			want, _ := json.Marshal(refFinal.Result)
+			if string(got) != string(want) {
+				t.Fatalf("resumed model job differs from uninterrupted run:\n got %s\nwant %s", got, want)
+			}
+		})
+	}
+}

@@ -251,6 +251,38 @@ func (g *PairGather) MoveExponents() (dLambda, dGamma int) {
 	return dLambda, dGamma
 }
 
+// Dir returns the proposal direction the gather was taken along.
+func (g *PairGather) Dir() lattice.Direction { return g.dir }
+
+// Occ returns the 8-bit ring occupancy mask (bit k set iff ring cell k is
+// occupied). Together with Dir it indexes any per-direction validity table
+// built over ring occupancies.
+func (g *PairGather) Occ() uint8 { return g.occ }
+
+// DegreeCounts returns the number of occupied ring cells adjacent to l and
+// to lp. The common neighbors of the edge are counted on both sides.
+func (g *PairGather) DegreeCounts() (nl, nlp int) {
+	t := &pairTables[g.dir]
+	return bits.OnesCount8(g.occ & t.adjL), bits.OnesCount8(g.occ & t.adjLp)
+}
+
+// ColorCounts returns the number of ring cells holding color col adjacent
+// to l and to lp. Each result is within [0, 5].
+func (g *PairGather) ColorCounts(col Color) (nl, nlp int) {
+	t := &pairTables[g.dir]
+	hi := g.colorHi(col)
+	return bits.OnesCount64(hi & t.adjL64), bits.OnesCount64(hi & t.adjLp64)
+}
+
+// MoveOK probes the per-direction movement-validity table directly:
+// whether ring occupancy mask occ (with lp vacant) satisfies conditions
+// (i) and (ii) of Algorithm 1. This is the same table PairGather.MoveOK
+// consults; models that keep the paper's locality predicate delegate to it
+// when building their own validity tables.
+func MoveOK(dir lattice.Direction, occ uint8) bool {
+	return pairTables[dir].moveOK[occ]
+}
+
 // SwapExponent returns the Metropolis exponent of a swap proposal — the
 // change in same-color adjacencies when the particles at l and lp
 // exchange positions. Meaningful only when both l and lp are occupied.

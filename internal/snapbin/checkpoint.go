@@ -24,6 +24,12 @@ const maxRngLen = 1<<16 - 1
 //	rngLen raw rng bytes
 //	config block (see config.go)
 //	u8 hasOrder | n × (varint ΔQ, varint ΔR) when hasOrder = 1
+//	[model trailer: string name | count × f64 couplings] — non-separation only
+//
+// The model trailer is appended only for non-separation dynamics, so
+// separation frames are byte-identical to pre-model releases and decoders
+// of those releases reject only frames they could not run anyway. A frame
+// without the trailer decodes with Model = "" — the separation model.
 type Checkpoint struct {
 	Lambda       float64
 	Gamma        float64
@@ -38,6 +44,11 @@ type Checkpoint struct {
 	Rng    []byte
 	Config *psys.Config
 	Order  []lattice.Point
+
+	// Model tags the dynamics for non-separation checkpoints ("" means
+	// separation); Couplings is its full coupling vector in model order.
+	Model     string
+	Couplings []float64
 }
 
 const cpDisableSwaps = 1
@@ -86,6 +97,13 @@ func (e *Encoder) EncodeCheckpoint(cp *Checkpoint) ([]byte, error) {
 			buf = AppendVarint(buf, int64(p.Q-prev.Q))
 			buf = AppendVarint(buf, int64(p.R-prev.R))
 			prev = p
+		}
+	}
+	if cp.Model != "" && cp.Model != "separation" {
+		buf = AppendString(buf, cp.Model)
+		buf = AppendUvarint(buf, uint64(len(cp.Couplings)))
+		for _, v := range cp.Couplings {
+			buf = AppendF64(buf, v)
 		}
 	}
 	e.buf = buf
@@ -166,6 +184,25 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 		}
 	default:
 		return nil, fmt.Errorf("%w: order marker %d", ErrMalformed, hasOrder)
+	}
+	if r.Remaining() > 0 {
+		// Model trailer: present only on non-separation checkpoints.
+		if cp.Model, err = r.String(); err != nil {
+			return nil, err
+		}
+		if cp.Model == "" {
+			return nil, fmt.Errorf("%w: empty model name in trailer", ErrMalformed)
+		}
+		k, err := r.Count(8)
+		if err != nil {
+			return nil, err
+		}
+		cp.Couplings = make([]float64, k)
+		for i := range cp.Couplings {
+			if cp.Couplings[i], err = r.F64(); err != nil {
+				return nil, err
+			}
+		}
 	}
 	if err := r.Done(); err != nil {
 		return nil, err

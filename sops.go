@@ -114,6 +114,16 @@ var (
 	ErrBadLayout = errors.New("sops: Layout must be LayoutSpiral or LayoutLine")
 )
 
+// ErrUnknownModel reports an Options.Model (or SweepSpec.Model) naming no
+// registered dynamics model. Wire documents without a model field decode
+// to the separation model and never hit this error.
+var ErrUnknownModel = core.ErrUnknownModel
+
+// ErrBadCoupling reports a coupling name a model does not declare, or a
+// coupling value it rejects. Couplings named "lambda" or "gamma" keep
+// reporting ErrBadLambda/ErrBadGamma for continuity with older releases.
+var ErrBadCoupling = core.ErrBadCoupling
+
 // Options configures a System.
 type Options struct {
 	// Counts gives the number of particles of each color; Counts[i]
@@ -134,6 +144,18 @@ type Options struct {
 	Seed uint64
 	// Thresholds overrides the phase-classification thresholds.
 	Thresholds *Thresholds
+	// Model names the dynamics the System runs, from the model registry
+	// ("separation", "alignment", "anneal", …; see Models). Empty selects
+	// the paper's separation dynamics, exactly as before the registry
+	// existed. Unknown names are rejected with ErrUnknownModel.
+	Model string
+	// Couplings sets the model's named coupling constants; couplings not
+	// listed take the model's defaults. For models declaring couplings
+	// named "lambda"/"gamma" the scalar Lambda/Gamma fields set them too
+	// (an entry here wins); for the separation model Lambda and Gamma
+	// remain required, so legacy option documents behave identically.
+	// Unknown names are rejected with ErrBadCoupling.
+	Couplings map[string]float64
 }
 
 // Validate checks the options, returning an error wrapping ErrNoCounts,
@@ -174,16 +196,108 @@ func validateLayout(l Layout) error {
 	return fmt.Errorf("%w (got Layout(%d))", ErrBadLayout, uint8(l))
 }
 
-// validateParams checks only the bias parameters, for constructors that
-// take a ready-made configuration and ignore Counts.
+// validateParams checks the model and its coupling values, for
+// constructors that take a ready-made configuration and ignore Counts.
 func (o Options) validateParams() error {
-	if math.IsNaN(o.Lambda) || math.IsInf(o.Lambda, 0) || o.Lambda <= 0 {
-		return fmt.Errorf("%w (got %v)", ErrBadLambda, o.Lambda)
+	_, _, err := o.resolveModel()
+	return err
+}
+
+// resolveModel resolves the dynamics model and its full coupling vector
+// from the options: registry lookup, scalar Lambda/Gamma folded onto the
+// couplings of those names, the Couplings map applied on top, and every
+// value validated. For the separation model the scalars stay required;
+// for other models they act as optional overrides of the declared
+// defaults.
+func (o Options) resolveModel() (core.Model, []float64, error) {
+	m, err := core.LookupModel(o.Model)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sops: %w", err)
 	}
-	if math.IsNaN(o.Gamma) || math.IsInf(o.Gamma, 0) || o.Gamma <= 0 {
-		return fmt.Errorf("%w (got %v)", ErrBadGamma, o.Gamma)
+	sep := m.Name() == "separation"
+	cs := m.Couplings()
+	coup := make([]float64, len(cs))
+	for i, cdef := range cs {
+		v := cdef.Default
+		switch cdef.Name {
+		case "lambda":
+			if sep || o.Lambda != 0 {
+				v = o.Lambda
+			}
+		case "gamma":
+			if sep || o.Gamma != 0 {
+				v = o.Gamma
+			}
+		}
+		if ov, ok := o.Couplings[cdef.Name]; ok {
+			v = ov
+		}
+		coup[i] = v
 	}
-	return nil
+	for name := range o.Couplings {
+		if core.CouplingIndex(m, name) < 0 {
+			return nil, nil, fmt.Errorf("%w (model %q declares no coupling %q)", ErrBadCoupling, m.Name(), name)
+		}
+	}
+	for i, cdef := range cs {
+		v := coup[i]
+		bad := math.IsNaN(v) || math.IsInf(v, 0) || v <= 0
+		switch {
+		case bad && cdef.Name == "lambda":
+			return nil, nil, fmt.Errorf("%w (got %v)", ErrBadLambda, v)
+		case bad && cdef.Name == "gamma":
+			return nil, nil, fmt.Errorf("%w (got %v)", ErrBadGamma, v)
+		case bad:
+			return nil, nil, fmt.Errorf("%w (%s must be positive and finite, got %v)", ErrBadCoupling, cdef.Name, v)
+		}
+		if cdef.Integer && (v != math.Trunc(v) || v < 1) {
+			return nil, nil, fmt.Errorf("%w (%s must be a positive integer, got %v)", ErrBadCoupling, cdef.Name, v)
+		}
+	}
+	return m, coup, nil
+}
+
+// CouplingInfo describes one named coupling constant of a model.
+type CouplingInfo struct {
+	// Name is the wire name (Options.Couplings key, sweep axis name).
+	Name string
+	// Default is the value used when the coupling is not set.
+	Default float64
+	// Integer marks couplings restricted to positive integers.
+	Integer bool
+}
+
+// ModelInfo describes one registered dynamics model.
+type ModelInfo struct {
+	// Name is the registry name (Options.Model value).
+	Name string
+	// Couplings lists the model's coupling constants in declared order.
+	Couplings []CouplingInfo
+	// Observables lists the per-model order parameters the model exports
+	// through System.Observables, if any.
+	Observables []string
+}
+
+// Models describes every registered dynamics model, sorted by name — the
+// discovery surface behind `sops -list-models` and daemon clients.
+func Models() []ModelInfo {
+	names := core.ModelNames()
+	out := make([]ModelInfo, 0, len(names))
+	for _, name := range names {
+		m, err := core.LookupModel(name)
+		if err != nil {
+			continue
+		}
+		info := ModelInfo{Name: name}
+		for _, c := range m.Couplings() {
+			info.Couplings = append(info.Couplings, CouplingInfo{Name: c.Name, Default: c.Default, Integer: c.Integer})
+		}
+		if obs, ok := m.(core.Observables); ok {
+			info.Observables = append(info.Observables, obs.ObservableNames()...)
+		}
+		out = append(out, info)
+	}
+	return out
 }
 
 // initialConfig builds the starting configuration described by opts — the
@@ -250,15 +364,14 @@ func New(opts Options) (*System, error) {
 // must be connected. The System takes ownership of cfg. Counts, Layout and
 // Separated in opts are ignored.
 func NewFromConfig(cfg *psys.Config, opts Options) (*System, error) {
-	if err := opts.validateParams(); err != nil {
+	m, coup, err := opts.resolveModel()
+	if err != nil {
 		return nil, err
 	}
-	chain, err := core.New(cfg, core.Params{
-		Lambda:       opts.Lambda,
-		Gamma:        opts.Gamma,
+	chain, err := core.NewWithModel(cfg, core.Params{
 		DisableSwaps: opts.DisableSwaps,
 		Seed:         opts.Seed,
-	})
+	}, m, coup)
 	if err != nil {
 		return nil, fmt.Errorf("sops: %w", err)
 	}
@@ -379,8 +492,9 @@ func (s *System) deriveTrace(rec *Recorder) {
 	rec.SetDerivation(params.Lambda, params.Gamma, counts[:k])
 }
 
-// Run is the single entry point behind the older RunSteps, RunContext,
-// RunWith and RunWithContext, which survive as thin wrappers.
+// Run is the single run entry point; only the bare RunSteps loop exists
+// beside it (the deprecated RunContext/RunWith/RunWithContext wrappers of
+// earlier releases are gone).
 func (s *System) Run(ctx context.Context, spec RunSpec) (uint64, error) {
 	if spec.Workers > 1 {
 		return s.runSharded(ctx, spec)
@@ -448,9 +562,12 @@ func (s *System) Run(ctx context.Context, spec RunSpec) (uint64, error) {
 func (s *System) runSharded(ctx context.Context, spec RunSpec) (uint64, error) {
 	params := s.chain.Params()
 	start := s.Steps()
-	sh, err := core.NewSharded(s.chain.Snapshot(), params, core.ShardedOptions{
+	sh, err := core.NewShardedWithModel(s.chain.Snapshot(), params, s.chain.Model(), s.chain.Couplings(), core.ShardedOptions{
 		Workers: spec.Workers,
 		Seed:    rng.SeedAt(params.Seed, start),
+		// Scheduled models anneal by absolute step count; the offset keeps
+		// a sharded segment's schedule aligned with the steps already run.
+		StepOffset: start,
 	})
 	if err != nil {
 		return 0, fmt.Errorf("sops: sharded run: %w", err)
@@ -561,51 +678,29 @@ func (s *System) runCheckpointed(ctx context.Context, steps uint64) (uint64, err
 // and takes no context; for long or observable runs use Run.
 func (s *System) RunSteps(steps uint64) { s.chain.Run(steps) }
 
-// RunContext performs up to steps iterations, stopping early when ctx is
-// cancelled, and returns the iterations performed with ctx's error if the
-// run was cut short. Auto-checkpointing applies as in Run.
-//
-// Deprecated: use Run with a RunSpec; RunContext(ctx, n) is exactly
-// Run(ctx, RunSpec{Steps: n}).
-func (s *System) RunContext(ctx context.Context, steps uint64) (uint64, error) {
-	return s.Run(ctx, RunSpec{Steps: steps})
-}
-
-// RunWithContext performs up to steps iterations, invoking observe with a
-// metrics snapshot every interval iterations, and stops early when observe
-// returns false or ctx is cancelled — in which case observe is invoked one
-// final time with the state the run stopped in.
-//
-// Deprecated: use Run with a RunSpec; RunWithContext(ctx, n, k, f) is
-// exactly Run(ctx, RunSpec{Steps: n, SampleEvery: max(k, 1), Observer: f}).
-func (s *System) RunWithContext(ctx context.Context, steps, interval uint64, observe func(snap Snapshot) bool) (uint64, error) {
-	if interval == 0 {
-		interval = 1
-	}
-	return s.Run(ctx, RunSpec{Steps: steps, SampleEvery: interval, Observer: observe})
-}
-
-// RunWith performs steps iterations, invoking observe with a metrics
-// snapshot every interval iterations (and at the end). Returning false
-// stops the run early.
-//
-// Deprecated: use Run with a RunSpec. Unlike earlier releases, RunWith now
-// honors SetAutoCheckpoint, like every other run method.
-func (s *System) RunWith(steps, interval uint64, observe func(snap Snapshot) bool) {
-	if interval == 0 {
-		interval = 1
-	}
-	s.Run(context.Background(), RunSpec{Steps: steps, SampleEvery: interval, Observer: observe})
-}
-
 // Steps returns the number of iterations performed so far.
 func (s *System) Steps() uint64 { return s.chain.Stats().Steps }
 
 // Stats returns proposal statistics.
 func (s *System) Stats() Stats { return s.chain.Stats() }
 
-// Params returns the chain's bias parameters.
+// Params returns the chain's bias parameters. For non-separation models
+// Lambda/Gamma reflect the model's couplings of those names (1 when the
+// model declares none).
 func (s *System) Params() Params { return s.chain.Params() }
+
+// Model returns the registry name of the dynamics the System runs.
+func (s *System) Model() string { return s.chain.ModelName() }
+
+// Couplings returns a copy of the System's full nominal coupling vector,
+// in the model's declared order (see Models for the names).
+func (s *System) Couplings() []float64 { return s.chain.Couplings() }
+
+// Observables evaluates the model's exported order parameters over the
+// live configuration, returning parallel name and value slices — (nil,
+// nil) for a model that ships none. Scheduled models report at the
+// effective couplings in force.
+func (s *System) Observables() ([]string, []float64) { return s.chain.Observables() }
 
 // N returns the number of particles.
 func (s *System) N() int { return s.chain.N() }
@@ -624,10 +719,11 @@ func (s *System) Metrics() Snapshot {
 	return s.meter.Capture(s.chain.Config(), s.chain.Stats().Steps)
 }
 
-// Energy returns the Hamiltonian of the current configuration,
-// E(σ) = −e(σ)·ln λ − a(σ)·ln γ — the quantity the chain's stationary
-// distribution exponentially favors minimizing. Recorded traces carry it
-// alongside each metrics sample.
+// Energy returns the Hamiltonian of the current configuration under the
+// System's model — for the separation chain E(σ) = −e(σ)·ln λ − a(σ)·ln γ
+// — the quantity the chain's stationary distribution exponentially favors
+// minimizing. Scheduled models report at the effective couplings in
+// force. Recorded traces carry it alongside each metrics sample.
 func (s *System) Energy() float64 { return s.chain.Energy() }
 
 // ASCII renders the current configuration as text.
@@ -698,6 +794,13 @@ func (s *System) encodeBinaryCheckpoint() ([]byte, error) {
 	s.cpView.Rng = s.chain.AppendRngState(s.cpView.Rng[:0])
 	s.cpView.Config = s.chain.Config()
 	s.cpView.Order = s.chain.Positions()
+	s.cpView.Model, s.cpView.Couplings = "", nil
+	if name := s.chain.ModelName(); name != "separation" {
+		// The model trailer travels only for non-separation chains, so
+		// separation frames stay byte-identical to pre-registry releases.
+		s.cpView.Model = name
+		s.cpView.Couplings = s.chain.Couplings()
+	}
 	frame, err := s.enc.EncodeCheckpoint(&s.cpView)
 	if err != nil {
 		return nil, fmt.Errorf("sops: encode checkpoint: %w", err)
@@ -732,9 +835,11 @@ func restoreBinary(data []byte, th *Thresholds) (*System, error) {
 			Swaps:    bcp.Swaps,
 			Rejected: bcp.Rejected,
 		},
-		Rng:    hexEncode(bcp.Rng),
-		Config: bcp.Config,
-		Order:  order,
+		Rng:       hexEncode(bcp.Rng),
+		Config:    bcp.Config,
+		Order:     order,
+		Model:     bcp.Model,
+		Couplings: bcp.Couplings,
 	}
 	chain, err := core.Resume(&cp)
 	if err != nil {

@@ -1,6 +1,7 @@
 package sops
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -73,10 +74,10 @@ func TestRunWithEarlyStop(t *testing.T) {
 		t.Fatal(err)
 	}
 	calls := 0
-	sys.RunWith(100000, 1000, func(Snapshot) bool {
+	sys.Run(context.Background(), RunSpec{Steps: 100000, SampleEvery: 1000, Observer: func(Snapshot) bool {
 		calls++
 		return calls < 5
-	})
+	}})
 	if calls != 5 {
 		t.Fatalf("observer calls %d", calls)
 	}
@@ -142,7 +143,7 @@ func TestDistributedFacade(t *testing.T) {
 	if d.N() != 20 {
 		t.Fatalf("N=%d", d.N())
 	}
-	moves, swaps, err := d.Run(200000, 4, 1)
+	_, moves, swaps, err := d.RunContext(context.Background(), 200000, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestDistributedFacade(t *testing.T) {
 		t.Fatal("metrics wrong")
 	}
 	// Sequential path.
-	if _, _, err := d.Run(1000, 1, 2); err != nil {
+	if _, _, _, err := d.RunContext(context.Background(), 1000, 1); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -187,7 +188,7 @@ func TestDistributedFreeze(t *testing.T) {
 	if !d.Frozen(2) || d.Frozen(3) {
 		t.Fatal("freeze flags wrong")
 	}
-	if _, _, err := d.Run(100000, 2, 3); err != nil {
+	if _, _, _, err := d.RunContext(context.Background(), 100000, 2); err != nil {
 		t.Fatal(err)
 	}
 	snap := d.Snapshot()

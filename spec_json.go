@@ -23,14 +23,16 @@ import (
 // optionsJSON is the wire schema of Options. Layout travels by name
 // ("spiral", "line") via core.Layout's text codec.
 type optionsJSON struct {
-	Counts       []int       `json:"counts"`
-	Layout       Layout      `json:"layout,omitempty"`
-	Separated    bool        `json:"separated,omitempty"`
-	Lambda       float64     `json:"lambda"`
-	Gamma        float64     `json:"gamma"`
-	DisableSwaps bool        `json:"disableSwaps,omitempty"`
-	Seed         uint64      `json:"seed,omitempty"`
-	Thresholds   *Thresholds `json:"thresholds,omitempty"`
+	Counts       []int              `json:"counts"`
+	Layout       Layout             `json:"layout,omitempty"`
+	Separated    bool               `json:"separated,omitempty"`
+	Lambda       float64            `json:"lambda"`
+	Gamma        float64            `json:"gamma"`
+	Model        string             `json:"model,omitempty"`
+	Couplings    map[string]float64 `json:"couplings,omitempty"`
+	DisableSwaps bool               `json:"disableSwaps,omitempty"`
+	Seed         uint64             `json:"seed,omitempty"`
+	Thresholds   *Thresholds        `json:"thresholds,omitempty"`
 }
 
 // MarshalJSON encodes the options in their wire form.
@@ -41,6 +43,8 @@ func (o Options) MarshalJSON() ([]byte, error) {
 		Separated:    o.Separated,
 		Lambda:       o.Lambda,
 		Gamma:        o.Gamma,
+		Model:        o.Model,
+		Couplings:    o.Couplings,
 		DisableSwaps: o.DisableSwaps,
 		Seed:         o.Seed,
 		Thresholds:   o.Thresholds,
@@ -60,6 +64,8 @@ func (o *Options) UnmarshalJSON(data []byte) error {
 		Separated:    w.Separated,
 		Lambda:       w.Lambda,
 		Gamma:        w.Gamma,
+		Model:        w.Model,
+		Couplings:    w.Couplings,
 		DisableSwaps: w.DisableSwaps,
 		Seed:         w.Seed,
 		Thresholds:   w.Thresholds,
@@ -71,19 +77,22 @@ func (o *Options) UnmarshalJSON(data []byte) error {
 // plus the execution knobs that affect results or effort. Backoff travels
 // as integer milliseconds.
 type sweepSpecJSON struct {
-	Lambdas      []float64   `json:"lambdas"`
-	Gammas       []float64   `json:"gammas"`
-	Seeds        []uint64    `json:"seeds,omitempty"`
-	Seed         uint64      `json:"seed,omitempty"`
-	Counts       []int       `json:"counts"`
-	Layout       Layout      `json:"layout,omitempty"`
-	Separated    bool        `json:"separated,omitempty"`
-	DisableSwaps bool        `json:"disableSwaps,omitempty"`
-	Steps        uint64      `json:"steps"`
-	Workers      int         `json:"workers,omitempty"`
-	Thresholds   *Thresholds `json:"thresholds,omitempty"`
-	Retries      int         `json:"retries,omitempty"`
-	BackoffMS    int64       `json:"backoffMillis,omitempty"`
+	Lambdas      []float64            `json:"lambdas,omitempty"`
+	Gammas       []float64            `json:"gammas,omitempty"`
+	Seeds        []uint64             `json:"seeds,omitempty"`
+	Seed         uint64               `json:"seed,omitempty"`
+	Counts       []int                `json:"counts"`
+	Layout       Layout               `json:"layout,omitempty"`
+	Separated    bool                 `json:"separated,omitempty"`
+	DisableSwaps bool                 `json:"disableSwaps,omitempty"`
+	Model        string               `json:"model,omitempty"`
+	Couplings    map[string]float64   `json:"couplings,omitempty"`
+	CouplingAxes map[string][]float64 `json:"couplingAxes,omitempty"`
+	Steps        uint64               `json:"steps"`
+	Workers      int                  `json:"workers,omitempty"`
+	Thresholds   *Thresholds          `json:"thresholds,omitempty"`
+	Retries      int                  `json:"retries,omitempty"`
+	BackoffMS    int64                `json:"backoffMillis,omitempty"`
 }
 
 // MarshalJSON encodes the spec's wire form. Runtime-only fields (Observe,
@@ -99,6 +108,9 @@ func (spec SweepSpec) MarshalJSON() ([]byte, error) {
 		Layout:       spec.Layout,
 		Separated:    spec.Separated,
 		DisableSwaps: spec.DisableSwaps,
+		Model:        spec.Model,
+		Couplings:    spec.Couplings,
+		CouplingAxes: spec.CouplingAxes,
 		Steps:        spec.Steps,
 		Workers:      spec.Workers,
 		Thresholds:   spec.Thresholds,
@@ -124,6 +136,9 @@ func (spec *SweepSpec) UnmarshalJSON(data []byte) error {
 		Layout:       w.Layout,
 		Separated:    w.Separated,
 		DisableSwaps: w.DisableSwaps,
+		Model:        w.Model,
+		Couplings:    w.Couplings,
+		CouplingAxes: w.CouplingAxes,
 		Steps:        w.Steps,
 		Workers:      w.Workers,
 		Thresholds:   w.Thresholds,

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"sops/internal/core"
 	"sops/internal/metrics"
 	"sops/internal/runner"
 )
@@ -56,6 +57,21 @@ type SweepSpec struct {
 	Layout       Layout
 	Separated    bool
 	DisableSwaps bool
+	// Model selects the dynamics every cell runs, by registry name; empty
+	// means the separation model, swept over Lambdas × Gammas exactly as
+	// before. Non-separation models sweep CouplingAxes instead.
+	Model string
+	// Couplings fixes named coupling values uniformly across the grid for
+	// a non-separation Model (unnamed couplings keep their declared
+	// defaults). A coupling listed in CouplingAxes ignores its entry here.
+	Couplings map[string]float64
+	// CouplingAxes gives the swept values per coupling name for a
+	// non-separation Model; the grid is the cross product of the listed
+	// axes, enumerated with the model's first declared coupling as the
+	// outermost (major) axis, then the next, …, then seed — the
+	// generalization of the λ-major, then γ, then seed order. Couplings
+	// without an axis are held fixed at their Couplings/default value.
+	CouplingAxes map[string][]float64
 	// Steps is the number of chain iterations per cell.
 	Steps uint64
 	// Workers caps the sweep's concurrency; values <= 0 use GOMAXPROCS.
@@ -116,8 +132,34 @@ type SweepSpec struct {
 // Sweep and ResumeSweep call Validate before running anything; it is
 // exported so front-ends can reject a bad spec before scheduling work.
 func (spec *SweepSpec) Validate() error {
-	if len(spec.Lambdas) == 0 || len(spec.Gammas) == 0 {
-		return fmt.Errorf("%w (%d lambdas × %d gammas)", ErrEmptySweep, len(spec.Lambdas), len(spec.Gammas))
+	m, err := core.LookupModel(spec.Model)
+	if err != nil {
+		return fmt.Errorf("sops: %w", err)
+	}
+	if spec.separation() {
+		if len(spec.CouplingAxes) > 0 {
+			return fmt.Errorf("%w: the separation model sweeps Lambdas/Gammas, not CouplingAxes", ErrBadCoupling)
+		}
+		if len(spec.Lambdas) == 0 || len(spec.Gammas) == 0 {
+			return fmt.Errorf("%w (%d lambdas × %d gammas)", ErrEmptySweep, len(spec.Lambdas), len(spec.Gammas))
+		}
+	} else {
+		if len(spec.Lambdas) > 0 || len(spec.Gammas) > 0 {
+			return fmt.Errorf("%w: model %q sweeps CouplingAxes, not Lambdas/Gammas", ErrBadCoupling, spec.Model)
+		}
+		for name, vals := range spec.CouplingAxes {
+			if core.CouplingIndex(m, name) < 0 {
+				return fmt.Errorf("%w: model %q has no coupling %q", ErrBadCoupling, spec.Model, name)
+			}
+			if len(vals) == 0 {
+				return fmt.Errorf("%w (empty axis for coupling %q)", ErrEmptySweep, name)
+			}
+		}
+		for name := range spec.Couplings {
+			if core.CouplingIndex(m, name) < 0 {
+				return fmt.Errorf("%w: model %q has no coupling %q", ErrBadCoupling, spec.Model, name)
+			}
+		}
 	}
 	if spec.Steps == 0 {
 		return ErrNoSteps
@@ -126,6 +168,11 @@ func (spec *SweepSpec) Validate() error {
 		return err
 	}
 	return validateLayout(spec.Layout)
+}
+
+// separation reports whether the spec runs the legacy separation grid.
+func (spec *SweepSpec) separation() bool {
+	return spec.Model == "" || spec.Model == "separation"
 }
 
 // resolveSeeds returns the per-grid-point replicate seeds.
@@ -144,25 +191,74 @@ func (spec *SweepSpec) resolveThresholds() Thresholds {
 	return metrics.DefaultThresholds()
 }
 
-// sweepCell is one (λ, γ, seed) grid cell; index is its position in the
-// full grid enumeration, stable across resumes.
+// sweepCell is one grid cell; index is its position in the full grid
+// enumeration, stable across resumes. Separation cells carry (λ, γ);
+// non-separation cells carry the full coupling vector in model order (coup
+// non-nil), with lambda/gamma mirroring the so-named couplings when the
+// model declares them.
 type sweepCell struct {
 	index         int
 	lambda, gamma float64
 	seed          uint64
+	coup          []float64
 }
 
-// cells enumerates the spec's grid λ-major, then γ, then seed.
+// cells enumerates the spec's grid: λ-major, then γ, then seed for the
+// separation model; first-declared-coupling-major, …, then seed otherwise.
 func (spec *SweepSpec) cells() []sweepCell {
 	seeds := spec.resolveSeeds()
-	out := make([]sweepCell, 0, len(spec.Lambdas)*len(spec.Gammas)*len(seeds))
-	for _, l := range spec.Lambdas {
-		for _, g := range spec.Gammas {
-			for _, s := range seeds {
-				out = append(out, sweepCell{index: len(out), lambda: l, gamma: g, seed: s})
+	if spec.separation() {
+		out := make([]sweepCell, 0, len(spec.Lambdas)*len(spec.Gammas)*len(seeds))
+		for _, l := range spec.Lambdas {
+			for _, g := range spec.Gammas {
+				for _, s := range seeds {
+					out = append(out, sweepCell{index: len(out), lambda: l, gamma: g, seed: s})
+				}
 			}
 		}
+		return out
 	}
+	m, err := core.LookupModel(spec.Model)
+	if err != nil {
+		return nil // Validate already rejected the spec
+	}
+	decls := m.Couplings()
+	axes := make([][]float64, len(decls))
+	total := len(seeds)
+	for i, d := range decls {
+		if vals, ok := spec.CouplingAxes[d.Name]; ok {
+			axes[i] = vals
+		} else if v, ok := spec.Couplings[d.Name]; ok {
+			axes[i] = []float64{v}
+		} else {
+			axes[i] = []float64{d.Default}
+		}
+		total *= len(axes[i])
+	}
+	out := make([]sweepCell, 0, total)
+	coup := make([]float64, len(decls))
+	li, gi := core.CouplingIndex(m, "lambda"), core.CouplingIndex(m, "gamma")
+	var walk func(axis int)
+	walk = func(axis int) {
+		if axis == len(axes) {
+			for _, s := range seeds {
+				c := sweepCell{index: len(out), seed: s, coup: append([]float64(nil), coup...)}
+				if li >= 0 {
+					c.lambda = coup[li]
+				}
+				if gi >= 0 {
+					c.gamma = coup[gi]
+				}
+				out = append(out, c)
+			}
+			return
+		}
+		for _, v := range axes[axis] {
+			coup[axis] = v
+			walk(axis + 1)
+		}
+	}
+	walk(0)
 	return out
 }
 
@@ -170,9 +266,13 @@ func (spec *SweepSpec) cells() []sweepCell {
 type CellResult struct {
 	Lambda, Gamma float64
 	Seed          uint64
-	Snap          Snapshot // the final configuration's metrics (zero if Err != nil)
-	Err           error    // the cell's failure, or the context error if never run
-	Retries       int      // re-attempts the cell consumed (0 = first try succeeded)
+	// Couplings is the cell's full coupling vector in model order for
+	// non-separation sweeps; nil on the separation grid, where Lambda and
+	// Gamma carry the coordinates.
+	Couplings []float64
+	Snap      Snapshot // the final configuration's metrics (zero if Err != nil)
+	Err       error    // the cell's failure, or the context error if never run
+	Retries   int      // re-attempts the cell consumed (0 = first try succeeded)
 }
 
 // Sweep runs the spec's λ×γ×seed grid on the parallel sweep engine and
@@ -223,7 +323,7 @@ func runSweep(ctx context.Context, spec SweepSpec, resume bool) ([]CellResult, e
 	}
 	out := make([]CellResult, len(cells))
 	for i, c := range cells {
-		out[i] = CellResult{Lambda: c.lambda, Gamma: c.gamma, Seed: c.seed}
+		out[i] = CellResult{Lambda: c.lambda, Gamma: c.gamma, Seed: c.seed, Couplings: c.coup}
 	}
 	pending := cells
 	if resume {
@@ -300,10 +400,9 @@ func runSweepCell(ctx context.Context, spec *SweepSpec, c sweepCell, th Threshol
 	if ck != nil {
 		ck.beginAttempt(c.index)
 	}
-	sys := ck.restoreCell(c, spec.Steps, th)
+	sys := ck.restoreCell(c, spec, th)
 	if sys == nil {
-		var err error
-		sys, err = New(Options{
+		opts := Options{
 			Counts:       spec.Counts,
 			Layout:       spec.Layout,
 			Separated:    spec.Separated,
@@ -312,7 +411,15 @@ func runSweepCell(ctx context.Context, spec *SweepSpec, c sweepCell, th Threshol
 			DisableSwaps: spec.DisableSwaps,
 			Seed:         c.seed,
 			Thresholds:   spec.Thresholds,
-		})
+		}
+		if c.coup != nil {
+			// Non-separation cell: the full coupling vector travels by name,
+			// which takes precedence over the Lambda/Gamma scalars.
+			opts.Model = spec.Model
+			opts.Couplings = couplingMap(spec.Model, c.coup)
+		}
+		var err error
+		sys, err = New(opts)
 		if err != nil {
 			return Snapshot{}, err
 		}
@@ -334,4 +441,20 @@ func runSweepCell(ctx context.Context, spec *SweepSpec, c sweepCell, th Threshol
 		}
 	}
 	return snap, nil
+}
+
+// couplingMap renders a model-order coupling vector as the named map
+// Options.Couplings consumes.
+func couplingMap(model string, coup []float64) map[string]float64 {
+	m, err := core.LookupModel(model)
+	if err != nil {
+		return nil
+	}
+	out := make(map[string]float64, len(coup))
+	for i, d := range m.Couplings() {
+		if i < len(coup) {
+			out[d.Name] = coup[i]
+		}
+	}
+	return out
 }

@@ -38,6 +38,11 @@ type sweepKey struct {
 	DisableSwaps bool       `json:"disableSwaps"`
 	Steps        uint64     `json:"steps"`
 	Thresholds   Thresholds `json:"thresholds"`
+	// Model-sweep coordinates; all omitted on the separation grid so
+	// legacy separation manifests keep their original key bytes.
+	Model        string               `json:"model,omitempty"`
+	Couplings    map[string]float64   `json:"couplings,omitempty"`
+	CouplingAxes map[string][]float64 `json:"couplingAxes,omitempty"`
 }
 
 // sweepCellRecord is one completed cell in the manifest. The grid
@@ -91,6 +96,9 @@ func newSweepCheckpointer(spec SweepSpec) (*sweepCheckpointer, error) {
 		DisableSwaps: spec.DisableSwaps,
 		Steps:        spec.Steps,
 		Thresholds:   spec.resolveThresholds(),
+		Model:        spec.Model,
+		Couplings:    spec.Couplings,
+		CouplingAxes: spec.CouplingAxes,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sops: encode sweep key: %w", err)
@@ -228,8 +236,9 @@ func (ck *sweepCheckpointer) beginAttempt(i int) {
 
 // restoreCell rebuilds cell c's System from its in-flight chain
 // checkpoint, or returns nil when the cell should start fresh (no
-// checkpointing, no usable file, or a file that does not match the cell).
-func (ck *sweepCheckpointer) restoreCell(c sweepCell, steps uint64, th Thresholds) *System {
+// checkpointing, no usable file, or a file that does not match the cell's
+// model and coordinates).
+func (ck *sweepCheckpointer) restoreCell(c sweepCell, spec *SweepSpec, th Thresholds) *System {
 	if ck == nil || ck.steps == 0 {
 		return nil
 	}
@@ -237,11 +246,33 @@ func (ck *sweepCheckpointer) restoreCell(c sweepCell, steps uint64, th Threshold
 	if err != nil {
 		return nil
 	}
+	if sys.Steps() > spec.Steps {
+		return nil
+	}
+	if c.coup != nil {
+		if sys.Model() != spec.Model || !equalCouplings(sys.Couplings(), c.coup) {
+			return nil
+		}
+		return sys
+	}
 	p := sys.Params()
-	if p.Lambda != c.lambda || p.Gamma != c.gamma || sys.Steps() > steps {
+	if sys.Model() != "separation" || p.Lambda != c.lambda || p.Gamma != c.gamma {
 		return nil
 	}
 	return sys
+}
+
+// equalCouplings compares two coupling vectors elementwise.
+func equalCouplings(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // complete records cell i's result, drops its in-flight checkpoint, and

@@ -203,18 +203,18 @@ func TestSystemRunContext(t *testing.T) {
 	}
 	plain, ctxed := mk(), mk()
 	plain.RunSteps(40_000)
-	done, err := ctxed.RunContext(context.Background(), 40_000)
+	done, err := ctxed.Run(context.Background(), RunSpec{Steps: 40_000})
 	if err != nil || done != 40_000 {
-		t.Fatalf("RunContext: done=%d err=%v", done, err)
+		t.Fatalf("Run: done=%d err=%v", done, err)
 	}
 	if plain.Config().CanonicalKey() != ctxed.Config().CanonicalKey() {
-		t.Fatal("RunContext diverges from Run")
+		t.Fatal("Run diverges from RunSteps")
 	}
 
 	cancelled, cancel := context.WithCancel(context.Background())
 	cancel()
-	if done, err := ctxed.RunContext(cancelled, 1000); done != 0 || err == nil {
-		t.Fatalf("pre-cancelled RunContext: done=%d err=%v", done, err)
+	if done, err := ctxed.Run(cancelled, RunSpec{Steps: 1000}); done != 0 || err == nil {
+		t.Fatalf("pre-cancelled Run: done=%d err=%v", done, err)
 	}
 }
 
@@ -224,10 +224,10 @@ func TestSystemRunWithContext(t *testing.T) {
 		t.Fatal(err)
 	}
 	calls := 0
-	done, err := sys.RunWithContext(context.Background(), 100_000, 1000, func(Snapshot) bool {
+	done, err := sys.Run(context.Background(), RunSpec{Steps: 100_000, SampleEvery: 1000, Observer: func(Snapshot) bool {
 		calls++
 		return calls < 5
-	})
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,8 +236,8 @@ func TestSystemRunWithContext(t *testing.T) {
 	}
 	cancelled, cancel := context.WithCancel(context.Background())
 	cancel()
-	if done, err := sys.RunWithContext(cancelled, 1000, 10, func(Snapshot) bool { return true }); done != 0 || err == nil {
-		t.Fatalf("pre-cancelled RunWithContext: done=%d err=%v", done, err)
+	if done, err := sys.Run(cancelled, RunSpec{Steps: 1000, SampleEvery: 10, Observer: func(Snapshot) bool { return true }}); done != 0 || err == nil {
+		t.Fatalf("pre-cancelled Run: done=%d err=%v", done, err)
 	}
 }
 

@@ -167,10 +167,10 @@ func TestRunFinalObserveOnCancel(t *testing.T) {
 	cancelled, cancel := context.WithCancel(context.Background())
 	cancel()
 	var observed []uint64
-	done, err := sys.RunWithContext(cancelled, 1_000, 100, func(m Snapshot) bool {
+	done, err := sys.Run(cancelled, RunSpec{Steps: 1_000, SampleEvery: 100, Observer: func(m Snapshot) bool {
 		observed = append(observed, m.Steps)
 		return true
-	})
+	}})
 	if done != 0 || !errors.Is(err, context.Canceled) {
 		t.Fatalf("pre-cancelled run: done=%d err=%v", done, err)
 	}
